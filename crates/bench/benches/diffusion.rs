@@ -1,0 +1,86 @@
+//! Criterion benches for the diffusion engines: dense power iteration vs.
+//! per-source decomposition across teleport probabilities and source
+//! counts. Quantifies the sparse-E0 crossover that `DiffusionEngine::Auto`
+//! exploits (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdsearch_diffusion::{per_source, power, PprConfig, Signal};
+use gdsearch_embed::Embedding;
+use gdsearch_graph::{generators, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn test_graph(n: u32) -> Graph {
+    let mut rng = StdRng::seed_from_u64(7);
+    generators::social_circles_like_scaled(n, &mut rng).expect("valid generator parameters")
+}
+
+fn sparse_sources(n: u32, count: usize, dim: usize) -> Vec<(NodeId, Embedding)> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..count)
+        .map(|_| {
+            (
+                NodeId::new(rng.random_range(0..n)),
+                Embedding::new((0..dim).map(|_| rng.random::<f32>()).collect()),
+            )
+        })
+        .collect()
+}
+
+fn bench_power_iteration_alpha(c: &mut Criterion) {
+    let graph = test_graph(1000);
+    let dim = 32;
+    let sources = sparse_sources(1000, 64, dim);
+    let e0 = Signal::from_sparse_rows(1000, dim, &sources).expect("valid rows");
+    let mut group = c.benchmark_group("power_iteration_alpha");
+    for alpha in [0.1f32, 0.5, 0.9] {
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-5);
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &cfg, |b, cfg| {
+            b.iter(|| power::diffuse(black_box(&graph), black_box(&e0), cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_crossover(c: &mut Criterion) {
+    // Sweep the number of document-hosting nodes at fixed dim: per-source
+    // wins when |sources| << dim, dense wins beyond the crossover.
+    let graph = test_graph(1000);
+    let dim = 32;
+    let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-5);
+    let mut group = c.benchmark_group("engine_crossover");
+    for count in [4usize, 16, 64, 256] {
+        let sources = sparse_sources(1000, count, dim);
+        group.bench_with_input(
+            BenchmarkId::new("per_source", count),
+            &sources,
+            |b, sources| {
+                b.iter(|| {
+                    per_source::diffuse_sparse(black_box(&graph), dim, sources, &cfg).unwrap()
+                })
+            },
+        );
+        let e0 = Signal::from_sparse_rows(1000, dim, &sources).unwrap();
+        group.bench_with_input(BenchmarkId::new("dense", count), &e0, |b, e0| {
+            b.iter(|| power::diffuse(black_box(&graph), e0, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_ppr_vector(c: &mut Criterion) {
+    let graph = test_graph(4039); // full Facebook scale
+    let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-5);
+    c.bench_function("ppr_vector_facebook_scale", |b| {
+        b.iter(|| per_source::ppr_vector(black_box(&graph), NodeId::new(17), &cfg).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_power_iteration_alpha,
+    bench_engine_crossover,
+    bench_single_ppr_vector
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the graph substrate: generator throughput and
+//! BFS, the two setup-phase costs of every experiment iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdsearch_graph::algo::bfs;
+use gdsearch_graph::{generators, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_1k_nodes");
+    group.sample_size(20);
+    group.bench_function("erdos_renyi", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            generators::erdos_renyi(black_box(1000), 0.04, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("watts_strogatz", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            generators::watts_strogatz(black_box(1000), 40, 0.1, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("barabasi_albert", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            generators::barabasi_albert(black_box(1000), 20, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("holme_kim_social", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            generators::social_circles_like_scaled(black_box(1000), &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    for n in [1000u32, 4039] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::social_circles_like_scaled(n, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("distances", n), &g, |b, g| {
+            b.iter(|| bfs::distances(black_box(g), NodeId::new(0)))
+        });
+        group.bench_with_input(BenchmarkId::new("rings_radius8", n), &g, |b, g| {
+            b.iter(|| bfs::distance_rings(black_box(g), NodeId::new(0), 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_bfs);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches for the nearest-neighbor indexes: exact brute force
+//! vs. HNSW vs. LSH, over a clustered synthetic corpus — the ANN trade-off
+//! the paper's §III-A references.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdsearch_embed::index::{BruteForceIndex, HnswIndex, LshIndex, VectorIndex};
+use gdsearch_embed::synthetic::SyntheticCorpus;
+use gdsearch_embed::{Embedding, Similarity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn corpus_vectors(n: usize, dim: usize) -> Vec<Embedding> {
+    let mut rng = StdRng::seed_from_u64(3);
+    SyntheticCorpus::builder()
+        .vocab_size(n)
+        .dim(dim)
+        .num_topics(n / 40 + 2)
+        .generate(&mut rng)
+        .expect("valid corpus parameters")
+        .embeddings()
+        .to_vec()
+}
+
+fn bench_search(c: &mut Criterion) {
+    let dim = 64;
+    let mut group = c.benchmark_group("index_search_top10");
+    for n in [1_000usize, 10_000] {
+        let items = corpus_vectors(n, dim);
+        let query = items[0].clone();
+
+        let brute = BruteForceIndex::build(items.clone(), Similarity::Cosine).unwrap();
+        group.bench_with_input(BenchmarkId::new("brute", n), &query, |b, q| {
+            b.iter(|| brute.search(black_box(q), 10).unwrap())
+        });
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let hnsw = HnswIndex::builder()
+            .max_connections(16)
+            .ef_construction(100)
+            .ef_search(64)
+            .build(items.clone(), Similarity::Cosine, &mut rng)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("hnsw", n), &query, |b, q| {
+            b.iter(|| hnsw.search(black_box(q), 10).unwrap())
+        });
+
+        let mut rng = StdRng::seed_from_u64(6);
+        let lsh = LshIndex::builder()
+            .num_tables(16)
+            .bits(8)
+            .build(items.clone(), &mut rng)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("lsh", n), &query, |b, q| {
+            b.iter(|| lsh.search(black_box(q), 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let dim = 64;
+    let items = corpus_vectors(2_000, dim);
+    let mut group = c.benchmark_group("index_build_2k");
+    group.sample_size(10);
+    group.bench_function("brute", |b| {
+        b.iter(|| BruteForceIndex::build(black_box(items.clone()), Similarity::Cosine).unwrap())
+    });
+    group.bench_function("hnsw", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            HnswIndex::builder()
+                .build(black_box(items.clone()), Similarity::Cosine, &mut rng)
+                .unwrap()
+        })
+    });
+    group.bench_function("lsh", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(10);
+            LshIndex::builder()
+                .build(black_box(items.clone()), &mut rng)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_build);
+criterion_main!(benches);

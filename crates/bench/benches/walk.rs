@@ -1,0 +1,71 @@
+//! Criterion benches for end-to-end query walks: the full per-query cost
+//! of the scheme (local retrieval + candidate filtering + policy) at
+//! paper-like scale, and the network build (personalization + diffusion)
+//! it amortizes over.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdsearch::{Placement, SchemeConfig, SearchNetwork};
+use gdsearch_embed::synthetic::SyntheticCorpus;
+use gdsearch_embed::WordId;
+use gdsearch_graph::{generators, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_walk_and_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let graph = generators::social_circles_like_scaled(1000, &mut rng).unwrap();
+    let corpus = SyntheticCorpus::builder()
+        .vocab_size(2000)
+        .dim(64)
+        .num_topics(50)
+        .generate(&mut rng)
+        .unwrap();
+
+    let mut group = c.benchmark_group("scheme");
+    group.sample_size(20);
+    for docs in [10usize, 100] {
+        let words: Vec<WordId> = (0..docs as u32).map(WordId::new).collect();
+        let placement = Placement::uniform(&graph, &words, &mut rng).unwrap();
+        let config = SchemeConfig::default();
+
+        group.bench_with_input(
+            BenchmarkId::new("build_network", docs),
+            &placement,
+            |b, placement| {
+                b.iter(|| {
+                    let mut build_rng = StdRng::seed_from_u64(2);
+                    SearchNetwork::build(
+                        black_box(&graph),
+                        &corpus,
+                        placement,
+                        &config,
+                        &mut build_rng,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+
+        let mut build_rng = StdRng::seed_from_u64(2);
+        let network =
+            SearchNetwork::build(&graph, &corpus, &placement, &config, &mut build_rng).unwrap();
+        let query = corpus.embedding(WordId::new(500));
+        group.bench_with_input(
+            BenchmarkId::new("query_walk_ttl50", docs),
+            &network,
+            |b, network| {
+                let mut walk_rng = StdRng::seed_from_u64(3);
+                b.iter(|| {
+                    network
+                        .query(black_box(query), NodeId::new(7), &mut walk_rng)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_and_build);
+criterion_main!(benches);

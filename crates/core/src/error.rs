@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+use gdsearch_diffusion::DiffusionError;
+use gdsearch_embed::EmbedError;
+use gdsearch_graph::GraphError;
+use gdsearch_sim::SimError;
+
+/// Errors produced by the decentralized search scheme.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SearchError {
+    /// A configuration or argument is outside its valid domain.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Propagated graph-substrate error.
+    Graph(GraphError),
+    /// Propagated embedding-substrate error.
+    Embed(EmbedError),
+    /// Propagated diffusion-substrate error.
+    Diffusion(DiffusionError),
+    /// Propagated simulator error.
+    Sim(SimError),
+}
+
+impl SearchError {
+    pub(crate) fn invalid_parameter(reason: impl Into<String>) -> Self {
+        SearchError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            SearchError::Graph(e) => write!(f, "graph error: {e}"),
+            SearchError::Embed(e) => write!(f, "embedding error: {e}"),
+            SearchError::Diffusion(e) => write!(f, "diffusion error: {e}"),
+            SearchError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for SearchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SearchError::Graph(e) => Some(e),
+            SearchError::Embed(e) => Some(e),
+            SearchError::Diffusion(e) => Some(e),
+            SearchError::Sim(e) => Some(e),
+            SearchError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for SearchError {
+    fn from(e: GraphError) -> Self {
+        SearchError::Graph(e)
+    }
+}
+
+impl From<EmbedError> for SearchError {
+    fn from(e: EmbedError) -> Self {
+        SearchError::Embed(e)
+    }
+}
+
+impl From<DiffusionError> for SearchError {
+    fn from(e: DiffusionError) -> Self {
+        SearchError::Diffusion(e)
+    }
+}
+
+impl From<SimError> for SearchError {
+    fn from(e: SimError) -> Self {
+        SearchError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: SearchError = GraphError::SelfLoop { node: 1 }.into();
+        assert!(e.source().is_some());
+        let e: SearchError = EmbedError::EmptyCorpus.into();
+        assert!(e.source().is_some());
+        let e: SearchError = DiffusionError::NotConverged {
+            iterations: 5,
+            residual: 1.0,
+        }
+        .into();
+        assert!(e.source().is_some());
+        let e = SearchError::invalid_parameter("ttl must be positive");
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("ttl must be positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SearchError>();
+    }
+}

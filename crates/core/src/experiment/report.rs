@@ -1,0 +1,185 @@
+//! Rendering of experiment results as markdown tables and CSV, in the
+//! paper's own layout (Fig. 3 series per α; Table I columns).
+
+use std::fmt::Write as _;
+
+use crate::experiment::accuracy::AccuracyResult;
+use crate::experiment::hops::HopCountRow;
+
+/// Renders a Fig. 3 subplot as a markdown table: one row per distance,
+/// one column per α.
+pub fn accuracy_markdown(result: &AccuracyResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Accuracy vs. distance — M = {} documents",
+        result.total_docs
+    );
+    let mut header = String::from("| distance |");
+    let mut rule = String::from("|---|");
+    for s in &result.series {
+        let _ = write!(header, " α = {} |", s.alpha);
+        rule.push_str("---|");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{rule}");
+    let distances = result
+        .series
+        .first()
+        .map(|s| s.accuracy.len())
+        .unwrap_or(0);
+    for d in 0..distances {
+        let mut row = format!("| {d} |");
+        for s in &result.series {
+            if s.samples[d] == 0 {
+                row.push_str(" – |");
+            } else {
+                let _ = write!(row, " {:.3} |", s.accuracy[d]);
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Renders a Fig. 3 subplot as CSV: `distance,alpha,accuracy,samples`.
+pub fn accuracy_csv(result: &AccuracyResult) -> String {
+    let mut out = String::from("total_docs,distance,alpha,accuracy,samples\n");
+    for s in &result.series {
+        for (d, (acc, n)) in s.accuracy.iter().zip(&s.samples).enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.6},{}",
+                result.total_docs, d, s.alpha, acc, n
+            );
+        }
+    }
+    out
+}
+
+/// Renders Table I as markdown, mirroring the paper's columns.
+pub fn hops_markdown(rows: &[HopCountRow]) -> String {
+    let mut out = String::from(
+        "| M documents | success rate | median hops | mean hops | std hops |\n\
+         |---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let fmt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.2}"),
+            None => "–".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} / {} | {} | {} | {} |",
+            r.total_docs,
+            r.successes,
+            r.samples,
+            fmt(r.median_hops),
+            fmt(r.mean_hops),
+            fmt(r.std_hops),
+        );
+    }
+    out
+}
+
+/// Renders Table I as CSV.
+pub fn hops_csv(rows: &[HopCountRow]) -> String {
+    let mut out =
+        String::from("total_docs,successes,samples,success_rate,median_hops,mean_hops,std_hops\n");
+    for r in rows {
+        let fmt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.4}"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{},{},{}",
+            r.total_docs,
+            r.successes,
+            r.samples,
+            r.success_rate(),
+            fmt(r.median_hops),
+            fmt(r.mean_hops),
+            fmt(r.std_hops),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::accuracy::AccuracySeries;
+
+    fn sample_accuracy() -> AccuracyResult {
+        AccuracyResult {
+            total_docs: 10,
+            series: vec![
+                AccuracySeries {
+                    alpha: 0.1,
+                    accuracy: vec![1.0, 0.8, 0.4],
+                    samples: vec![5, 5, 5],
+                },
+                AccuracySeries {
+                    alpha: 0.9,
+                    accuracy: vec![1.0, 0.9, 0.0],
+                    samples: vec![5, 5, 0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accuracy_markdown_layout() {
+        let md = accuracy_markdown(&sample_accuracy());
+        assert!(md.contains("M = 10 documents"));
+        assert!(md.contains("α = 0.1"));
+        assert!(md.contains("α = 0.9"));
+        assert!(md.contains("| 0 | 1.000 | 1.000 |"));
+        // Distance 2 with zero samples renders as a dash for alpha 0.9.
+        assert!(md.contains("| 2 | 0.400 | – |"));
+    }
+
+    #[test]
+    fn accuracy_csv_layout() {
+        let csv = accuracy_csv(&sample_accuracy());
+        assert!(csv.starts_with("total_docs,distance,alpha"));
+        assert!(csv.contains("10,1,0.1,0.800000,5"));
+        assert_eq!(csv.lines().count(), 1 + 6);
+    }
+
+    fn sample_rows() -> Vec<HopCountRow> {
+        vec![
+            HopCountRow {
+                total_docs: 10,
+                successes: 1905,
+                samples: 5000,
+                median_hops: Some(3.0),
+                mean_hops: Some(7.62),
+                std_hops: Some(10.83),
+            },
+            HopCountRow {
+                total_docs: 100,
+                successes: 0,
+                samples: 5000,
+                median_hops: None,
+                mean_hops: None,
+                std_hops: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn hops_markdown_layout() {
+        let md = hops_markdown(&sample_rows());
+        assert!(md.contains("| 10 | 1905 / 5000 | 3.00 | 7.62 | 10.83 |"));
+        assert!(md.contains("| 100 | 0 / 5000 | – | – | – |"));
+    }
+
+    #[test]
+    fn hops_csv_layout() {
+        let csv = hops_csv(&sample_rows());
+        assert!(csv.contains("10,1905,5000,0.3810,3.0000,7.6200,10.8300"));
+        assert!(csv.contains("100,0,5000,0.0000,,,"));
+    }
+}

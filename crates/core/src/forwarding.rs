@@ -1,0 +1,314 @@
+//! Forwarding policies: how a node picks next hops for a query.
+//!
+//! The paper's scheme (§IV-C) matches the query embedding against the
+//! *diffused* embeddings of candidate neighbors by dot product and forwards
+//! to the best — a biased random walk. The other variants are the blind
+//! baselines the related-work section positions the scheme against
+//! (flooding, uniform random walks) plus two common heuristics
+//! (degree-biased, ε-greedy hybrid) used in the ablation benches.
+
+use gdsearch_diffusion::Signal;
+use gdsearch_embed::Embedding;
+use gdsearch_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The available forwarding policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum PolicyKind {
+    /// The paper's policy: forward to the `fanout` candidates whose
+    /// diffused embeddings score highest (dot product) against the query.
+    #[default]
+    PprGreedy,
+    /// Blind uniform random walk (classic baseline).
+    RandomWalk,
+    /// Forward to the highest-degree candidates (hub-seeking heuristic).
+    DegreeBiased,
+    /// Forward to *every* candidate (Gnutella-style flooding; TTL-bounded).
+    Flooding,
+    /// ε-greedy: with probability `epsilon` act like [`PolicyKind::RandomWalk`],
+    /// otherwise like [`PolicyKind::PprGreedy`]. Trades exploitation for
+    /// exploration.
+    Hybrid {
+        /// Exploration probability in `[0, 1]`.
+        epsilon: f32,
+    },
+}
+
+/// Everything a policy may consult when choosing next hops.
+#[derive(Debug)]
+pub struct ForwardContext<'a> {
+    /// The node making the decision.
+    pub node: NodeId,
+    /// Eligible next hops (unvisited neighbors, or all neighbors as the
+    /// paper's footnote-9 fallback).
+    pub candidates: &'a [NodeId],
+    /// The query embedding.
+    pub query: &'a Embedding,
+    /// Diffused node embeddings (`E` of Eq. 6), indexed by node.
+    pub node_embeddings: &'a Signal,
+    /// The overlay graph (for degree lookups).
+    pub graph: &'a Graph,
+    /// How many next hops to select (ignored by flooding, which takes all).
+    pub fanout: usize,
+}
+
+/// Scores a candidate exactly as the paper's nodes do: dot product of the
+/// query with the candidate's diffused embedding.
+pub fn candidate_score(ctx: &ForwardContext<'_>, candidate: NodeId) -> f32 {
+    let emb = ctx.node_embeddings.row(candidate.index());
+    ctx.query
+        .as_slice()
+        .iter()
+        .zip(emb)
+        .map(|(q, e)| q * e)
+        .sum()
+}
+
+/// Selects next hops under the given policy. Returns at most
+/// `ctx.fanout` hops (all candidates for flooding); an empty slice of
+/// candidates yields an empty selection.
+///
+/// Deterministic for [`PolicyKind::PprGreedy`] and
+/// [`PolicyKind::DegreeBiased`] (ties broken by ascending node id);
+/// randomized policies consume from `rng`.
+pub fn select_next_hops<R: Rng + ?Sized>(
+    kind: PolicyKind,
+    ctx: &ForwardContext<'_>,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    if ctx.candidates.is_empty() || ctx.fanout == 0 {
+        return Vec::new();
+    }
+    match kind {
+        PolicyKind::PprGreedy => top_by(ctx, |c| candidate_score(ctx, c)),
+        PolicyKind::DegreeBiased => top_by(ctx, |c| ctx.graph.degree(c) as f32),
+        PolicyKind::RandomWalk => {
+            let mut picks: Vec<NodeId> = ctx.candidates.to_vec();
+            picks.shuffle(rng);
+            picks.truncate(ctx.fanout);
+            picks
+        }
+        PolicyKind::Flooding => ctx.candidates.to_vec(),
+        PolicyKind::Hybrid { epsilon } => {
+            let explore = epsilon > 0.0 && rng.random_bool(f64::from(epsilon.clamp(0.0, 1.0)));
+            if explore {
+                select_next_hops(PolicyKind::RandomWalk, ctx, rng)
+            } else {
+                select_next_hops(PolicyKind::PprGreedy, ctx, rng)
+            }
+        }
+    }
+}
+
+/// Top-`fanout` candidates by `score`, ties broken by ascending node id
+/// (candidates arrive sorted, and the sort below is stable).
+fn top_by<F: Fn(NodeId) -> f32>(ctx: &ForwardContext<'_>, score: F) -> Vec<NodeId> {
+    let mut scored: Vec<(f32, NodeId)> =
+        ctx.candidates.iter().map(|&c| (score(c), c)).collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored
+        .into_iter()
+        .take(ctx.fanout)
+        .map(|(_, c)| c)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdsearch_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// A star graph whose leaf embeddings encode their ids, plus a query
+    /// aligned with leaf 3.
+    fn fixture() -> (gdsearch_graph::Graph, Signal, Embedding, Vec<NodeId>) {
+        let g = generators::star(5); // hub 0, leaves 1..4
+        let mut e = Signal::zeros(5, 4);
+        for leaf in 1..5 {
+            e.row_mut(leaf)[leaf - 1] = 1.0;
+        }
+        let query = Embedding::new(vec![0.0, 0.0, 1.0, 0.0]); // matches node 3
+        let candidates: Vec<NodeId> = (1..5).map(NodeId::new).collect();
+        (g, e, query, candidates)
+    }
+
+    #[test]
+    fn greedy_picks_best_scoring_candidate() {
+        let (g, e, q, cands) = fixture();
+        let ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 1,
+        };
+        let picks = select_next_hops(PolicyKind::PprGreedy, &ctx, &mut rng(1));
+        assert_eq!(picks, vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn greedy_fanout_orders_by_score() {
+        let (g, mut e, q, cands) = fixture();
+        // Give node 1 a partial match so ranking is 3 > 1 > others.
+        e.row_mut(1)[2] = 0.5;
+        let ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 2,
+        };
+        let picks = select_next_hops(PolicyKind::PprGreedy, &ctx, &mut rng(1));
+        assert_eq!(picks, vec![NodeId::new(3), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn greedy_tie_breaks_by_id() {
+        let (g, _, _, cands) = fixture();
+        let e = Signal::zeros(5, 4); // all scores equal (zero)
+        let q = Embedding::new(vec![1.0, 1.0, 1.0, 1.0]);
+        let ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 2,
+        };
+        let picks = select_next_hops(PolicyKind::PprGreedy, &ctx, &mut rng(1));
+        assert_eq!(picks, vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn random_walk_stays_within_candidates_and_fanout() {
+        let (g, e, q, cands) = fixture();
+        let ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 2,
+        };
+        let mut r = rng(2);
+        for _ in 0..20 {
+            let picks = select_next_hops(PolicyKind::RandomWalk, &ctx, &mut r);
+            assert_eq!(picks.len(), 2);
+            assert!(picks.iter().all(|p| cands.contains(p)));
+            assert_ne!(picks[0], picks[1], "picks must be distinct");
+        }
+    }
+
+    #[test]
+    fn random_walk_is_uniform_ish() {
+        let (g, e, q, cands) = fixture();
+        let ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 1,
+        };
+        let mut counts = [0usize; 5];
+        let mut r = rng(3);
+        for _ in 0..4000 {
+            let picks = select_next_hops(PolicyKind::RandomWalk, &ctx, &mut r);
+            counts[picks[0].index()] += 1;
+        }
+        for leaf in 1..5 {
+            assert!(
+                (counts[leaf] as f64 - 1000.0).abs() < 150.0,
+                "leaf {leaf}: {}",
+                counts[leaf]
+            );
+        }
+    }
+
+    #[test]
+    fn degree_biased_prefers_hubs() {
+        // Path 0-1-2 plus extra edges on node 2 making it the hub.
+        let g = gdsearch_graph::Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let e = Signal::zeros(5, 2);
+        let q = Embedding::zeros(2);
+        let cands = vec![NodeId::new(0), NodeId::new(2)];
+        let ctx = ForwardContext {
+            node: NodeId::new(1),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 1,
+        };
+        let picks = select_next_hops(PolicyKind::DegreeBiased, &ctx, &mut rng(4));
+        assert_eq!(picks, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn flooding_takes_everyone() {
+        let (g, e, q, cands) = fixture();
+        let ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 1, // ignored
+        };
+        let picks = select_next_hops(PolicyKind::Flooding, &ctx, &mut rng(5));
+        assert_eq!(picks.len(), 4);
+    }
+
+    #[test]
+    fn hybrid_extremes_match_components() {
+        let (g, e, q, cands) = fixture();
+        let ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 1,
+        };
+        // epsilon = 0 -> always greedy.
+        for seed in 0..10 {
+            let picks =
+                select_next_hops(PolicyKind::Hybrid { epsilon: 0.0 }, &ctx, &mut rng(seed));
+            assert_eq!(picks, vec![NodeId::new(3)]);
+        }
+        // epsilon = 1 -> random: must deviate from greedy at least once.
+        let mut deviated = false;
+        for seed in 0..20 {
+            let picks =
+                select_next_hops(PolicyKind::Hybrid { epsilon: 1.0 }, &ctx, &mut rng(seed));
+            if picks != vec![NodeId::new(3)] {
+                deviated = true;
+            }
+        }
+        assert!(deviated);
+    }
+
+    #[test]
+    fn empty_candidates_select_nothing() {
+        let (g, e, q, _) = fixture();
+        let ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &[],
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 3,
+        };
+        assert!(select_next_hops(PolicyKind::PprGreedy, &ctx, &mut rng(6)).is_empty());
+        assert!(select_next_hops(PolicyKind::Flooding, &ctx, &mut rng(6)).is_empty());
+    }
+}

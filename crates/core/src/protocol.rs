@@ -1,0 +1,542 @@
+//! Message-passing implementation of the search protocol on the
+//! discrete-event simulator.
+//!
+//! [`crate::walk`] executes the paper's node operations in-process; this
+//! module runs the *same* protocol as real messages over
+//! [`gdsearch_sim::Network`], including the response backtracking of §IV-C
+//! ("when their TTL expires, a response message is returned to the querying
+//! nodes via backtracking"). It exists to demonstrate the scheme end to end
+//! under latency, loss and churn, and to pin the fast path's semantics: for
+//! the deterministic greedy policy both implementations visit the same
+//! nodes (see the workspace integration tests).
+//!
+//! Message bookkeeping: every query hop is a fresh message id; each node
+//! records, per received query message, who sent it and which child
+//! messages it spawned. Responses reference the message id they answer, so
+//! results merge hop by hop back to the origin. Only direct neighbors ever
+//! learn of each other — matching the paper's privacy argument for keeping
+//! visited-node memory at nodes instead of inside messages.
+//!
+//! Loss and churn caveat: a lost query or response message orphans its
+//! subtree, so the origin never sees a completion for that query (a real
+//! deployment would add timeouts). Under loss, drive the network with
+//! [`gdsearch_sim::Network::run_until`] and read partial state.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use gdsearch_diffusion::Signal;
+use gdsearch_embed::topk::TopK;
+use gdsearch_embed::Embedding;
+use gdsearch_graph::{Graph, NodeId};
+use gdsearch_sim::{Network, NetworkConfig, NodeApi, NodeHandler, SimError, WireMessage};
+
+use crate::forwarding::{self, ForwardContext};
+use crate::{DocId, PolicyKind, SearchError, SearchNetwork};
+
+/// A query or response message of the search protocol.
+#[derive(Debug, Clone)]
+pub enum SearchMessage {
+    /// A forwarded query (paper Fig. 1 input).
+    Query {
+        /// Query identifier (unique per issued query).
+        query_id: u64,
+        /// Unique id of this hop's message.
+        msg_id: u64,
+        /// The query embedding.
+        embedding: Embedding,
+        /// Remaining hops.
+        ttl: u32,
+        /// Hops taken so far.
+        hop: u32,
+    },
+    /// A backtracking response carrying gathered results.
+    Response {
+        /// Query identifier.
+        query_id: u64,
+        /// The query message this answers.
+        answers_msg: u64,
+        /// Results gathered in the answered subtree:
+        /// `(doc, score, found-at-hop)`.
+        results: Vec<(DocId, f32, u32)>,
+    },
+}
+
+impl WireMessage for SearchMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            // query_id + msg_id (16) + ttl + hop (8) + length-prefixed f32s.
+            SearchMessage::Query { embedding, .. } => 24 + 4 + 4 * embedding.dim(),
+            // query_id + answers_msg (16) + count (4) + triples (4+4+4 each).
+            SearchMessage::Response { results, .. } => 20 + 12 * results.len(),
+        }
+    }
+}
+
+/// Per-message state a node keeps while the subtree below it is still
+/// being explored.
+#[derive(Debug)]
+struct PendingMessage {
+    /// Who sent this query message (`None` at the origin).
+    from: Option<NodeId>,
+    /// Child messages still owed a response.
+    pending_children: usize,
+    /// Results merged so far (own documents + children's responses).
+    gathered: Vec<(DocId, f32, u32)>,
+}
+
+/// Final outcome of a query at its origin node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedQuery {
+    /// The query id.
+    pub query_id: u64,
+    /// Results merged from the whole walk tree, best-first, truncated to
+    /// the configured top-k: `(doc, score, found-at-hop)`.
+    pub results: Vec<(DocId, f32, u32)>,
+}
+
+/// Node handler implementing the paper's protocol (Fig. 1) over the
+/// simulator.
+#[derive(Debug)]
+pub struct SearchNode {
+    node: NodeId,
+    /// Local documents: `(doc id, embedding)`.
+    docs: Vec<(DocId, Embedding)>,
+    /// Diffused embeddings — stands in for the neighbor embeddings every
+    /// node stores after diffusion (§IV-B: nodes keep "track of the
+    /// embeddings of the one-hop neighbors"). A node only ever reads its
+    /// neighbors' rows.
+    embeddings: Arc<Signal>,
+    graph: Arc<Graph>,
+    policy: PolicyKind,
+    fanout: usize,
+    top_k: usize,
+    /// Per-query memory of neighbors exchanged with (received-from ∪
+    /// sent-to, §IV-C).
+    used: HashMap<u64, HashSet<NodeId>>,
+    /// Response bookkeeping per received query message.
+    pending: HashMap<u64, PendingMessage>,
+    /// Maps child message ids we created to the received message they
+    /// continue.
+    child_to_parent: HashMap<u64, u64>,
+    /// Local message counter, combined with the node id for global
+    /// uniqueness.
+    next_msg: u64,
+    /// Queries completed at this node (it was their origin).
+    completed: Vec<CompletedQuery>,
+}
+
+impl SearchNode {
+    /// Queries completed at this node so far.
+    pub fn completed(&self) -> &[CompletedQuery] {
+        &self.completed
+    }
+
+    fn fresh_msg_id(&mut self) -> u64 {
+        let id = (u64::from(self.node.as_u32()) << 32) | self.next_msg;
+        self.next_msg += 1;
+        id
+    }
+
+    /// Local retrieval: scores of all local documents for `query`.
+    fn local_results(&self, query: &Embedding, hop: u32) -> Vec<(DocId, f32, u32)> {
+        self.docs
+            .iter()
+            .map(|(doc, emb)| {
+                let score = gdsearch_embed::similarity::dot(query, emb)
+                    .expect("protocol messages carry corpus-dimension embeddings");
+                (*doc, score, hop)
+            })
+            .collect()
+    }
+
+    /// If `msg_id` has no outstanding children, responds towards the
+    /// origin (or records completion when this node *is* the origin).
+    fn settle(&mut self, msg_id: u64, query_id: u64, api: &mut NodeApi<'_, SearchMessage>) {
+        let done = matches!(self.pending.get(&msg_id), Some(r) if r.pending_children == 0);
+        if !done {
+            return;
+        }
+        let record = self.pending.remove(&msg_id).expect("checked above");
+        match record.from {
+            Some(parent) => api.send(
+                parent,
+                SearchMessage::Response {
+                    query_id,
+                    answers_msg: msg_id,
+                    results: record.gathered,
+                },
+            ),
+            None => {
+                // Origin: dedup by document (a revisited host reports its
+                // documents once per visit; keep the earliest hop), then
+                // fold into the final top-k. BTreeMap keeps tie order
+                // deterministic.
+                let mut best: std::collections::BTreeMap<DocId, (f32, u32)> =
+                    std::collections::BTreeMap::new();
+                for (doc, score, hop) in record.gathered {
+                    best.entry(doc)
+                        .and_modify(|e| e.1 = e.1.min(hop))
+                        .or_insert((score, hop));
+                }
+                let mut top = TopK::new(self.top_k);
+                for (doc, (score, hop)) in best {
+                    top.push(score, (doc, hop));
+                }
+                let results = top
+                    .into_sorted()
+                    .into_iter()
+                    .map(|s| (s.item.0, s.score, s.item.1))
+                    .collect();
+                self.completed.push(CompletedQuery { query_id, results });
+                self.used.remove(&query_id);
+            }
+        }
+    }
+}
+
+impl NodeHandler<SearchMessage> for SearchNode {
+    fn handle(
+        &mut self,
+        from: Option<NodeId>,
+        msg: SearchMessage,
+        api: &mut NodeApi<'_, SearchMessage>,
+    ) {
+        match msg {
+            SearchMessage::Query {
+                query_id,
+                msg_id,
+                embedding,
+                ttl,
+                hop,
+            } => {
+                // Remember whom we received from (paper §IV-C memory).
+                if let Some(p) = from {
+                    self.used.entry(query_id).or_default().insert(p);
+                }
+                // 1. Local retrieval.
+                let gathered = self.local_results(&embedding, hop);
+                // 2-4. TTL check, candidate filtering, policy decision.
+                let mut targets: Vec<NodeId> = Vec::new();
+                if ttl > 0 {
+                    let neighbors = self.graph.neighbor_slice(self.node);
+                    if !neighbors.is_empty() {
+                        let used = self.used.entry(query_id).or_default();
+                        let fresh: Vec<NodeId> = neighbors
+                            .iter()
+                            .copied()
+                            .filter(|v| !used.contains(v))
+                            .collect();
+                        // Footnote 9: never waste the forwarding chance.
+                        let candidates =
+                            if fresh.is_empty() { neighbors.to_vec() } else { fresh };
+                        // Fanout applies at the querying node only (hop 0);
+                        // relays forward a single copy — see walk.rs.
+                        let effective_fanout = if hop == 0 { self.fanout } else { 1 };
+                        let ctx = ForwardContext {
+                            node: self.node,
+                            candidates: &candidates,
+                            query: &embedding,
+                            node_embeddings: &self.embeddings,
+                            graph: &self.graph,
+                            fanout: effective_fanout,
+                        };
+                        targets = forwarding::select_next_hops(self.policy, &ctx, api.rng());
+                    }
+                }
+                self.pending.insert(
+                    msg_id,
+                    PendingMessage {
+                        from,
+                        pending_children: targets.len(),
+                        gathered,
+                    },
+                );
+                for v in targets {
+                    self.used.entry(query_id).or_default().insert(v);
+                    let child_id = self.fresh_msg_id();
+                    self.child_to_parent.insert(child_id, msg_id);
+                    api.send(
+                        v,
+                        SearchMessage::Query {
+                            query_id,
+                            msg_id: child_id,
+                            embedding: embedding.clone(),
+                            ttl: ttl - 1,
+                            hop: hop + 1,
+                        },
+                    );
+                }
+                // Leaf (TTL expired or no forwarding): respond immediately.
+                self.settle(msg_id, query_id, api);
+            }
+            SearchMessage::Response {
+                query_id,
+                answers_msg,
+                results,
+            } => {
+                let Some(parent_msg) = self.child_to_parent.remove(&answers_msg) else {
+                    return; // stale response (e.g. after loss); drop
+                };
+                if let Some(record) = self.pending.get_mut(&parent_msg) {
+                    record.gathered.extend(results);
+                    record.pending_children -= 1;
+                }
+                self.settle(parent_msg, query_id, api);
+            }
+        }
+    }
+}
+
+/// Builds a simulator [`Network`] whose handlers run the search protocol
+/// with the state of `network` (documents, diffused embeddings, policy).
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn build_protocol_network(
+    network: &SearchNetwork<'_>,
+    sim_config: NetworkConfig,
+) -> Result<Network<SearchMessage, SearchNode>, SearchError> {
+    let graph = Arc::new(network.graph().clone());
+    let embeddings = Arc::new(network.embeddings().clone());
+    let config = network.config();
+    let handlers: Vec<SearchNode> = network
+        .graph()
+        .node_ids()
+        .map(|u| SearchNode {
+            node: u,
+            docs: network
+                .docs_at(u)
+                .iter()
+                .map(|&d| (d, network.doc_embedding(d).clone()))
+                .collect(),
+            embeddings: embeddings.clone(),
+            graph: graph.clone(),
+            policy: config.policy(),
+            fanout: config.fanout(),
+            top_k: config.top_k(),
+            used: HashMap::new(),
+            pending: HashMap::new(),
+            child_to_parent: HashMap::new(),
+            next_msg: 0,
+            completed: Vec::new(),
+        })
+        .collect();
+    Ok(Network::new(network.graph().clone(), handlers, sim_config)?)
+}
+
+/// Issues a query into a protocol network at `origin`.
+///
+/// # Errors
+///
+/// Returns [`SearchError::Sim`] for unknown origins.
+pub fn issue_query(
+    net: &mut Network<SearchMessage, SearchNode>,
+    origin: NodeId,
+    query_id: u64,
+    embedding: Embedding,
+    ttl: u32,
+) -> Result<(), SearchError> {
+    let msg_id = net.handler_mut(origin)?.fresh_msg_id();
+    net.inject(
+        origin,
+        SearchMessage::Query {
+            query_id,
+            msg_id,
+            embedding,
+            ttl,
+            hop: 0,
+        },
+    )?;
+    Ok(())
+}
+
+/// Drains the simulator and returns the queries completed at `origin`.
+///
+/// # Errors
+///
+/// Returns [`SearchError::Sim`] on event-budget exhaustion (e.g. when loss
+/// orphaned a walk subtree — use [`gdsearch_sim::Network::run_until`] and
+/// inspect handlers directly in that case) or for unknown origins.
+pub fn run_and_collect(
+    net: &mut Network<SearchMessage, SearchNode>,
+    origin: NodeId,
+    max_events: usize,
+) -> Result<Vec<CompletedQuery>, SearchError> {
+    net.run_to_completion(max_events).map_err(|e| match e {
+        SimError::EventBudgetExhausted { processed } => {
+            SearchError::Sim(SimError::EventBudgetExhausted { processed })
+        }
+        other => SearchError::Sim(other),
+    })?;
+    Ok(net.handler(origin)?.completed().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Placement, SchemeConfig};
+    use gdsearch_embed::querygen::{self, QueryGenConfig};
+    use gdsearch_embed::synthetic::SyntheticCorpus;
+    use gdsearch_embed::Corpus;
+    use gdsearch_graph::generators;
+    use gdsearch_sim::LatencyModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn corpus(seed: u64) -> Corpus {
+        SyntheticCorpus::builder()
+            .vocab_size(150)
+            .dim(24)
+            .num_topics(6)
+            .topic_noise(0.4)
+            .generate(&mut rng(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn single_walk_completes_and_finds_adjacent_gold() {
+        let mut r = rng(1);
+        let g = generators::social_circles_like_scaled(60, &mut r).unwrap();
+        let c = corpus(2);
+        let queries =
+            querygen::generate(&c, QueryGenConfig { num_queries: 3, min_cosine: 0.6 }, &mut r)
+                .unwrap();
+        assert!(!queries.is_empty());
+        let pair = queries.pairs()[0];
+        let mut words = vec![pair.gold];
+        words.extend(queries.irrelevant().iter().copied().take(4));
+        let p = Placement::uniform(&g, &words, &mut r).unwrap();
+        let cfg = SchemeConfig::builder().ttl(20).build().unwrap();
+        let scheme = SearchNetwork::build(&g, &c, &p, &cfg, &mut r).unwrap();
+        // Start adjacent to the gold host.
+        let host = p.host(0);
+        let start = g.neighbor_slice(host)[0];
+        let mut net = build_protocol_network(&scheme, NetworkConfig::default()).unwrap();
+        issue_query(&mut net, start, 7, c.embedding(pair.query).clone(), 20).unwrap();
+        let completed = run_and_collect(&mut net, start, 100_000).unwrap();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].query_id, 7);
+        assert!(
+            completed[0].results.iter().any(|(d, _, _)| *d == 0),
+            "gold one hop away must be retrieved: {:?}",
+            completed[0].results
+        );
+    }
+
+    #[test]
+    fn response_backtracks_under_latency() {
+        let mut r = rng(3);
+        let g = generators::ring(12).unwrap();
+        let c = corpus(4);
+        let words = vec![gdsearch_embed::WordId::new(0)];
+        let p = Placement::uniform(&g, &words, &mut r).unwrap();
+        let cfg = SchemeConfig::builder().ttl(5).build().unwrap();
+        let scheme = SearchNetwork::build(&g, &c, &p, &cfg, &mut r).unwrap();
+        let sim_cfg = NetworkConfig::default()
+            .with_latency(LatencyModel::constant(0.1).unwrap())
+            .with_seed(5);
+        let mut net = build_protocol_network(&scheme, sim_cfg).unwrap();
+        let origin = NodeId::new(3);
+        issue_query(
+            &mut net,
+            origin,
+            1,
+            c.embedding(gdsearch_embed::WordId::new(1)).clone(),
+            5,
+        )
+        .unwrap();
+        let completed = run_and_collect(&mut net, origin, 10_000).unwrap();
+        assert_eq!(completed.len(), 1, "origin must receive the backtracked response");
+        // 5 forwards out + 5 responses back at 0.1s each, plus instant
+        // injection: total virtual time 1.0s.
+        assert!((net.now().as_secs() - 1.0).abs() < 1e-9);
+        // Forward query messages are larger than responses here; count both.
+        assert_eq!(net.stats().sent, 10);
+    }
+
+    #[test]
+    fn fanout_tree_merges_all_branches() {
+        let mut r = rng(6);
+        let g = generators::complete(8);
+        let c = corpus(7);
+        let words: Vec<_> = (0..6).map(gdsearch_embed::WordId::new).collect();
+        let p = Placement::uniform(&g, &words, &mut r).unwrap();
+        let cfg = SchemeConfig::builder()
+            .ttl(2)
+            .fanout(3)
+            .top_k(4)
+            .build()
+            .unwrap();
+        let scheme = SearchNetwork::build(&g, &c, &p, &cfg, &mut r).unwrap();
+        let mut net = build_protocol_network(&scheme, NetworkConfig::default()).unwrap();
+        let origin = NodeId::new(0);
+        issue_query(
+            &mut net,
+            origin,
+            9,
+            c.embedding(gdsearch_embed::WordId::new(10)).clone(),
+            2,
+        )
+        .unwrap();
+        let completed = run_and_collect(&mut net, origin, 100_000).unwrap();
+        assert_eq!(completed.len(), 1);
+        assert!(completed[0].results.len() <= 4);
+        // Every result's hop is within the TTL.
+        for (_, _, hop) in &completed[0].results {
+            assert!(*hop <= 2);
+        }
+    }
+
+    #[test]
+    fn lost_messages_orphan_the_walk() {
+        let mut r = rng(8);
+        let g = generators::ring(6).unwrap();
+        let c = corpus(9);
+        let words = vec![gdsearch_embed::WordId::new(0)];
+        let p = Placement::uniform(&g, &words, &mut r).unwrap();
+        let cfg = SchemeConfig::builder().ttl(4).build().unwrap();
+        let scheme = SearchNetwork::build(&g, &c, &p, &cfg, &mut r).unwrap();
+        let sim_cfg = NetworkConfig::default()
+            .with_loss_probability(1.0)
+            .unwrap();
+        let mut net = build_protocol_network(&scheme, sim_cfg).unwrap();
+        let origin = NodeId::new(0);
+        issue_query(
+            &mut net,
+            origin,
+            2,
+            c.embedding(gdsearch_embed::WordId::new(1)).clone(),
+            4,
+        )
+        .unwrap();
+        let completed = run_and_collect(&mut net, origin, 10_000).unwrap();
+        // The first forward is lost; with everything dropped the origin
+        // never completes (documented protocol limitation without timers).
+        assert!(completed.is_empty());
+        assert_eq!(net.stats().lost, 1);
+    }
+
+    #[test]
+    fn wire_sizes_are_consistent() {
+        let q = SearchMessage::Query {
+            query_id: 1,
+            msg_id: 2,
+            embedding: Embedding::zeros(16),
+            ttl: 5,
+            hop: 0,
+        };
+        assert_eq!(q.wire_size(), 24 + 4 + 64);
+        let r = SearchMessage::Response {
+            query_id: 1,
+            answers_msg: 2,
+            results: vec![(0, 1.0, 3), (1, 0.5, 2)],
+        };
+        assert_eq!(r.wire_size(), 20 + 24);
+    }
+}

@@ -1,0 +1,395 @@
+//! In-process execution of the query-forwarding protocol (paper §IV-C,
+//! Fig. 1).
+//!
+//! This is the *fast path* used by the experiment harnesses: it runs the
+//! exact node operations — local retrieval, TTL decrement, candidate
+//! filtering through visited memory, policy-based forwarding — without the
+//! message-passing machinery. [`crate::protocol`] implements the same
+//! protocol over the discrete-event simulator; an integration test pins
+//! their equivalence for deterministic policies.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use gdsearch_embed::topk::TopK;
+use gdsearch_embed::Embedding;
+use gdsearch_graph::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::forwarding::{self, ForwardContext};
+use crate::{DocId, SearchError, SearchNetwork, VisitedMemory};
+
+/// A document a query found, with the hop at which its host was visited.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FoundDoc {
+    /// The placed document.
+    pub doc: DocId,
+    /// Relevance score (dot product of query and document embeddings).
+    pub score: f32,
+    /// Number of forwards taken before the hosting node was reached
+    /// (0 = the querying node itself).
+    pub hop: u32,
+}
+
+/// Outcome of one query execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalkOutcome {
+    /// The top-k most relevant documents encountered, best first.
+    pub results: Vec<FoundDoc>,
+    /// Nodes in visit order (first entry is the querying node). For
+    /// parallel walks and flooding this is the global visit order.
+    pub path: Vec<NodeId>,
+    /// Total forward messages spent (the bandwidth cost the paper's
+    /// related-work section compares policies by).
+    pub hops: u32,
+    /// Number of distinct nodes visited.
+    pub unique_nodes: usize,
+}
+
+impl WalkOutcome {
+    /// The hop at which `doc` was found, or `None` if it was not retrieved.
+    pub fn hop_of(&self, doc: DocId) -> Option<u32> {
+        self.results.iter().find(|f| f.doc == doc).map(|f| f.hop)
+    }
+
+    /// Whether `doc` is among the retrieved results.
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.results.iter().any(|f| f.doc == doc)
+    }
+}
+
+/// One active walk head: a query message traversing the overlay.
+struct Head {
+    at: NodeId,
+    ttl: u32,
+    hop: u32,
+    /// Visited set carried in the message (only for
+    /// [`VisitedMemory::InMessage`]).
+    carried: Option<HashSet<NodeId>>,
+}
+
+/// Executes a query from `start` over the prepared network.
+///
+/// Follows Fig. 1 of the paper at every visited node:
+///
+/// 1. evaluate the query against local documents (merging into the
+///    query's top-k);
+/// 2. decrement the TTL, discarding the walk when it expires;
+/// 3. compute candidate next hops — neighbors not yet exchanged with for
+///    this query (falling back to all neighbors when none remain,
+///    footnote 9);
+/// 4. forward according to the configured policy (greedy embedding match,
+///    random, flooding, …), spawning `fanout` parallel heads.
+///
+/// # Errors
+///
+/// Returns [`SearchError::Embed`] if the query dimension disagrees with
+/// the corpus and [`SearchError::Graph`] if `start` is out of range.
+pub fn run<R: Rng + ?Sized>(
+    network: &SearchNetwork<'_>,
+    query: &Embedding,
+    start: NodeId,
+    rng: &mut R,
+) -> Result<WalkOutcome, SearchError> {
+    network.graph().check_node(start)?;
+    if query.dim() != network.dim() {
+        return Err(SearchError::Embed(
+            gdsearch_embed::EmbedError::DimensionMismatch {
+                expected: network.dim(),
+                got: query.dim(),
+            },
+        ));
+    }
+    let config = network.config();
+    let in_message = config.visited_memory() == VisitedMemory::InMessage;
+
+    let mut results: TopK<DocId> = TopK::new(config.top_k());
+    let mut found_at: HashMap<DocId, u32> = HashMap::new();
+    let mut path: Vec<NodeId> = Vec::new();
+    let mut seen_nodes: HashSet<NodeId> = HashSet::new();
+    // Per-node "exchanged with" memory (paper: received-from ∪ sent-to).
+    let mut node_memory: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    let mut forwards = 0u32;
+
+    let mut frontier: VecDeque<Head> = VecDeque::new();
+    frontier.push_back(Head {
+        at: start,
+        ttl: config.ttl(),
+        hop: 0,
+        carried: in_message.then(HashSet::new),
+    });
+
+    while let Some(mut head) = frontier.pop_front() {
+        let u = head.at;
+        let first_visit = seen_nodes.insert(u);
+        if first_visit {
+            path.push(u);
+        }
+        // (1) Local retrieval: score every local document, merge into the
+        // query's top-k. A document is recorded once, at the first hop its
+        // host is visited — revisits contribute nothing new.
+        for &doc in network.docs_at(u) {
+            if let std::collections::hash_map::Entry::Vacant(e) = found_at.entry(doc) {
+                e.insert(head.hop);
+                results.push(network.doc_score(query, doc), doc);
+            }
+        }
+        // Flooding without duplicate suppression explodes; suppress
+        // re-processing like real flooding implementations do.
+        if config.policy() == crate::PolicyKind::Flooding && !first_visit {
+            continue;
+        }
+        // (2) TTL check.
+        if head.ttl == 0 {
+            continue; // discard; response backtracks (not modeled here)
+        }
+        head.ttl -= 1;
+        // (3) Candidate selection through visited memory.
+        let neighbors = network.graph().neighbor_slice(u);
+        if neighbors.is_empty() {
+            continue;
+        }
+        let used: Box<dyn Fn(NodeId) -> bool> = if in_message {
+            let carried = head.carried.clone().unwrap_or_default();
+            Box::new(move |v: NodeId| carried.contains(&v))
+        } else {
+            let memory = node_memory.get(&u).cloned().unwrap_or_default();
+            Box::new(move |v: NodeId| memory.contains(&v))
+        };
+        let fresh: Vec<NodeId> = neighbors.iter().copied().filter(|v| !used(*v)).collect();
+        // Footnote 9: do not waste the forwarding opportunity.
+        let candidates: Vec<NodeId> = if fresh.is_empty() {
+            neighbors.to_vec()
+        } else {
+            fresh
+        };
+        // (4) Policy decision. Fanout > 1 spawns parallel walks *at the
+        // querying node* (§IV-C: "multiple walks are executed in
+        // parallel"); every relay hop forwards a single copy — branching at
+        // every hop would be exponential flooding, not parallel walks.
+        let effective_fanout = if head.hop == 0 { config.fanout() } else { 1 };
+        let ctx = ForwardContext {
+            node: u,
+            candidates: &candidates,
+            query,
+            node_embeddings: network.embeddings(),
+            graph: network.graph(),
+            fanout: effective_fanout,
+        };
+        let picks = forwarding::select_next_hops(config.policy(), &ctx, rng);
+        for v in picks {
+            forwards += 1;
+            if in_message {
+                let mut carried = head.carried.clone().unwrap_or_default();
+                carried.insert(u);
+                frontier.push_back(Head {
+                    at: v,
+                    ttl: head.ttl,
+                    hop: head.hop + 1,
+                    carried: Some(carried),
+                });
+            } else {
+                node_memory.entry(u).or_default().insert(v);
+                node_memory.entry(v).or_default().insert(u);
+                frontier.push_back(Head {
+                    at: v,
+                    ttl: head.ttl,
+                    hop: head.hop + 1,
+                    carried: None,
+                });
+            }
+        }
+    }
+
+    let results = results
+        .into_sorted()
+        .into_iter()
+        .map(|s| FoundDoc {
+            doc: s.item,
+            score: s.score,
+            hop: found_at[&s.item],
+        })
+        .collect();
+    Ok(WalkOutcome {
+        results,
+        unique_nodes: path.len(),
+        path,
+        hops: forwards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Placement, PolicyKind, SchemeConfig};
+    use gdsearch_embed::synthetic::SyntheticCorpus;
+    use gdsearch_embed::{Corpus, WordId};
+    use gdsearch_graph::{generators, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn corpus(seed: u64) -> Corpus {
+        SyntheticCorpus::builder()
+            .vocab_size(120)
+            .dim(24)
+            .num_topics(6)
+            .topic_noise(0.4)
+            .background_fraction(0.2)
+            .generate(&mut rng(seed))
+            .unwrap()
+    }
+
+    fn network_on<'g>(
+        graph: &'g Graph,
+        corpus: &Corpus,
+        placement: &Placement,
+        config: &SchemeConfig,
+        seed: u64,
+    ) -> SearchNetwork<'g> {
+        SearchNetwork::build(graph, corpus, placement, config, &mut rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn finds_local_document_at_hop_zero() {
+        let g = generators::ring(6).unwrap();
+        let c = corpus(1);
+        let words = vec![WordId::new(0), WordId::new(1)];
+        let mut r = rng(2);
+        let p = Placement::uniform(&g, &words, &mut r).unwrap();
+        let net = network_on(&g, &c, &p, &SchemeConfig::default(), 3);
+        let host = p.host(0);
+        let out = run(&net, c.embedding(p.word(0)), host, &mut rng(4)).unwrap();
+        assert_eq!(out.hop_of(0), Some(0));
+        assert_eq!(out.path[0], host);
+    }
+
+    #[test]
+    fn ttl_bounds_messages_for_single_walk() {
+        let g = generators::ring(30).unwrap();
+        let c = corpus(5);
+        let words = vec![WordId::new(0)];
+        let p = Placement::uniform(&g, &words, &mut rng(6)).unwrap();
+        let cfg = SchemeConfig::builder().ttl(7).build().unwrap();
+        let net = network_on(&g, &c, &p, &cfg, 7);
+        let out = run(&net, c.embedding(WordId::new(3)), NodeId::new(0), &mut rng(8)).unwrap();
+        assert!(out.hops <= 7, "single walk spends at most TTL forwards");
+        assert!(out.path.len() <= 8);
+    }
+
+    #[test]
+    fn greedy_walk_reaches_adjacent_gold() {
+        // Gold document on a neighbor: the first forwarding decision must
+        // pick it (its diffused embedding carries the gold signal).
+        let g = generators::complete(5);
+        let c = corpus(9);
+        let words = vec![WordId::new(0)];
+        let p = Placement::uniform(&g, &words, &mut rng(10)).unwrap();
+        let host = p.host(0);
+        let start = NodeId::new((host.as_u32() + 1) % 5);
+        let net = network_on(&g, &c, &p, &SchemeConfig::default(), 11);
+        let out = run(&net, c.embedding(WordId::new(0)), start, &mut rng(12)).unwrap();
+        assert_eq!(out.hop_of(0), Some(1), "gold one hop away must be hit first");
+    }
+
+    #[test]
+    fn flooding_covers_ttl_ball() {
+        let g = generators::ring(12).unwrap();
+        let c = corpus(13);
+        let words = vec![WordId::new(0)];
+        let p = Placement::uniform(&g, &words, &mut rng(14)).unwrap();
+        let cfg = SchemeConfig::builder()
+            .policy(PolicyKind::Flooding)
+            .ttl(3)
+            .build()
+            .unwrap();
+        let net = network_on(&g, &c, &p, &cfg, 15);
+        let out = run(&net, c.embedding(WordId::new(1)), NodeId::new(0), &mut rng(16)).unwrap();
+        // Ring ball of radius 3 around node 0 = 7 nodes.
+        assert_eq!(out.unique_nodes, 7);
+    }
+
+    #[test]
+    fn fanout_spawns_parallel_heads() {
+        let g = generators::complete(8);
+        let c = corpus(17);
+        let words = vec![WordId::new(0)];
+        let p = Placement::uniform(&g, &words, &mut rng(18)).unwrap();
+        let cfg = SchemeConfig::builder()
+            .fanout(2)
+            .ttl(2)
+            .build()
+            .unwrap();
+        let net = network_on(&g, &c, &p, &cfg, 19);
+        let out = run(&net, c.embedding(WordId::new(2)), NodeId::new(0), &mut rng(20)).unwrap();
+        // The origin spawns 2 walks; each walk spends at most TTL forwards.
+        assert!(out.hops > 2, "fanout 2 must spend more than a single walk");
+        assert!(out.hops <= 2 * 2);
+    }
+
+    #[test]
+    fn in_message_memory_never_revisits_until_forced() {
+        let g = generators::ring(10).unwrap();
+        let c = corpus(21);
+        let words = vec![WordId::new(0)];
+        let p = Placement::uniform(&g, &words, &mut rng(22)).unwrap();
+        let cfg = SchemeConfig::builder()
+            .visited_memory(crate::VisitedMemory::InMessage)
+            .policy(PolicyKind::RandomWalk)
+            .ttl(9)
+            .build()
+            .unwrap();
+        let net = network_on(&g, &c, &p, &cfg, 23);
+        let out = run(&net, c.embedding(WordId::new(1)), NodeId::new(0), &mut rng(24)).unwrap();
+        // On a ring with full TTL and in-message memory, the walk cannot
+        // revisit: it sweeps 10 distinct nodes.
+        assert_eq!(out.unique_nodes, 10);
+    }
+
+    #[test]
+    fn node_memory_prefers_unvisited() {
+        // On a path graph, node memory forces the walk to march outward
+        // rather than oscillate.
+        let g = generators::path(8);
+        let c = corpus(25);
+        let words = vec![WordId::new(0)];
+        let p = Placement::uniform(&g, &words, &mut rng(26)).unwrap();
+        let cfg = SchemeConfig::builder()
+            .policy(PolicyKind::RandomWalk)
+            .ttl(7)
+            .build()
+            .unwrap();
+        let net = network_on(&g, &c, &p, &cfg, 27);
+        let out = run(&net, c.embedding(WordId::new(1)), NodeId::new(0), &mut rng(28)).unwrap();
+        assert_eq!(out.unique_nodes, 8, "walk must sweep the whole path");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::ring(5).unwrap();
+        let c = corpus(29);
+        let words = vec![WordId::new(0)];
+        let p = Placement::uniform(&g, &words, &mut rng(30)).unwrap();
+        let net = network_on(&g, &c, &p, &SchemeConfig::default(), 31);
+        assert!(run(&net, c.embedding(WordId::new(1)), NodeId::new(99), &mut rng(32)).is_err());
+        assert!(run(&net, &Embedding::zeros(3), NodeId::new(0), &mut rng(33)).is_err());
+    }
+
+    #[test]
+    fn results_are_sorted_and_bounded() {
+        let g = generators::complete(6);
+        let c = corpus(34);
+        let words: Vec<WordId> = (0..20).map(WordId::new).collect();
+        let p = Placement::uniform(&g, &words, &mut rng(35)).unwrap();
+        let cfg = SchemeConfig::builder().top_k(5).ttl(10).build().unwrap();
+        let net = network_on(&g, &c, &p, &cfg, 36);
+        let out = run(&net, c.embedding(WordId::new(50)), NodeId::new(0), &mut rng(37)).unwrap();
+        assert!(out.results.len() <= 5);
+        for w in out.results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+use gdsearch_graph::sparse::Normalization;
+use serde::{Deserialize, Serialize};
+
+use crate::DiffusionError;
+
+/// Parameters of the Personalized PageRank filter and its iterative
+/// evaluation.
+///
+/// `alpha` is the paper's teleport probability `a`: at every step a random
+/// walk returns to its origin with probability `a`, so diffusion reaches
+/// `1/a` hops on average. Low `alpha` = heavy (wide) diffusion, high
+/// `alpha` = light (local) diffusion. The paper evaluates
+/// `a ∈ {0.1, 0.5, 0.9}`.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_diffusion::PprConfig;
+///
+/// # fn main() -> Result<(), gdsearch_diffusion::DiffusionError> {
+/// let cfg = PprConfig::new(0.5)?.with_tolerance(1e-6).with_max_iterations(500);
+/// assert_eq!(cfg.alpha(), 0.5);
+/// assert!(PprConfig::new(0.0).is_err()); // never teleporting never converges
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PprConfig {
+    alpha: f32,
+    tolerance: f32,
+    max_iterations: usize,
+    normalization: Normalization,
+}
+
+impl PprConfig {
+    /// Creates a configuration with the given teleport probability and
+    /// defaults: tolerance `1e-6`, 1,000 max iterations, column-stochastic
+    /// normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidParameter`] unless
+    /// `0 < alpha <= 1`.
+    pub fn new(alpha: f32) -> Result<Self, DiffusionError> {
+        if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+            return Err(DiffusionError::invalid_parameter(format!(
+                "alpha must lie in (0, 1], got {alpha}"
+            )));
+        }
+        Ok(PprConfig {
+            alpha,
+            tolerance: 1e-6,
+            max_iterations: 1000,
+            normalization: Normalization::ColumnStochastic,
+        })
+    }
+
+    /// Sets the convergence tolerance (max-abs residual between sweeps).
+    pub fn with_tolerance(mut self, tolerance: f32) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the adjacency normalization.
+    pub fn with_normalization(mut self, normalization: Normalization) -> Self {
+        self.normalization = normalization;
+        self
+    }
+
+    /// Teleport probability `a`.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Convergence tolerance.
+    pub fn tolerance(&self) -> f32 {
+        self.tolerance
+    }
+
+    /// Iteration budget.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// Adjacency normalization.
+    pub fn normalization(&self) -> Normalization {
+        self.normalization
+    }
+
+    /// Average random-walk length `1/a` — the paper's "effective diffusion
+    /// radius".
+    pub fn mean_walk_length(&self) -> f32 {
+        1.0 / self.alpha
+    }
+}
+
+impl Default for PprConfig {
+    /// The paper's moderate setting: `a = 0.5`.
+    fn default() -> Self {
+        PprConfig::new(0.5).expect("0.5 is a valid alpha")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_alpha_domain() {
+        assert!(PprConfig::new(0.0).is_err());
+        assert!(PprConfig::new(-0.3).is_err());
+        assert!(PprConfig::new(1.5).is_err());
+        assert!(PprConfig::new(f32::NAN).is_err());
+        assert!(PprConfig::new(1.0).is_ok());
+        assert!(PprConfig::new(0.001).is_ok());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = PprConfig::new(0.1)
+            .unwrap()
+            .with_tolerance(1e-4)
+            .with_max_iterations(50)
+            .with_normalization(Normalization::Symmetric);
+        assert_eq!(cfg.tolerance(), 1e-4);
+        assert_eq!(cfg.max_iterations(), 50);
+        assert_eq!(cfg.normalization(), Normalization::Symmetric);
+        assert!((cfg.mean_walk_length() - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn default_is_papers_moderate_alpha() {
+        assert_eq!(PprConfig::default().alpha(), 0.5);
+    }
+}

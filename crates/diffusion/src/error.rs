@@ -1,0 +1,125 @@
+use std::error::Error;
+use std::fmt;
+
+use gdsearch_embed::EmbedError;
+use gdsearch_graph::GraphError;
+
+/// Errors produced by diffusion engines and graph filters.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DiffusionError {
+    /// A parameter is outside its valid domain (e.g. `alpha` outside
+    /// `(0, 1]`).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Signal and graph disagree on the number of nodes, or two signals
+    /// disagree on shape.
+    ShapeMismatch {
+        /// Expected (nodes, dim).
+        expected: (usize, usize),
+        /// Supplied (nodes, dim).
+        got: (usize, usize),
+    },
+    /// An iterative engine hit its iteration budget before reaching the
+    /// requested tolerance. The partial result is usually still usable;
+    /// engines that can return it do.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual when the budget ran out.
+        residual: f32,
+    },
+    /// Propagated graph-substrate error.
+    Graph(GraphError),
+    /// Propagated embedding-substrate error.
+    Embed(EmbedError),
+}
+
+impl DiffusionError {
+    pub(crate) fn invalid_parameter(reason: impl Into<String>) -> Self {
+        DiffusionError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DiffusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffusionError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+            DiffusionError::ShapeMismatch { expected, got } => write!(
+                f,
+                "shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            DiffusionError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "diffusion did not converge after {iterations} iterations (residual {residual})"
+            ),
+            DiffusionError::Graph(e) => write!(f, "graph error: {e}"),
+            DiffusionError::Embed(e) => write!(f, "embedding error: {e}"),
+        }
+    }
+}
+
+impl Error for DiffusionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DiffusionError::Graph(e) => Some(e),
+            DiffusionError::Embed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for DiffusionError {
+    fn from(e: GraphError) -> Self {
+        DiffusionError::Graph(e)
+    }
+}
+
+impl From<EmbedError> for DiffusionError {
+    fn from(e: EmbedError) -> Self {
+        DiffusionError::Embed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DiffusionError::ShapeMismatch {
+            expected: (10, 3),
+            got: (10, 4),
+        };
+        assert_eq!(e.to_string(), "shape mismatch: expected 10x3, got 10x4");
+        let e = DiffusionError::NotConverged {
+            iterations: 100,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("100 iterations"));
+    }
+
+    #[test]
+    fn sources_are_exposed() {
+        let e = DiffusionError::from(GraphError::SelfLoop { node: 1 });
+        assert!(e.source().is_some());
+        let e = DiffusionError::from(EmbedError::EmptyCorpus);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DiffusionError>();
+    }
+}

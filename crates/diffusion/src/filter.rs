@@ -1,0 +1,366 @@
+//! Graph filters: weighted aggregations of multi-hop propagations
+//! (paper §II-C).
+//!
+//! A graph filter with impulse response `H = Σ_k c_k A^k` maps a node
+//! signal `E0` to `H E0`. Personalized PageRank is the filter with
+//! `c_k = a (1−a)^k`; the heat kernel uses `c_k = e^{-t} t^k / k!`. Both
+//! are low-pass: they weight short propagations more, concentrating each
+//! node's diffused value around its graph neighborhood.
+
+use gdsearch_graph::sparse::{transition_matrix, Normalization};
+use gdsearch_graph::Graph;
+
+use crate::{power, DiffusionError, PprConfig, Signal};
+
+/// A graph filter: maps an input node signal to its diffused form.
+///
+/// Object-safe so filters can be swapped behind `Box<dyn GraphFilter>` in
+/// scheme configurations.
+pub trait GraphFilter {
+    /// Applies the filter to `signal` over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::ShapeMismatch`] if `signal` and `graph`
+    /// disagree on node count, or engine-specific failures.
+    fn apply(&self, graph: &Graph, signal: &Signal) -> Result<Signal, DiffusionError>;
+
+    /// Human-readable filter name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Personalized PageRank filter `a (I − (1−a) A)^{-1}` (paper Eq. 6),
+/// evaluated by power iteration.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_diffusion::filter::{GraphFilter, PprFilter};
+/// use gdsearch_diffusion::{PprConfig, Signal};
+/// use gdsearch_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let filter = PprFilter::new(PprConfig::new(0.5)?);
+/// let g = generators::ring(6)?;
+/// let mut e0 = Signal::zeros(6, 1);
+/// e0.row_mut(0)[0] = 1.0;
+/// let e = filter.apply(&g, &e0)?;
+/// assert!(e.row(0)[0] > e.row(3)[0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PprFilter {
+    config: PprConfig,
+}
+
+impl PprFilter {
+    /// Creates the filter from a validated configuration.
+    pub fn new(config: PprConfig) -> Self {
+        PprFilter { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &PprConfig {
+        &self.config
+    }
+}
+
+impl GraphFilter for PprFilter {
+    fn apply(&self, graph: &Graph, signal: &Signal) -> Result<Signal, DiffusionError> {
+        power::diffuse_converged(graph, signal, &self.config)
+    }
+
+    fn name(&self) -> &'static str {
+        "personalized-pagerank"
+    }
+}
+
+/// Truncated heat-kernel filter `e^{-t (I − A)} ≈ Σ_{k≤K} e^{-t} t^k/k! A^k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeatKernelFilter {
+    t: f32,
+    order: usize,
+    normalization: Normalization,
+}
+
+impl HeatKernelFilter {
+    /// Creates a heat-kernel filter with diffusion time `t`, Taylor
+    /// truncation `order`, and the given normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidParameter`] unless `t > 0` and
+    /// `order >= 1`.
+    pub fn new(t: f32, order: usize, normalization: Normalization) -> Result<Self, DiffusionError> {
+        if !t.is_finite() || t <= 0.0 {
+            return Err(DiffusionError::invalid_parameter(format!(
+                "heat-kernel time must be positive, got {t}"
+            )));
+        }
+        if order == 0 {
+            return Err(DiffusionError::invalid_parameter(
+                "heat-kernel order must be at least 1",
+            ));
+        }
+        Ok(HeatKernelFilter {
+            t,
+            order,
+            normalization,
+        })
+    }
+
+    /// Diffusion time `t`.
+    pub fn t(&self) -> f32 {
+        self.t
+    }
+
+    /// Taylor truncation order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+}
+
+impl GraphFilter for HeatKernelFilter {
+    fn apply(&self, graph: &Graph, signal: &Signal) -> Result<Signal, DiffusionError> {
+        let coefficients = heat_coefficients(self.t, self.order);
+        PolynomialFilter::new(coefficients, self.normalization)?.apply(graph, signal)
+    }
+
+    fn name(&self) -> &'static str {
+        "heat-kernel"
+    }
+}
+
+/// Taylor coefficients `e^{-t} t^k / k!` for `k = 0..=order`.
+fn heat_coefficients(t: f32, order: usize) -> Vec<f32> {
+    let mut coefficients = Vec::with_capacity(order + 1);
+    let scale = (-t).exp();
+    let mut term = 1.0f32; // t^k / k!
+    coefficients.push(scale * term);
+    for k in 1..=order {
+        term *= t / k as f32;
+        coefficients.push(scale * term);
+    }
+    coefficients
+}
+
+/// Arbitrary polynomial filter `Σ_k c_k A^k`.
+///
+/// PPR and the heat kernel are special cases; arbitrary coefficients allow
+/// experimenting with other low-pass (or band-pass) responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolynomialFilter {
+    coefficients: Vec<f32>,
+    normalization: Normalization,
+}
+
+impl PolynomialFilter {
+    /// Creates a polynomial filter from hop coefficients
+    /// (`coefficients[k]` weights `A^k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidParameter`] if `coefficients` is
+    /// empty or contains non-finite values.
+    pub fn new(
+        coefficients: Vec<f32>,
+        normalization: Normalization,
+    ) -> Result<Self, DiffusionError> {
+        if coefficients.is_empty() {
+            return Err(DiffusionError::invalid_parameter(
+                "polynomial filter needs at least one coefficient",
+            ));
+        }
+        if coefficients.iter().any(|c| !c.is_finite()) {
+            return Err(DiffusionError::invalid_parameter(
+                "polynomial coefficients must be finite",
+            ));
+        }
+        Ok(PolynomialFilter {
+            coefficients,
+            normalization,
+        })
+    }
+
+    /// PPR's truncated polynomial form: `c_k = a (1−a)^k` for
+    /// `k = 0..=order`. Useful to cross-validate the closed-form engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidParameter`] for `alpha` outside
+    /// `(0, 1]`.
+    pub fn ppr_truncation(
+        alpha: f32,
+        order: usize,
+        normalization: Normalization,
+    ) -> Result<Self, DiffusionError> {
+        if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+            return Err(DiffusionError::invalid_parameter(format!(
+                "alpha must lie in (0, 1], got {alpha}"
+            )));
+        }
+        let coefficients = (0..=order)
+            .map(|k| alpha * (1.0 - alpha).powi(k as i32))
+            .collect();
+        PolynomialFilter::new(coefficients, normalization)
+    }
+
+    /// The hop coefficients.
+    pub fn coefficients(&self) -> &[f32] {
+        &self.coefficients
+    }
+}
+
+impl GraphFilter for PolynomialFilter {
+    fn apply(&self, graph: &Graph, signal: &Signal) -> Result<Signal, DiffusionError> {
+        let n = graph.num_nodes();
+        if signal.num_nodes() != n {
+            return Err(DiffusionError::ShapeMismatch {
+                expected: (n, signal.dim()),
+                got: (signal.num_nodes(), signal.dim()),
+            });
+        }
+        let dim = signal.dim();
+        let matrix = transition_matrix(graph, self.normalization);
+        let mut out = Signal::zeros(n, dim);
+        let mut term = signal.clone(); // A^k E0
+        let mut scratch = Signal::zeros(n, dim);
+        for (k, &c) in self.coefficients.iter().enumerate() {
+            if k > 0 {
+                matrix.mul_dense_into(term.as_slice(), dim.max(1), scratch.as_mut_slice());
+                std::mem::swap(&mut term, &mut scratch);
+            }
+            if c != 0.0 {
+                for (o, t) in out.as_mut_slice().iter_mut().zip(term.as_slice()) {
+                    *o += c * t;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "polynomial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdsearch_graph::generators;
+
+    fn one_hot(n: usize, u: usize) -> Signal {
+        let mut s = Signal::zeros(n, 1);
+        s.row_mut(u)[0] = 1.0;
+        s
+    }
+
+    #[test]
+    fn ppr_truncation_approaches_exact_ppr() {
+        let g = generators::grid(4, 4);
+        let e0 = one_hot(16, 5);
+        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-8);
+        let exact = PprFilter::new(cfg).apply(&g, &e0).unwrap();
+        let truncated = PolynomialFilter::ppr_truncation(
+            0.5,
+            60,
+            Normalization::ColumnStochastic,
+        )
+        .unwrap()
+        .apply(&g, &e0)
+        .unwrap();
+        assert!(
+            exact.max_abs_diff(&truncated).unwrap() < 1e-4,
+            "60-term truncation should match the fixed point"
+        );
+    }
+
+    #[test]
+    fn identity_polynomial_is_identity() {
+        let g = generators::ring(7).unwrap();
+        let e0 = one_hot(7, 3);
+        let out = PolynomialFilter::new(vec![1.0], Normalization::ColumnStochastic)
+            .unwrap()
+            .apply(&g, &e0)
+            .unwrap();
+        assert!(out.max_abs_diff(&e0).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn one_hop_polynomial_spreads_to_neighbors() {
+        let g = generators::star(5);
+        let e0 = one_hot(5, 0);
+        // Pure one-hop: c = [0, 1]. Column-stochastic A moves 1/deg(0) = 1/4
+        // of the hub's mass to each leaf.
+        let out = PolynomialFilter::new(vec![0.0, 1.0], Normalization::ColumnStochastic)
+            .unwrap()
+            .apply(&g, &e0)
+            .unwrap();
+        assert!(out.row(0)[0].abs() < 1e-7);
+        for leaf in 1..5 {
+            assert!((out.row(leaf)[0] - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn heat_kernel_is_low_pass() {
+        let g = generators::path(9);
+        let e0 = one_hot(9, 0);
+        let filter = HeatKernelFilter::new(1.0, 20, Normalization::ColumnStochastic).unwrap();
+        let out = filter.apply(&g, &e0).unwrap();
+        let values: Vec<f32> = (0..9).map(|u| out.row(u)[0]).collect();
+        for w in values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6, "heat mass decays along a path: {values:?}");
+        }
+        assert_eq!(filter.name(), "heat-kernel");
+        assert_eq!(filter.t(), 1.0);
+        assert_eq!(filter.order(), 20);
+    }
+
+    #[test]
+    fn heat_coefficients_sum_to_one_in_the_limit() {
+        let c = heat_coefficients(0.7, 40);
+        let total: f32 = c.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5, "Σ e^-t t^k/k! = 1, got {total}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(HeatKernelFilter::new(0.0, 5, Normalization::Symmetric).is_err());
+        assert!(HeatKernelFilter::new(1.0, 0, Normalization::Symmetric).is_err());
+        assert!(PolynomialFilter::new(vec![], Normalization::Symmetric).is_err());
+        assert!(
+            PolynomialFilter::new(vec![f32::NAN], Normalization::Symmetric).is_err()
+        );
+        assert!(
+            PolynomialFilter::ppr_truncation(0.0, 5, Normalization::Symmetric).is_err()
+        );
+    }
+
+    #[test]
+    fn filters_are_object_safe() {
+        let filters: Vec<Box<dyn GraphFilter>> = vec![
+            Box::new(PprFilter::new(PprConfig::default())),
+            Box::new(HeatKernelFilter::new(1.0, 10, Normalization::ColumnStochastic).unwrap()),
+            Box::new(
+                PolynomialFilter::new(vec![0.5, 0.5], Normalization::ColumnStochastic).unwrap(),
+            ),
+        ];
+        let g = generators::ring(5).unwrap();
+        let e0 = one_hot(5, 0);
+        for f in &filters {
+            let out = f.apply(&g, &e0).unwrap();
+            assert_eq!(out.num_nodes(), 5);
+            assert!(!f.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = generators::ring(5).unwrap();
+        let filter =
+            PolynomialFilter::new(vec![1.0], Normalization::ColumnStochastic).unwrap();
+        assert!(filter.apply(&g, &Signal::zeros(6, 1)).is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! Deterministic simulation of the *asynchronous decentralized* diffusion
+//! protocol (paper §IV-B, following Krasanakis et al., "p2pGNN").
+//!
+//! Every node holds its current embedding estimate and the last estimate
+//! *received* from each neighbor. Nodes activate at random times (Poisson
+//! process); on activation a node recomputes
+//!
+//! ```text
+//! e_u ← a e0_u + (1−a) Σ_v A[u][v] ê_v
+//! ```
+//!
+//! from its stored neighbor estimates and pushes the new value to its
+//! neighbors, whose stored copies update after a (possibly random) delivery
+//! delay. With update intervals that are "not arbitrarily long" the
+//! estimates converge to the synchronous fixed point — the property this
+//! module's tests verify against [`crate::power`].
+//!
+//! The simulation is fully deterministic under a seeded RNG, which the
+//! experiments rely on for reproducibility.
+
+use std::collections::BinaryHeap;
+
+use gdsearch_graph::sparse::transition_weight;
+use gdsearch_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::{DiffusionError, PprConfig, Signal};
+
+/// Configuration of the asynchronous gossip engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossipConfig {
+    /// PPR parameters (teleport probability, tolerance, normalization).
+    /// `max_iterations` is interpreted as the *per-node* activation budget.
+    pub ppr: PprConfig,
+    /// Mean message-delivery delay, in units of the mean activation
+    /// interval (1.0). `0.0` delivers instantly.
+    pub mean_delay: f64,
+}
+
+impl GossipConfig {
+    /// Creates a gossip configuration with instant delivery.
+    pub fn new(ppr: PprConfig) -> Self {
+        GossipConfig {
+            ppr,
+            mean_delay: 0.0,
+        }
+    }
+
+    /// Sets the mean message-delivery delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidParameter`] for negative or
+    /// non-finite delays.
+    pub fn with_mean_delay(mut self, mean_delay: f64) -> Result<Self, DiffusionError> {
+        if !mean_delay.is_finite() || mean_delay < 0.0 {
+            return Err(DiffusionError::invalid_parameter(
+                "mean_delay must be non-negative and finite",
+            ));
+        }
+        self.mean_delay = mean_delay;
+        Ok(self)
+    }
+}
+
+/// Outcome of an asynchronous gossip diffusion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipResult {
+    /// Final estimates, one row per node.
+    pub signal: Signal,
+    /// Total node activations performed.
+    pub updates: usize,
+    /// Virtual time at termination.
+    pub virtual_time: f64,
+    /// Whether the convergence window was satisfied within the budget.
+    pub converged: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    /// Node activation: recompute the node's estimate and push it out.
+    Activate(u32),
+    /// Delivery of a previously pushed estimate `value` of node `from` to
+    /// node `to`.
+    Deliver { to: u32, from: u32, value: Vec<f32> },
+}
+
+/// Queue entry ordered by `(time, seq)` — reversed so `BinaryHeap` pops the
+/// earliest event first. The payload does not participate in ordering.
+#[derive(Debug, Clone, PartialEq)]
+struct QueuedEvent {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs the asynchronous gossip diffusion to convergence.
+///
+/// Convergence: `num_nodes` consecutive activations each changing their
+/// node's estimate by less than the configured tolerance (and every node
+/// activated at least once). The per-node activation budget is
+/// `config.ppr.max_iterations()`.
+///
+/// # Errors
+///
+/// Returns [`DiffusionError::ShapeMismatch`] if `e0` and `graph` disagree.
+/// Budget exhaustion is reported through `converged = false`, not an error,
+/// so callers can inspect partial results.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_diffusion::gossip::{self, GossipConfig};
+/// use gdsearch_diffusion::{power, PprConfig, Signal};
+/// use gdsearch_graph::generators;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::ring(12)?;
+/// let mut e0 = Signal::zeros(12, 1);
+/// e0.row_mut(0)[0] = 1.0;
+/// let cfg = PprConfig::new(0.5)?.with_tolerance(1e-6);
+/// let sync = power::diffuse(&g, &e0, &cfg)?.signal;
+/// let out = gossip::diffuse(&g, &e0, &GossipConfig::new(cfg), &mut StdRng::seed_from_u64(7))?;
+/// assert!(out.converged);
+/// assert!(out.signal.max_abs_diff(&sync)? < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn diffuse<R: Rng + ?Sized>(
+    graph: &Graph,
+    e0: &Signal,
+    config: &GossipConfig,
+    rng: &mut R,
+) -> Result<GossipResult, DiffusionError> {
+    let n = graph.num_nodes();
+    if e0.num_nodes() != n {
+        return Err(DiffusionError::ShapeMismatch {
+            expected: (n, e0.dim()),
+            got: (e0.num_nodes(), e0.dim()),
+        });
+    }
+    let dim = e0.dim();
+    let alpha = config.ppr.alpha();
+    let tol = config.ppr.tolerance();
+    let norm = config.ppr.normalization();
+    if n == 0 {
+        return Ok(GossipResult {
+            signal: Signal::zeros(0, dim),
+            updates: 0,
+            virtual_time: 0.0,
+            converged: true,
+        });
+    }
+
+    // Current estimates start at the personalization (E(0) = E0).
+    let mut current = e0.clone();
+    // received[slot(u, i)] = last estimate of u's i-th neighbor delivered to
+    // u; starts at zero (nodes know nothing about their neighbors yet).
+    let slot_base: Vec<usize> = {
+        let mut base = Vec::with_capacity(n + 1);
+        base.push(0usize);
+        for u in 0..n as u32 {
+            base.push(base[u as usize] + graph.degree(NodeId::new(u)));
+        }
+        base
+    };
+    let total_slots = slot_base[n];
+    let mut received = vec![0.0f32; total_slots * dim.max(1)];
+
+    let slot_of = |u: u32, from: u32| -> usize {
+        let pos = graph
+            .neighbor_slice(NodeId::new(u))
+            .binary_search(&NodeId::new(from))
+            .expect("messages only flow along edges");
+        slot_base[u as usize] + pos
+    };
+
+    let mut queue: BinaryHeap<QueuedEvent> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push_event = |queue: &mut BinaryHeap<QueuedEvent>, seq: &mut u64, t: f64, ev: Event| {
+        queue.push(QueuedEvent {
+            time: t,
+            seq: *seq,
+            event: ev,
+        });
+        *seq += 1;
+    };
+    // Initial activations: every node gets a Poisson clock of rate 1.
+    for u in 0..n as u32 {
+        let t = exponential(1.0, rng);
+        push_event(&mut queue, &mut seq, t, Event::Activate(u));
+    }
+
+    let budget = config.ppr.max_iterations().saturating_mul(n);
+    let mut updates = 0usize;
+    let mut activated = vec![false; n];
+    let mut activated_count = 0usize;
+    let mut quiet_streak = 0usize; // consecutive activations below tolerance
+    let mut virtual_time = 0.0f64;
+    let mut converged = false;
+
+    while let Some(QueuedEvent { time: t, event, .. }) = queue.pop() {
+        virtual_time = t;
+        match event {
+            Event::Deliver { to, from, value } => {
+                let slot = slot_of(to, from);
+                let stored = &mut received[slot * dim..(slot + 1) * dim];
+                // A delivery that meaningfully changes a stored estimate
+                // means the system is still in flux: reset the quiet streak
+                // so late messages cannot fake convergence.
+                let mut delta = 0.0f32;
+                for (s, v) in stored.iter_mut().zip(&value) {
+                    delta = delta.max((*v - *s).abs());
+                    *s = *v;
+                }
+                if delta < tol {
+                    quiet_streak += 1;
+                } else {
+                    quiet_streak = 0;
+                }
+            }
+            Event::Activate(u) => {
+                updates += 1;
+                if !activated[u as usize] {
+                    activated[u as usize] = true;
+                    activated_count += 1;
+                }
+                // Recompute from stored neighbor estimates.
+                let mut new_value = vec![0.0f32; dim];
+                for (i, v) in graph.neighbor_slice(NodeId::new(u)).iter().enumerate() {
+                    let w = transition_weight(graph, norm, NodeId::new(u), *v);
+                    let slot = slot_base[u as usize] + i;
+                    let stored = &received[slot * dim..(slot + 1) * dim];
+                    for (nv, s) in new_value.iter_mut().zip(stored) {
+                        *nv += w * s;
+                    }
+                }
+                let mut delta = 0.0f32;
+                {
+                    let row = current.row_mut(u as usize);
+                    for (k, nv) in new_value.iter_mut().enumerate() {
+                        *nv = (1.0 - alpha) * *nv + alpha * e0.row(u as usize)[k];
+                        delta = delta.max((*nv - row[k]).abs());
+                        row[k] = *nv;
+                    }
+                }
+                if delta < tol {
+                    quiet_streak += 1;
+                } else {
+                    quiet_streak = 0;
+                }
+                // Quiet events must cover both a full round of activations
+                // and the messages still in flight, hence 2n. The streak
+                // alone is not sound (e.g. at start-up every idle node is
+                // quiet while the source's first pushes are still in
+                // transit), so confirm no pending delivery would still
+                // change a stored estimate.
+                if activated_count == n && quiet_streak >= 2 * n {
+                    let pending_significant = queue.iter().any(|qe| match &qe.event {
+                        Event::Deliver { to, from, value } => {
+                            let slot = slot_of(*to, *from);
+                            let stored = &received[slot * dim..(slot + 1) * dim];
+                            value
+                                .iter()
+                                .zip(stored)
+                                .any(|(v, s)| (v - s).abs() >= tol)
+                        }
+                        Event::Activate(_) => false,
+                    });
+                    if pending_significant {
+                        quiet_streak = 0;
+                    } else {
+                        converged = true;
+                        break;
+                    }
+                }
+                if updates >= budget {
+                    break;
+                }
+                // Push the new estimate to every neighbor.
+                for v in graph.neighbors(NodeId::new(u)) {
+                    if config.mean_delay == 0.0 {
+                        let slot = slot_of(v.as_u32(), u);
+                        received[slot * dim..(slot + 1) * dim].copy_from_slice(&new_value);
+                    } else {
+                        let delay = exponential(1.0 / config.mean_delay, rng);
+                        push_event(
+                            &mut queue,
+                            &mut seq,
+                            t + delay,
+                            Event::Deliver {
+                                to: v.as_u32(),
+                                from: u,
+                                value: new_value.clone(),
+                            },
+                        );
+                    }
+                }
+                // Schedule the node's next activation.
+                let next = t + exponential(1.0, rng);
+                push_event(&mut queue, &mut seq, next, Event::Activate(u));
+            }
+        }
+    }
+
+    Ok(GossipResult {
+        signal: current,
+        updates,
+        virtual_time,
+        converged,
+    })
+}
+
+/// Exponential sample with the given rate.
+fn exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power;
+    use gdsearch_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn one_hot(n: usize, u: usize) -> Signal {
+        let mut s = Signal::zeros(n, 1);
+        s.row_mut(u)[0] = 1.0;
+        s
+    }
+
+    #[test]
+    fn converges_to_synchronous_fixed_point() {
+        let g = generators::social_circles_like_scaled(60, &mut rng(1)).unwrap();
+        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-7);
+        let e0 = one_hot(60, 10);
+        let sync = power::diffuse(&g, &e0, &cfg).unwrap().signal;
+        let out = diffuse(&g, &e0, &GossipConfig::new(cfg), &mut rng(2)).unwrap();
+        assert!(out.converged, "gossip must converge");
+        assert!(
+            out.signal.max_abs_diff(&sync).unwrap() < 1e-3,
+            "async fixed point must match sync"
+        );
+    }
+
+    #[test]
+    fn converges_with_message_delays() {
+        let g = generators::grid(6, 6);
+        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-6);
+        let e0 = one_hot(36, 0);
+        let sync = power::diffuse(&g, &e0, &cfg).unwrap().signal;
+        let gossip_cfg = GossipConfig::new(cfg).with_mean_delay(2.0).unwrap();
+        let out = diffuse(&g, &e0, &gossip_cfg, &mut rng(3)).unwrap();
+        assert!(out.converged, "delayed gossip must still converge");
+        assert!(out.signal.max_abs_diff(&sync).unwrap() < 1e-2);
+        assert!(out.virtual_time > 0.0);
+    }
+
+    #[test]
+    fn multi_dimensional_signals() {
+        let g = generators::ring(15).unwrap();
+        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-6);
+        let mut e0 = Signal::zeros(15, 3);
+        e0.row_mut(2).copy_from_slice(&[1.0, -1.0, 0.5]);
+        e0.row_mut(9).copy_from_slice(&[0.0, 2.0, 1.0]);
+        let sync = power::diffuse(&g, &e0, &cfg).unwrap().signal;
+        let out = diffuse(&g, &e0, &GossipConfig::new(cfg), &mut rng(4)).unwrap();
+        assert!(out.converged);
+        assert!(out.signal.max_abs_diff(&sync).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::grid(4, 4);
+        let cfg = PprConfig::new(0.5).unwrap();
+        let e0 = one_hot(16, 0);
+        let a = diffuse(&g, &e0, &GossipConfig::new(cfg), &mut rng(5)).unwrap();
+        let b = diffuse(&g, &e0, &GossipConfig::new(cfg), &mut rng(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_trivially_converges() {
+        let g = gdsearch_graph::Graph::empty(0);
+        let out = diffuse(
+            &g,
+            &Signal::zeros(0, 2),
+            &GossipConfig::new(PprConfig::default()),
+            &mut rng(6),
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert_eq!(out.updates, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_flagged_not_fatal() {
+        let g = generators::ring(30).unwrap();
+        let cfg = PprConfig::new(0.05)
+            .unwrap()
+            .with_tolerance(1e-10)
+            .with_max_iterations(1); // 1 activation per node: hopeless
+        let out = diffuse(&g, &one_hot(30, 0), &GossipConfig::new(cfg), &mut rng(7)).unwrap();
+        assert!(!out.converged);
+        assert!(out.updates <= 30);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = generators::ring(5).unwrap();
+        assert!(diffuse(
+            &g,
+            &Signal::zeros(6, 1),
+            &GossipConfig::new(PprConfig::default()),
+            &mut rng(8),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn invalid_delay_rejected() {
+        assert!(GossipConfig::new(PprConfig::default())
+            .with_mean_delay(-1.0)
+            .is_err());
+        assert!(GossipConfig::new(PprConfig::default())
+            .with_mean_delay(f64::NAN)
+            .is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Graph-signal-processing substrate for the `gdsearch` stack: graph
+//! filters and the diffusion engines that evaluate them.
+//!
+//! The reproduced paper (Giatsoglou et al., ICDCS 2022, §IV-B) diffuses node
+//! personalization vectors through the P2P graph with the Personalized
+//! PageRank (PPR) filter
+//!
+//! ```text
+//! E = a (I − (1−a) A)^{-1} E0,
+//! ```
+//!
+//! evaluated with the iterative scheme `E(t) = (1−a) A E(t−1) + a E0`
+//! (Eq. 7), which decentralizes into asynchronous pairwise exchanges
+//! (Krasanakis et al., "p2pGNN", IEEE Access 2022).
+//!
+//! Several engines compute the same fixed point:
+//!
+//! * [`power`] — synchronous power iteration over the dense N×d signal;
+//! * [`exact`] — dense linear solve (small graphs; the validation oracle);
+//! * [`per_source`] — one scalar PPR vector per *source* node, rank-1
+//!   accumulated; asymptotically cheaper when few nodes hold documents;
+//! * [`gossip`] — deterministic simulated *asynchronous* engine, the
+//!   decentralized protocol of the paper;
+//! * [`threaded`] — the same asynchronous protocol on real threads
+//!   (crossbeam), demonstrating convergence under true concurrency.
+//!
+//! Heat-kernel and arbitrary polynomial filters ([`filter`]) cover the
+//! "graph filters such as PPR" generality of §II-C.
+//!
+//! # Example
+//!
+//! ```
+//! use gdsearch_diffusion::{power, PprConfig, Signal};
+//! use gdsearch_graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::ring(8)?;
+//! // One-hot signal at node 0, diffused around the ring.
+//! let mut e0 = Signal::zeros(8, 1);
+//! e0.row_mut(0)[0] = 1.0;
+//! let result = power::diffuse(&g, &e0, &PprConfig::new(0.5)?)?;
+//! assert!(result.converged);
+//! // Mass decays with distance from the source.
+//! assert!(result.signal.row(1)[0] > result.signal.row(4)[0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+pub mod exact;
+pub mod filter;
+pub mod gossip;
+pub mod per_source;
+pub mod power;
+mod signal;
+pub mod threaded;
+
+pub use config::PprConfig;
+pub use error::DiffusionError;
+pub use signal::Signal;

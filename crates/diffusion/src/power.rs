@@ -1,0 +1,270 @@
+//! Synchronous power-iteration evaluation of the PPR filter (paper Eq. 7):
+//! `E(t) = (1−a) A E(t−1) + a E0`, iterated until the max-abs residual
+//! between sweeps falls below the configured tolerance.
+//!
+//! The iteration is a contraction with factor `(1−a)` in the appropriate
+//! norm, so it converges geometrically for any `a ∈ (0, 1]`.
+
+use gdsearch_graph::sparse::{transition_matrix, CsrMatrix};
+use gdsearch_graph::Graph;
+
+use crate::{DiffusionError, PprConfig, Signal};
+
+/// Outcome of an iterative diffusion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffusionResult {
+    /// The diffused signal `E`.
+    pub signal: Signal,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Max-abs residual of the final sweep.
+    pub residual: f32,
+    /// Whether the residual met the tolerance within the iteration budget.
+    pub converged: bool,
+}
+
+/// Diffuses `e0` over `graph` with the PPR filter, synchronously.
+///
+/// Returns the result even when the iteration budget is exhausted
+/// (`converged = false`); callers that require convergence can check the
+/// flag or use [`diffuse_converged`].
+///
+/// # Errors
+///
+/// Returns [`DiffusionError::ShapeMismatch`] if `e0` has a different node
+/// count than `graph`.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_diffusion::{power, PprConfig, Signal};
+/// use gdsearch_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::complete(4);
+/// let mut e0 = Signal::zeros(4, 2);
+/// e0.row_mut(0).copy_from_slice(&[1.0, 0.5]);
+/// let out = power::diffuse(&g, &e0, &PprConfig::new(0.5)?)?;
+/// assert!(out.converged);
+/// // The source keeps the largest share of its own signal.
+/// assert!(out.signal.row(0)[0] > out.signal.row(1)[0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn diffuse(
+    graph: &Graph,
+    e0: &Signal,
+    config: &PprConfig,
+) -> Result<DiffusionResult, DiffusionError> {
+    let a = transition_matrix(graph, config.normalization());
+    diffuse_with_matrix(&a, e0, config)
+}
+
+/// Like [`diffuse`], but reuses a prebuilt transition matrix — the
+/// experiment harness diffuses many placements over one graph.
+///
+/// # Errors
+///
+/// Returns [`DiffusionError::ShapeMismatch`] if shapes disagree.
+pub fn diffuse_with_matrix(
+    matrix: &CsrMatrix,
+    e0: &Signal,
+    config: &PprConfig,
+) -> Result<DiffusionResult, DiffusionError> {
+    let n = matrix.n_rows();
+    if e0.num_nodes() != n {
+        return Err(DiffusionError::ShapeMismatch {
+            expected: (n, e0.dim()),
+            got: (e0.num_nodes(), e0.dim()),
+        });
+    }
+    let dim = e0.dim();
+    let alpha = config.alpha();
+    let mut current = e0.clone();
+    let mut next = Signal::zeros(n, dim);
+    let mut residual = f32::INFINITY;
+    let mut iterations = 0;
+    while iterations < config.max_iterations() {
+        // next = (1 - a) * A * current + a * e0
+        matrix.mul_dense_into(current.as_slice(), dim.max(1), next.as_mut_slice());
+        let mut max_delta = 0.0f32;
+        for (i, (nx, e)) in next
+            .as_mut_slice()
+            .iter_mut()
+            .zip(e0.as_slice())
+            .enumerate()
+        {
+            *nx = (1.0 - alpha) * *nx + alpha * e;
+            let delta = (*nx - current.as_slice()[i]).abs();
+            if delta > max_delta {
+                max_delta = delta;
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+        iterations += 1;
+        residual = max_delta;
+        if residual <= config.tolerance() {
+            return Ok(DiffusionResult {
+                signal: current,
+                iterations,
+                residual,
+                converged: true,
+            });
+        }
+    }
+    Ok(DiffusionResult {
+        signal: current,
+        iterations,
+        residual,
+        converged: false,
+    })
+}
+
+/// Strict variant of [`diffuse`]: fails unless convergence was reached.
+///
+/// # Errors
+///
+/// As [`diffuse`], plus [`DiffusionError::NotConverged`].
+pub fn diffuse_converged(
+    graph: &Graph,
+    e0: &Signal,
+    config: &PprConfig,
+) -> Result<Signal, DiffusionError> {
+    let out = diffuse(graph, e0, config)?;
+    if !out.converged {
+        return Err(DiffusionError::NotConverged {
+            iterations: out.iterations,
+            residual: out.residual,
+        });
+    }
+    Ok(out.signal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdsearch_graph::generators;
+    use gdsearch_graph::sparse::Normalization;
+
+    fn one_hot_signal(n: usize, node: usize) -> Signal {
+        let mut s = Signal::zeros(n, 1);
+        s.row_mut(node)[0] = 1.0;
+        s
+    }
+
+    #[test]
+    fn converges_on_ring() {
+        let g = generators::ring(10).unwrap();
+        let out = diffuse(&g, &one_hot_signal(10, 0), &PprConfig::new(0.3).unwrap()).unwrap();
+        assert!(out.converged);
+        assert!(out.iterations > 1);
+        assert!(out.residual <= 1e-6);
+    }
+
+    #[test]
+    fn alpha_one_returns_personalization() {
+        // a = 1: pure teleport, E = E0 after one step.
+        let g = generators::ring(6).unwrap();
+        let e0 = one_hot_signal(6, 2);
+        let out = diffuse(&g, &e0, &PprConfig::new(1.0).unwrap()).unwrap();
+        assert!(out.converged);
+        assert!(out.signal.max_abs_diff(&e0).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn mass_is_preserved_with_column_stochastic() {
+        // Column-stochastic A preserves total mass: columns of
+        // a(I-(1-a)A)^{-1} sum to 1.
+        let g = generators::social_circles_like_scaled(80, &mut seeded(3)).unwrap();
+        let e0 = one_hot_signal(80, 5);
+        let cfg = PprConfig::new(0.2)
+            .unwrap()
+            .with_normalization(Normalization::ColumnStochastic)
+            .with_tolerance(1e-8);
+        let out = diffuse(&g, &e0, &cfg).unwrap();
+        assert!(out.converged);
+        let mass = out.signal.column_mass()[0];
+        assert!((mass - 1.0).abs() < 1e-3, "mass {mass} drifted from 1");
+    }
+
+    #[test]
+    fn decay_with_distance_on_path() {
+        let g = generators::path(9);
+        let out = diffuse(&g, &one_hot_signal(9, 0), &PprConfig::new(0.5).unwrap()).unwrap();
+        let values: Vec<f32> = (0..9).map(|u| out.signal.row(u)[0]).collect();
+        for w in values.windows(2) {
+            assert!(
+                w[0] > w[1],
+                "PPR mass must decay monotonically along a path: {values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn linearity_of_diffusion() {
+        // PPR is a linear operator: H(x + y) = Hx + Hy.
+        let g = generators::grid(4, 4);
+        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-8);
+        let x = one_hot_signal(16, 0);
+        let y = one_hot_signal(16, 9);
+        let mut xy = Signal::zeros(16, 1);
+        xy.row_mut(0)[0] = 1.0;
+        xy.row_mut(9)[0] = 1.0;
+        let hx = diffuse(&g, &x, &cfg).unwrap().signal;
+        let hy = diffuse(&g, &y, &cfg).unwrap().signal;
+        let hxy = diffuse(&g, &xy, &cfg).unwrap().signal;
+        for u in 0..16 {
+            let sum = hx.row(u)[0] + hy.row(u)[0];
+            assert!((sum - hxy.row(u)[0]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let g = generators::ring(50).unwrap();
+        let cfg = PprConfig::new(0.01)
+            .unwrap()
+            .with_tolerance(1e-12)
+            .with_max_iterations(3);
+        let out = diffuse(&g, &one_hot_signal(50, 0), &cfg).unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 3);
+        assert!(diffuse_converged(&g, &one_hot_signal(50, 0), &cfg).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = generators::ring(5).unwrap();
+        let e0 = Signal::zeros(6, 1);
+        assert!(matches!(
+            diffuse(&g, &e0, &PprConfig::default()),
+            Err(DiffusionError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_signal_stays_zero() {
+        let g = generators::complete(5);
+        let out = diffuse(&g, &Signal::zeros(5, 3), &PprConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.signal.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn isolated_node_keeps_teleport_share_only() {
+        let g = gdsearch_graph::Graph::from_edges(3, [(0, 1)]).unwrap();
+        let e0 = one_hot_signal(3, 2);
+        let out = diffuse(&g, &e0, &PprConfig::new(0.5).unwrap()).unwrap();
+        // Node 2 is isolated: its fixed point is a * e0 / (1 - (1-a)*0) = a
+        // only if A row is empty => e = a*e0 => 0.5... wait: e = (1-a)*0 + a*1
+        // = a at every iteration, so exactly alpha.
+        assert!((out.signal.row(2)[0] - 0.5).abs() < 1e-6);
+        assert_eq!(out.signal.row(0)[0], 0.0);
+    }
+
+    fn seeded(seed: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+}

@@ -1,0 +1,318 @@
+//! Asynchronous diffusion on real OS threads.
+//!
+//! The gossip engine in [`crate::gossip`] *simulates* asynchrony; this
+//! module runs the same chaotic-relaxation update
+//!
+//! ```text
+//! e_u ← a e0_u + (1−a) Σ_v A[u][v] e_v
+//! ```
+//!
+//! on a pool of worker threads (crossbeam scoped threads) that read their
+//! neighbors' *live* values through per-node `parking_lot` RwLocks — reads
+//! and writes genuinely interleave, as they would across real peers. The
+//! update is a `(1−a)`-contraction, so chaotic relaxation converges to the
+//! same fixed point regardless of interleaving (Chazan–Miranker); the tests
+//! check agreement with the synchronous engine.
+
+use gdsearch_graph::sparse::{transition_matrix, CsrMatrix};
+use gdsearch_graph::Graph;
+use parking_lot::RwLock;
+
+use crate::{DiffusionError, PprConfig, Signal};
+
+/// Outcome of a threaded asynchronous diffusion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadedResult {
+    /// Final estimates, one row per node.
+    pub signal: Signal,
+    /// Full shard passes performed across all workers, plus the sequential
+    /// certification sweeps.
+    pub passes: usize,
+    /// Whether the final *certified* global residual met the tolerance.
+    pub converged: bool,
+}
+
+/// Runs asynchronous diffusion on `num_threads` workers.
+///
+/// Nodes are sharded round-robin across workers; each worker sweeps its
+/// shard repeatedly until its own sweep-residual falls below the tolerance
+/// *and* every other worker has also settled (a worker whose neighbors'
+/// values still move will see its residual rise again, so the joint
+/// condition is stable). The per-worker pass budget is
+/// `config.max_iterations()`.
+///
+/// # Errors
+///
+/// Returns [`DiffusionError::InvalidParameter`] if `num_threads == 0` and
+/// [`DiffusionError::ShapeMismatch`] if `e0` and `graph` disagree.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_diffusion::{power, threaded, PprConfig, Signal};
+/// use gdsearch_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::grid(5, 5);
+/// let mut e0 = Signal::zeros(25, 2);
+/// e0.row_mut(12).copy_from_slice(&[1.0, -1.0]);
+/// let cfg = PprConfig::new(0.4)?.with_tolerance(1e-6);
+/// let sync = power::diffuse(&g, &e0, &cfg)?.signal;
+/// let out = threaded::diffuse(&g, &e0, &cfg, 4)?;
+/// assert!(out.converged);
+/// assert!(out.signal.max_abs_diff(&sync)? < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn diffuse(
+    graph: &Graph,
+    e0: &Signal,
+    config: &PprConfig,
+    num_threads: usize,
+) -> Result<ThreadedResult, DiffusionError> {
+    if num_threads == 0 {
+        return Err(DiffusionError::invalid_parameter(
+            "num_threads must be positive",
+        ));
+    }
+    let n = graph.num_nodes();
+    if e0.num_nodes() != n {
+        return Err(DiffusionError::ShapeMismatch {
+            expected: (n, e0.dim()),
+            got: (e0.num_nodes(), e0.dim()),
+        });
+    }
+    let dim = e0.dim();
+    if n == 0 || dim == 0 {
+        return Ok(ThreadedResult {
+            signal: Signal::zeros(n, dim),
+            passes: 0,
+            converged: true,
+        });
+    }
+    let matrix = transition_matrix(graph, config.normalization());
+    let alpha = config.alpha();
+    let tol = config.tolerance();
+    let max_passes = config.max_iterations();
+
+    // One RwLock per node row: workers read neighbors' live values and
+    // write their own rows; cross-row staleness is the asynchrony.
+    let rows: Vec<RwLock<Vec<f32>>> = (0..n)
+        .map(|u| RwLock::new(e0.row(u).to_vec()))
+        .collect();
+    // Last-pass residual of each worker, observed by all workers to decide
+    // joint termination.
+    let residuals: Vec<RwLock<f32>> = (0..num_threads)
+        .map(|_| RwLock::new(f32::INFINITY))
+        .collect();
+    let shards: Vec<Vec<usize>> = (0..num_threads)
+        .map(|w| (w..n).step_by(num_threads).collect())
+        .collect();
+
+    // Set when any worker exhausts its budget, so quiet workers waiting for
+    // the pool to settle do not wait forever.
+    let gave_up = std::sync::atomic::AtomicBool::new(false);
+
+    let mut worker_outcomes: Vec<(usize, bool)> = vec![(0, false); num_threads];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_threads);
+        for (worker, shard) in shards.iter().enumerate() {
+            let rows = &rows;
+            let residuals = &residuals;
+            let matrix = &matrix;
+            let e0 = &e0;
+            let gave_up = &gave_up;
+            handles.push(scope.spawn(move |_| {
+                use std::sync::atomic::Ordering;
+                let mut passes = 0usize;
+                let mut converged = false;
+                let mut scratch = vec![0.0f32; dim];
+                // Quiet passes (shard already settled, waiting for peers) do
+                // not consume the budget — otherwise a fast worker burns its
+                // passes spinning before slower threads are even scheduled.
+                // They are still bounded to guarantee termination.
+                let mut quiet_spins = 0usize;
+                let max_quiet_spins = max_passes.saturating_mul(64).max(1 << 20);
+                loop {
+                    let mut max_delta = 0.0f32;
+                    for &u in shard {
+                        compute_row(matrix, rows, e0, alpha, u, dim, &mut scratch);
+                        let mut row = rows[u].write();
+                        for (r, s) in row.iter_mut().zip(&scratch) {
+                            let d = (*s - *r).abs();
+                            if d > max_delta {
+                                max_delta = d;
+                            }
+                            *r = *s;
+                        }
+                    }
+                    *residuals[worker].write() = max_delta;
+                    if max_delta <= tol {
+                        // Settle only when the whole pool is quiet; if a
+                        // neighbor shard still moves, our residual will rise
+                        // again on the next pass.
+                        let all_quiet = residuals.iter().all(|r| *r.read() <= tol);
+                        if all_quiet {
+                            converged = true;
+                            break;
+                        }
+                        if gave_up.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        quiet_spins += 1;
+                        if quiet_spins >= max_quiet_spins {
+                            gave_up.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        std::thread::yield_now();
+                    } else {
+                        passes += 1;
+                        if passes >= max_passes || gave_up.load(Ordering::Relaxed) {
+                            gave_up.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                (passes, converged)
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            worker_outcomes[i] = h.join().expect("diffusion worker panicked");
+        }
+    })
+    .expect("crossbeam scope panicked");
+
+    let mut signal = Signal::zeros(n, dim);
+    for (u, row) in rows.iter().enumerate() {
+        signal.row_mut(u).copy_from_slice(&row.read());
+    }
+    let mut passes: usize = worker_outcomes.iter().map(|(p, _)| p).sum();
+
+    // Certification polish: the workers' all-quiet snapshot is inherently
+    // racy (a peer can publish a quiet residual and then move again), so
+    // finish with sequential sweeps until the *global* residual provably
+    // meets the tolerance. Near the fixed point this costs one or two
+    // sweeps; if the workers gave up early it degrades gracefully into
+    // plain power iteration on the remaining budget.
+    let mut converged = false;
+    let mut next = Signal::zeros(n, dim);
+    for _ in 0..config.max_iterations() {
+        matrix.mul_dense_into(signal.as_slice(), dim.max(1), next.as_mut_slice());
+        let mut residual = 0.0f32;
+        for (i, nx) in next.as_mut_slice().iter_mut().enumerate() {
+            *nx = (1.0 - alpha) * *nx + alpha * e0.as_slice()[i];
+            residual = residual.max((*nx - signal.as_slice()[i]).abs());
+        }
+        std::mem::swap(&mut signal, &mut next);
+        passes += 1;
+        if residual <= tol {
+            converged = true;
+            break;
+        }
+    }
+    Ok(ThreadedResult {
+        signal,
+        passes,
+        converged,
+    })
+}
+
+/// Computes node `u`'s update `a e0_u + (1−a) Σ_v A[u][v] e_v` from live
+/// neighbor rows into `out`.
+fn compute_row(
+    matrix: &CsrMatrix,
+    rows: &[RwLock<Vec<f32>>],
+    e0: &Signal,
+    alpha: f32,
+    u: usize,
+    dim: usize,
+    out: &mut [f32],
+) {
+    out.fill(0.0);
+    for (v, w) in matrix.row(u) {
+        let neighbor = rows[v as usize].read();
+        for (o, x) in out.iter_mut().zip(neighbor.iter()) {
+            *o += w * x;
+        }
+    }
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = (1.0 - alpha) * *o + alpha * e0.row(u)[k];
+    }
+    let _ = dim;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power;
+    use gdsearch_graph::generators;
+    use rand::SeedableRng;
+
+    fn one_hot(n: usize, u: usize) -> Signal {
+        let mut s = Signal::zeros(n, 1);
+        s.row_mut(u)[0] = 1.0;
+        s
+    }
+
+    #[test]
+    fn matches_synchronous_fixed_point() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = generators::social_circles_like_scaled(120, &mut rng).unwrap();
+        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-7);
+        let e0 = one_hot(120, 3);
+        let sync = power::diffuse(&g, &e0, &cfg).unwrap().signal;
+        for threads in [1, 2, 4] {
+            let out = diffuse(&g, &e0, &cfg, threads).unwrap();
+            assert!(out.converged, "{threads} threads must converge");
+            assert!(
+                out.signal.max_abs_diff(&sync).unwrap() < 1e-3,
+                "{threads} threads drifted from the fixed point"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_dim_and_many_threads() {
+        let g = generators::grid(8, 8);
+        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-6);
+        let mut e0 = Signal::zeros(64, 4);
+        e0.row_mut(0).copy_from_slice(&[1.0, 2.0, -1.0, 0.5]);
+        e0.row_mut(63).copy_from_slice(&[0.5, 0.0, 1.0, -2.0]);
+        let sync = power::diffuse(&g, &e0, &cfg).unwrap().signal;
+        let out = diffuse(&g, &e0, &cfg, 8).unwrap();
+        assert!(out.converged);
+        assert!(out.signal.max_abs_diff(&sync).unwrap() < 1e-3);
+        assert!(out.passes >= 8, "every worker performs at least one pass");
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let g = generators::ring(4).unwrap();
+        assert!(diffuse(&g, &Signal::zeros(4, 1), &PprConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = generators::ring(4).unwrap();
+        assert!(diffuse(&g, &Signal::zeros(5, 1), &PprConfig::default(), 2).is_err());
+    }
+
+    #[test]
+    fn empty_graph_trivially_converges() {
+        let g = gdsearch_graph::Graph::empty(0);
+        let out = diffuse(&g, &Signal::zeros(0, 3), &PprConfig::default(), 2).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.passes, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_flagged() {
+        let g = generators::ring(40).unwrap();
+        let cfg = PprConfig::new(0.05)
+            .unwrap()
+            .with_tolerance(1e-12)
+            .with_max_iterations(2);
+        let out = diffuse(&g, &one_hot(40, 0), &cfg, 2).unwrap();
+        assert!(!out.converged);
+    }
+}

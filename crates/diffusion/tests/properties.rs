@@ -1,0 +1,136 @@
+//! Property-based tests for the diffusion substrate: PPR's mathematical
+//! identities must hold on arbitrary graphs and inputs.
+
+use gdsearch_diffusion::filter::{GraphFilter, PolynomialFilter, PprFilter};
+use gdsearch_diffusion::{exact, per_source, power, PprConfig, Signal};
+use gdsearch_graph::sparse::Normalization;
+use gdsearch_graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2u32..30, 0u32..40, 0u64..1000).prop_map(|(n, extra, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::random_connected(n, extra, &mut rng).unwrap()
+    })
+}
+
+fn one_hot(n: usize, u: usize) -> Signal {
+    let mut s = Signal::zeros(n, 1);
+    s.row_mut(u % n.max(1))[0] = 1.0;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Power iteration matches the exact dense solve.
+    #[test]
+    fn power_matches_exact(g in arb_graph(), alpha in 0.1f32..1.0, src in 0usize..30) {
+        let n = g.num_nodes();
+        let e0 = one_hot(n, src);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let truth = exact::diffuse(&g, &e0, &cfg).unwrap();
+        let approx = power::diffuse(&g, &e0, &cfg).unwrap();
+        prop_assert!(approx.converged);
+        prop_assert!(truth.max_abs_diff(&approx.signal).unwrap() < 1e-4);
+    }
+
+    /// The diffused signal is entrywise non-negative for non-negative input
+    /// and bounded by the input's max (the filter is an average of
+    /// substochastic propagations).
+    #[test]
+    fn ppr_preserves_nonnegativity(g in arb_graph(), alpha in 0.1f32..1.0) {
+        let n = g.num_nodes();
+        let e0 = one_hot(n, 0);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let out = power::diffuse(&g, &e0, &cfg).unwrap().signal;
+        for u in 0..n {
+            prop_assert!(out.row(u)[0] >= -1e-6);
+            prop_assert!(out.row(u)[0] <= 1.0 + 1e-4);
+        }
+    }
+
+    /// Column-stochastic PPR conserves total mass.
+    #[test]
+    fn mass_conservation(g in arb_graph(), alpha in 0.1f32..1.0) {
+        let n = g.num_nodes();
+        let e0 = one_hot(n, 1);
+        let cfg = PprConfig::new(alpha)
+            .unwrap()
+            .with_normalization(Normalization::ColumnStochastic)
+            .with_tolerance(1e-6);
+        let out = power::diffuse(&g, &e0, &cfg).unwrap().signal;
+        let mass = out.column_mass()[0];
+        prop_assert!((mass - 1.0).abs() < 1e-3, "mass {mass}");
+    }
+
+    /// Per-source decomposition equals dense diffusion for any source.
+    #[test]
+    fn per_source_equals_dense(g in arb_graph(), alpha in 0.1f32..1.0, src in 0usize..30) {
+        let n = g.num_nodes();
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let src = NodeId::new((src % n) as u32);
+        let h = per_source::ppr_vector(&g, src, &cfg).unwrap();
+        let dense = power::diffuse(&g, &one_hot(n, src.index()), &cfg)
+            .unwrap()
+            .signal;
+        for u in 0..n {
+            prop_assert!((h[u] - dense.row(u)[0]).abs() < 1e-4);
+        }
+    }
+
+    /// The truncated PPR polynomial converges to the filter fixed point as
+    /// the order grows.
+    #[test]
+    fn polynomial_truncation_converges(g in arb_graph(), alpha in 0.3f32..1.0) {
+        let n = g.num_nodes();
+        let e0 = one_hot(n, 0);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let fixed = PprFilter::new(cfg).apply(&g, &e0).unwrap();
+        // Order chosen so (1-alpha)^order < 1e-4.
+        let order = ((1e-4f32.ln()) / (1.0 - alpha + 1e-6).ln()).ceil() as usize + 1;
+        let truncated =
+            PolynomialFilter::ppr_truncation(alpha, order, Normalization::ColumnStochastic)
+                .unwrap()
+                .apply(&g, &e0)
+                .unwrap();
+        prop_assert!(fixed.max_abs_diff(&truncated).unwrap() < 1e-3);
+    }
+
+    /// Diffusion commutes with linear combination of inputs.
+    #[test]
+    fn linearity(g in arb_graph(), alpha in 0.1f32..1.0, s in -3.0f32..3.0) {
+        let n = g.num_nodes();
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let x = one_hot(n, 0);
+        let y = one_hot(n, n.saturating_sub(1));
+        let hx = power::diffuse(&g, &x, &cfg).unwrap().signal;
+        let hy = power::diffuse(&g, &y, &cfg).unwrap().signal;
+        // z = x + s*y
+        let mut z = Signal::zeros(n, 1);
+        z.row_mut(0)[0] += 1.0;
+        z.row_mut(n - 1)[0] += s;
+        let hz = power::diffuse(&g, &z, &cfg).unwrap().signal;
+        for u in 0..n {
+            let expect = hx.row(u)[0] + s * hy.row(u)[0];
+            prop_assert!((hz.row(u)[0] - expect).abs() < 1e-3);
+        }
+    }
+
+    /// Higher alpha concentrates more mass at the source.
+    #[test]
+    fn alpha_controls_locality(g in arb_graph()) {
+        let n = g.num_nodes();
+        let e0 = one_hot(n, 0);
+        let run = |alpha: f32| {
+            let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+            power::diffuse(&g, &e0, &cfg).unwrap().signal.row(0)[0]
+        };
+        let heavy = run(0.1);
+        let light = run(0.9);
+        prop_assert!(light >= heavy - 1e-5,
+            "self-mass at alpha 0.9 ({light}) must exceed alpha 0.1 ({heavy})");
+    }
+}

@@ -1,0 +1,243 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{similarity, EmbedError, Embedding};
+
+/// Identifier of a word (document) in a [`Corpus`]: a dense zero-based index.
+///
+/// In the paper's evaluation every "document" is a single word vector from
+/// the GloVe vocabulary; we keep that terminology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct WordId(u32);
+
+impl WordId {
+    /// Creates a word id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        WordId(index)
+    }
+
+    /// Raw index as `usize`, for slice indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw index as `u32`.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for WordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl From<u32> for WordId {
+    fn from(index: u32) -> Self {
+        WordId(index)
+    }
+}
+
+impl From<WordId> for u32 {
+    fn from(id: WordId) -> Self {
+        id.0
+    }
+}
+
+/// A vocabulary of word embeddings with uniform dimensionality.
+///
+/// The corpus is the global document universe of an experiment: queries,
+/// gold documents and the irrelevant pool are all drawn from it
+/// (paper §V-B).
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_embed::{Corpus, Embedding, WordId};
+///
+/// # fn main() -> Result<(), gdsearch_embed::EmbedError> {
+/// let corpus = Corpus::from_embeddings(vec![
+///     Embedding::new(vec![1.0, 0.0]),
+///     Embedding::new(vec![0.9, 0.1]),
+///     Embedding::new(vec![0.0, 1.0]),
+/// ])?;
+/// assert_eq!(corpus.len(), 3);
+/// let (nn, sim) = corpus.nearest_neighbor(WordId::new(0))?;
+/// assert_eq!(nn, WordId::new(1));
+/// assert!(sim > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    dim: usize,
+    embeddings: Vec<Embedding>,
+}
+
+impl Corpus {
+    /// Builds a corpus from embeddings, validating uniform dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::EmptyCorpus`] for an empty input and
+    /// [`EmbedError::DimensionMismatch`] if dimensions disagree.
+    pub fn from_embeddings(embeddings: Vec<Embedding>) -> Result<Self, EmbedError> {
+        let Some(first) = embeddings.first() else {
+            return Err(EmbedError::EmptyCorpus);
+        };
+        let dim = first.dim();
+        for e in &embeddings {
+            EmbedError::check_dims(dim, e.dim())?;
+        }
+        Ok(Corpus { dim, embeddings })
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Whether the corpus has no words (never true for a constructed corpus,
+    /// but required by convention alongside [`Corpus::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding of `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range; use [`Corpus::get`] for a checked
+    /// variant.
+    pub fn embedding(&self, word: WordId) -> &Embedding {
+        &self.embeddings[word.index()]
+    }
+
+    /// The embedding of `word`, or `None` if out of range.
+    pub fn get(&self, word: WordId) -> Option<&Embedding> {
+        self.embeddings.get(word.index())
+    }
+
+    /// Iterates over `(id, embedding)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (WordId, &Embedding)> {
+        self.embeddings
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (WordId::new(i as u32), e))
+    }
+
+    /// All word ids.
+    pub fn word_ids(&self) -> impl ExactSizeIterator<Item = WordId> + Clone {
+        (0..self.embeddings.len() as u32).map(WordId)
+    }
+
+    /// Raw embedding storage, indexed by word id.
+    pub fn embeddings(&self) -> &[Embedding] {
+        &self.embeddings
+    }
+
+    /// Finds the cosine-nearest neighbor of `word` (excluding itself).
+    /// Returns the neighbor and its cosine similarity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::EmptyCorpus`] if the corpus has fewer than two
+    /// words and [`EmbedError::InvalidParameter`] if `word` is out of range.
+    pub fn nearest_neighbor(&self, word: WordId) -> Result<(WordId, f32), EmbedError> {
+        if self.len() < 2 {
+            return Err(EmbedError::EmptyCorpus);
+        }
+        let target = self
+            .get(word)
+            .ok_or_else(|| EmbedError::invalid_parameter(format!("word {word} out of range")))?;
+        let mut best: Option<(WordId, f32)> = None;
+        for (id, e) in self.iter() {
+            if id == word {
+                continue;
+            }
+            let sim = similarity::cosine(target, e)?;
+            if best.map(|(_, s)| sim > s).unwrap_or(true) {
+                best = Some((id, sim));
+            }
+        }
+        Ok(best.expect("corpus has at least one other word"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Corpus {
+        Corpus::from_embeddings(vec![
+            Embedding::new(vec![1.0, 0.0]),
+            Embedding::new(vec![0.8, 0.2]),
+            Embedding::new(vec![0.0, 1.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_dimensions() {
+        let err = Corpus::from_embeddings(vec![
+            Embedding::new(vec![1.0, 0.0]),
+            Embedding::new(vec![1.0, 0.0, 0.0]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, EmbedError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        assert!(matches!(
+            Corpus::from_embeddings(vec![]),
+            Err(EmbedError::EmptyCorpus)
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let c = small();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.dim(), 2);
+        assert_eq!(c.embedding(WordId::new(2)).as_slice(), &[0.0, 1.0]);
+        assert!(c.get(WordId::new(3)).is_none());
+        assert_eq!(c.iter().count(), 3);
+        assert_eq!(c.word_ids().count(), 3);
+    }
+
+    #[test]
+    fn nearest_neighbor_excludes_self() {
+        let c = small();
+        let (nn, sim) = c.nearest_neighbor(WordId::new(0)).unwrap();
+        assert_eq!(nn, WordId::new(1));
+        assert!(sim > 0.9 && sim < 1.0);
+    }
+
+    #[test]
+    fn nearest_neighbor_errors() {
+        let c = Corpus::from_embeddings(vec![Embedding::new(vec![1.0])]).unwrap();
+        assert!(c.nearest_neighbor(WordId::new(0)).is_err());
+        let c = small();
+        assert!(c.nearest_neighbor(WordId::new(9)).is_err());
+    }
+
+    #[test]
+    fn word_id_display_and_conversion() {
+        let w = WordId::from(3u32);
+        assert_eq!(w.to_string(), "w3");
+        assert_eq!(u32::from(w), 3);
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by embedding and retrieval operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EmbedError {
+    /// Two vectors (or a vector and a corpus) disagree on dimensionality.
+    DimensionMismatch {
+        /// Dimension expected by the receiver.
+        expected: usize,
+        /// Dimension actually supplied.
+        got: usize,
+    },
+    /// An operation that needs at least one vector received none.
+    EmptyCorpus,
+    /// A parameter is outside its valid domain.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl EmbedError {
+    pub(crate) fn invalid_parameter(reason: impl Into<String>) -> Self {
+        EmbedError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn check_dims(expected: usize, got: usize) -> Result<(), EmbedError> {
+        if expected == got {
+            Ok(())
+        } else {
+            Err(EmbedError::DimensionMismatch { expected, got })
+        }
+    }
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            EmbedError::EmptyCorpus => write!(f, "operation requires a non-empty corpus"),
+            EmbedError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for EmbedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = EmbedError::DimensionMismatch {
+            expected: 300,
+            got: 64,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 300, got 64");
+        assert!(EmbedError::EmptyCorpus.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn check_dims_helper() {
+        assert!(EmbedError::check_dims(3, 3).is_ok());
+        assert!(EmbedError::check_dims(3, 4).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmbedError>();
+    }
+}

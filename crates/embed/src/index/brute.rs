@@ -1,0 +1,188 @@
+//! Exact brute-force nearest-neighbor index.
+
+use crate::index::{Hit, VectorIndex};
+use crate::topk::TopK;
+use crate::{EmbedError, Embedding, Similarity};
+
+/// Exact nearest-neighbor search by linear scan.
+///
+/// `O(n · dim)` per query — optimal for the small per-node document
+/// collections of the paper's experiments, and the ground truth used to
+/// measure approximate-index recall.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_embed::index::{BruteForceIndex, VectorIndex};
+/// use gdsearch_embed::{Embedding, Similarity};
+///
+/// # fn main() -> Result<(), gdsearch_embed::EmbedError> {
+/// let index = BruteForceIndex::build(
+///     vec![
+///         Embedding::new(vec![1.0, 0.0]),
+///         Embedding::new(vec![0.0, 1.0]),
+///     ],
+///     Similarity::Dot,
+/// )?;
+/// let hits = index.search(&Embedding::new(vec![0.9, 0.1]), 1)?;
+/// assert_eq!(hits[0].id, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    items: Vec<Embedding>,
+    dim: usize,
+    similarity: Similarity,
+}
+
+impl BruteForceIndex {
+    /// Builds the index over the given embeddings.
+    ///
+    /// An empty collection is allowed (searches return no hits) so that
+    /// document-free nodes can still expose a retrieval interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::DimensionMismatch`] if embeddings disagree on
+    /// dimensionality.
+    pub fn build(items: Vec<Embedding>, similarity: Similarity) -> Result<Self, EmbedError> {
+        let dim = items.first().map(Embedding::dim).unwrap_or(0);
+        for e in &items {
+            EmbedError::check_dims(dim, e.dim())?;
+        }
+        Ok(BruteForceIndex {
+            items,
+            dim,
+            similarity,
+        })
+    }
+
+    /// The similarity metric the index scores with.
+    pub fn similarity(&self) -> Similarity {
+        self.similarity
+    }
+
+    /// The indexed embedding with the given id.
+    pub fn item(&self, id: usize) -> Option<&Embedding> {
+        self.items.get(id)
+    }
+}
+
+impl VectorIndex for BruteForceIndex {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Result<Vec<Hit>, EmbedError> {
+        if self.items.is_empty() {
+            return Ok(Vec::new());
+        }
+        EmbedError::check_dims(self.dim, query.dim())?;
+        let mut top = TopK::new(k);
+        for (id, item) in self.items.iter().enumerate() {
+            let score = self.similarity.score(query, item)?;
+            top.push(score, id);
+        }
+        Ok(top
+            .into_sorted()
+            .into_iter()
+            .map(|s| Hit {
+                id: s.item,
+                score: s.score,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BruteForceIndex {
+        BruteForceIndex::build(
+            vec![
+                Embedding::new(vec![1.0, 0.0, 0.0]),
+                Embedding::new(vec![0.0, 1.0, 0.0]),
+                Embedding::new(vec![0.0, 0.0, 1.0]),
+                Embedding::new(vec![0.7, 0.7, 0.0]),
+            ],
+            Similarity::Cosine,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn returns_sorted_top_k() {
+        let idx = sample();
+        let hits = idx
+            .search(&Embedding::new(vec![1.0, 0.5, 0.0]), 3)
+            .unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 3); // the diagonal vector wins on cosine
+        assert!(hits[0].score >= hits[1].score);
+        assert!(hits[1].score >= hits[2].score);
+    }
+
+    #[test]
+    fn k_larger_than_collection() {
+        let idx = sample();
+        let hits = idx.search(&Embedding::new(vec![1.0, 0.0, 0.0]), 10).unwrap();
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let idx = sample();
+        assert!(idx
+            .search(&Embedding::new(vec![1.0, 0.0, 0.0]), 0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_index_is_usable() {
+        let idx = BruteForceIndex::build(vec![], Similarity::Dot).unwrap();
+        assert!(idx.is_empty());
+        assert!(idx
+            .search(&Embedding::new(vec![1.0, 2.0]), 5)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_on_build_and_search() {
+        assert!(BruteForceIndex::build(
+            vec![Embedding::zeros(2), Embedding::zeros(3)],
+            Similarity::Dot
+        )
+        .is_err());
+        let idx = sample();
+        assert!(idx.search(&Embedding::zeros(2), 1).is_err());
+    }
+
+    #[test]
+    fn dot_favors_magnitude() {
+        let idx = BruteForceIndex::build(
+            vec![
+                Embedding::new(vec![1.0, 0.0]),
+                Embedding::new(vec![5.0, 0.0]),
+            ],
+            Similarity::Dot,
+        )
+        .unwrap();
+        let hits = idx.search(&Embedding::new(vec![1.0, 0.0]), 2).unwrap();
+        assert_eq!(hits[0].id, 1, "dot product prefers the longer vector");
+    }
+
+    #[test]
+    fn item_accessor() {
+        let idx = sample();
+        assert!(idx.item(0).is_some());
+        assert!(idx.item(10).is_none());
+    }
+}

@@ -1,0 +1,486 @@
+//! Hierarchical Navigable Small World (HNSW) approximate nearest-neighbor
+//! index (Malkov & Yashunin), similarity-maximizing variant.
+//!
+//! The paper's §III-A motivates ANN engines — "hierarchical navigable small
+//! world graphs" by name — as what makes bi-encoder retrieval fast at scale.
+//! This implementation follows the standard algorithm with one twist: it
+//! maximizes a similarity score (dot/cosine) instead of minimizing a
+//! distance, matching the crate's scoring convention.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::Rng;
+
+use crate::index::{Hit, VectorIndex};
+use crate::{EmbedError, Embedding, Similarity};
+
+/// Total-ordering wrapper so `f32` scores can live in heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF32(f32);
+
+impl Eq for OrdF32 {}
+
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Builder for [`HnswIndex`]. See the type-level docs for parameter roles.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_embed::index::{HnswIndex, VectorIndex};
+/// use gdsearch_embed::{Embedding, Similarity};
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), gdsearch_embed::EmbedError> {
+/// let items: Vec<Embedding> = (0..50)
+///     .map(|i| Embedding::new(vec![(i as f32).sin(), (i as f32).cos()]))
+///     .collect();
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let index = HnswIndex::builder()
+///     .max_connections(8)
+///     .ef_construction(32)
+///     .build(items, Similarity::Cosine, &mut rng)?;
+/// let hits = index.search(&Embedding::new(vec![0.0, 1.0]), 5)?;
+/// assert_eq!(hits.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HnswBuilder {
+    max_connections: usize,
+    ef_construction: usize,
+    ef_search: usize,
+}
+
+impl Default for HnswBuilder {
+    fn default() -> Self {
+        HnswBuilder {
+            max_connections: 16,
+            ef_construction: 100,
+            ef_search: 50,
+        }
+    }
+}
+
+impl HnswBuilder {
+    /// Maximum neighbors per node per layer (`M`). Layer 0 allows `2M`.
+    pub fn max_connections(mut self, m: usize) -> Self {
+        self.max_connections = m;
+        self
+    }
+
+    /// Beam width during construction (`efConstruction`).
+    pub fn ef_construction(mut self, ef: usize) -> Self {
+        self.ef_construction = ef;
+        self
+    }
+
+    /// Default beam width during search (`efSearch`); raised to `k` when a
+    /// query asks for more.
+    pub fn ef_search(mut self, ef: usize) -> Self {
+        self.ef_search = ef;
+        self
+    }
+
+    /// Builds the index by sequential insertion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::InvalidParameter`] for zero parameters and
+    /// [`EmbedError::DimensionMismatch`] for ragged embeddings.
+    pub fn build<R: Rng + ?Sized>(
+        self,
+        items: Vec<Embedding>,
+        similarity: Similarity,
+        rng: &mut R,
+    ) -> Result<HnswIndex, EmbedError> {
+        if self.max_connections == 0 || self.ef_construction == 0 || self.ef_search == 0 {
+            return Err(EmbedError::invalid_parameter(
+                "hnsw parameters must be positive",
+            ));
+        }
+        let dim = items.first().map(Embedding::dim).unwrap_or(0);
+        for e in &items {
+            EmbedError::check_dims(dim, e.dim())?;
+        }
+        let mut index = HnswIndex {
+            items: Vec::with_capacity(items.len()),
+            layers: Vec::new(),
+            levels: Vec::new(),
+            entry: None,
+            dim,
+            similarity,
+            m: self.max_connections,
+            ef_construction: self.ef_construction,
+            ef_search: self.ef_search,
+            level_norm: 1.0 / (self.max_connections as f64).ln().max(1e-9),
+        };
+        for item in items {
+            index.insert(item, rng)?;
+        }
+        Ok(index)
+    }
+}
+
+/// HNSW approximate nearest-neighbor index.
+///
+/// Construct through [`HnswIndex::builder`]. Search cost is roughly
+/// `O(ef · log n · dim)`; recall against [`super::BruteForceIndex`] rises
+/// with `ef_search`.
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    items: Vec<Embedding>,
+    /// `layers[l][node]` = neighbor ids of `node` at layer `l`; nodes whose
+    /// level is below `l` have empty lists there.
+    layers: Vec<Vec<Vec<u32>>>,
+    /// Top layer of each node.
+    levels: Vec<usize>,
+    entry: Option<u32>,
+    dim: usize,
+    similarity: Similarity,
+    m: usize,
+    ef_construction: usize,
+    ef_search: usize,
+    level_norm: f64,
+}
+
+impl HnswIndex {
+    /// Starts building an index with default parameters.
+    pub fn builder() -> HnswBuilder {
+        HnswBuilder::default()
+    }
+
+    /// The similarity metric the index scores with.
+    pub fn similarity(&self) -> Similarity {
+        self.similarity
+    }
+
+    /// Number of graph layers currently in use.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn score(&self, a: u32, q: &Embedding) -> f32 {
+        self.similarity
+            .score(q, &self.items[a as usize])
+            .expect("indexed items share the query dimension")
+    }
+
+    fn random_level<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        ((-u.ln()) * self.level_norm).floor() as usize
+    }
+
+    fn insert<R: Rng + ?Sized>(
+        &mut self,
+        item: Embedding,
+        rng: &mut R,
+    ) -> Result<(), EmbedError> {
+        let id = self.items.len() as u32;
+        let level = self.random_level(rng).min(32);
+        self.items.push(item);
+        self.levels.push(level);
+        while self.layers.len() <= level {
+            self.layers
+                .push(vec![Vec::new(); self.items.len().saturating_sub(1)]);
+        }
+        for layer in &mut self.layers {
+            layer.push(Vec::new());
+        }
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(id);
+            return Ok(());
+        };
+        let q = self.items[id as usize].clone();
+        let top = self.layers.len() - 1;
+        let ep_level = self.levels[ep as usize];
+        // Greedy descent through layers above the new node's level.
+        for l in ((level + 1)..=ep_level.min(top)).rev() {
+            ep = self.greedy_step(&q, ep, l);
+        }
+        // Beam search + linking on layers <= level.
+        for l in (0..=level.min(ep_level.min(top))).rev() {
+            let found = self.search_layer(&q, &[ep], self.ef_construction, l);
+            let max_links = if l == 0 { 2 * self.m } else { self.m };
+            let selected: Vec<u32> = found.iter().take(self.m).map(|h| h.id as u32).collect();
+            for &n in &selected {
+                self.layers[l][id as usize].push(n);
+                self.layers[l][n as usize].push(id);
+                if self.layers[l][n as usize].len() > max_links {
+                    self.prune(n, l, max_links);
+                }
+            }
+            if let Some(best) = found.first() {
+                ep = best.id as u32;
+            }
+        }
+        if level > self.levels[self.entry.expect("entry set") as usize] {
+            self.entry = Some(id);
+        }
+        Ok(())
+    }
+
+    /// Keeps only the `max_links` most similar neighbors of `node` at layer
+    /// `l`.
+    fn prune(&mut self, node: u32, l: usize, max_links: usize) {
+        let anchor = self.items[node as usize].clone();
+        let mut scored: Vec<(OrdF32, u32)> = self.layers[l][node as usize]
+            .iter()
+            .map(|&n| (OrdF32(self.score(n, &anchor)), n))
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0));
+        scored.truncate(max_links);
+        self.layers[l][node as usize] = scored.into_iter().map(|(_, n)| n).collect();
+    }
+
+    /// One greedy hill-climbing pass at layer `l`: repeatedly move to the
+    /// most similar neighbor until no improvement.
+    fn greedy_step(&self, q: &Embedding, mut ep: u32, l: usize) -> u32 {
+        let mut best = self.score(ep, q);
+        loop {
+            let mut improved = false;
+            for &n in &self.layers[l][ep as usize] {
+                let s = self.score(n, q);
+                if s > best {
+                    best = s;
+                    ep = n;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Beam search at layer `l` from the given entry points; returns up to
+    /// `ef` hits sorted by descending score.
+    fn search_layer(&self, q: &Embedding, entries: &[u32], ef: usize, l: usize) -> Vec<Hit> {
+        let mut visited: HashSet<u32> = HashSet::new();
+        // Candidates: max-heap on score (best first).
+        let mut candidates: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
+        // Results: min-heap on score (worst first) bounded to ef.
+        let mut results: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
+        for &e in entries {
+            if visited.insert(e) {
+                let s = OrdF32(self.score(e, q));
+                candidates.push((s, e));
+                results.push(Reverse((s, e)));
+            }
+        }
+        while let Some((s, c)) = candidates.pop() {
+            let worst = results
+                .peek()
+                .map(|Reverse((w, _))| *w)
+                .unwrap_or(OrdF32(f32::NEG_INFINITY));
+            if results.len() >= ef && s < worst {
+                break;
+            }
+            for &n in &self.layers[l][c as usize] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let sn = OrdF32(self.score(n, q));
+                let worst = results
+                    .peek()
+                    .map(|Reverse((w, _))| *w)
+                    .unwrap_or(OrdF32(f32::NEG_INFINITY));
+                if results.len() < ef || sn > worst {
+                    candidates.push((sn, n));
+                    results.push(Reverse((sn, n)));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<Hit> = results
+            .into_iter()
+            .map(|Reverse((s, id))| Hit {
+                id: id as usize,
+                score: s.0,
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score));
+        hits
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Result<Vec<Hit>, EmbedError> {
+        let Some(mut ep) = self.entry else {
+            return Ok(Vec::new());
+        };
+        EmbedError::check_dims(self.dim, query.dim())?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let top = self.layers.len() - 1;
+        let ep_level = self.levels[ep as usize].min(top);
+        for l in (1..=ep_level).rev() {
+            ep = self.greedy_step(query, ep, l);
+        }
+        let ef = self.ef_search.max(k);
+        let mut hits = self.search_layer(query, &[ep], ef, 0);
+        hits.truncate(k);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{recall, BruteForceIndex};
+    use crate::synthetic::SyntheticCorpus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn corpus_vectors(seed: u64, n: usize) -> Vec<Embedding> {
+        SyntheticCorpus::builder()
+            .vocab_size(n)
+            .dim(32)
+            .num_topics(12)
+            .generate(&mut rng(seed))
+            .unwrap()
+            .embeddings()
+            .to_vec()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = HnswIndex::builder()
+            .build(vec![], Similarity::Cosine, &mut rng(1))
+            .unwrap();
+        assert!(idx.is_empty());
+        assert!(idx.search(&Embedding::zeros(4), 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let idx = HnswIndex::builder()
+            .build(
+                vec![Embedding::new(vec![1.0, 0.0])],
+                Similarity::Cosine,
+                &mut rng(2),
+            )
+            .unwrap();
+        let hits = idx.search(&Embedding::new(vec![1.0, 0.1]), 3).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn finds_exact_match_in_small_collection() {
+        let items = corpus_vectors(3, 200);
+        let idx = HnswIndex::builder()
+            .build(items.clone(), Similarity::Cosine, &mut rng(4))
+            .unwrap();
+        for probe in [0usize, 17, 99, 199] {
+            let hits = idx.search(&items[probe], 1).unwrap();
+            assert_eq!(hits[0].id, probe, "self-query must return the item");
+            assert!((hits[0].score - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn recall_against_brute_force() {
+        let items = corpus_vectors(5, 500);
+        let brute = BruteForceIndex::build(items.clone(), Similarity::Cosine).unwrap();
+        let hnsw = HnswIndex::builder()
+            .max_connections(16)
+            .ef_construction(100)
+            .ef_search(64)
+            .build(items.clone(), Similarity::Cosine, &mut rng(6))
+            .unwrap();
+        let mut total = 0.0;
+        let queries = 25;
+        for i in 0..queries {
+            let q = &items[i * 7];
+            let exact = brute.search(q, 10).unwrap();
+            let approx = hnsw.search(q, 10).unwrap();
+            total += recall(&exact, &approx);
+        }
+        let avg = total / queries as f64;
+        assert!(avg >= 0.85, "average recall@10 too low: {avg}");
+    }
+
+    #[test]
+    fn results_are_sorted_descending() {
+        let items = corpus_vectors(7, 100);
+        let idx = HnswIndex::builder()
+            .build(items.clone(), Similarity::Cosine, &mut rng(8))
+            .unwrap();
+        let hits = idx.search(&items[0], 10).unwrap();
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn degree_bound_is_respected() {
+        let items = corpus_vectors(9, 300);
+        let m = 8;
+        let idx = HnswIndex::builder()
+            .max_connections(m)
+            .build(items, Similarity::Cosine, &mut rng(10))
+            .unwrap();
+        for (l, layer) in idx.layers.iter().enumerate() {
+            let bound = if l == 0 { 2 * m } else { m };
+            for links in layer {
+                assert!(
+                    links.len() <= bound + m,
+                    "layer {l} node exceeds degree bound: {}",
+                    links.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(HnswIndex::builder()
+            .max_connections(0)
+            .build(vec![], Similarity::Dot, &mut rng(1))
+            .is_err());
+        assert!(HnswIndex::builder()
+            .ef_construction(0)
+            .build(vec![], Similarity::Dot, &mut rng(1))
+            .is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_on_search() {
+        let idx = HnswIndex::builder()
+            .build(
+                vec![Embedding::zeros(3)],
+                Similarity::Cosine,
+                &mut rng(11),
+            )
+            .unwrap();
+        assert!(idx.search(&Embedding::zeros(2), 1).is_err());
+    }
+}

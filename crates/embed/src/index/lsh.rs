@@ -1,0 +1,321 @@
+//! Random-hyperplane locality-sensitive hashing (SimHash) index.
+//!
+//! The second ANN family named in the paper's §III-A. Each table hashes an
+//! embedding to a `bits`-wide signature of hyperplane signs; vectors with
+//! high cosine similarity collide with probability `(1 − θ/π)^bits` per
+//! table. Queries gather candidates from all tables' matching buckets and
+//! re-rank them exactly.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::index::{Hit, VectorIndex};
+use crate::synthetic::random_unit_vector;
+use crate::topk::TopK;
+use crate::{similarity, EmbedError, Embedding};
+
+/// Builder for [`LshIndex`].
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_embed::index::{LshIndex, VectorIndex};
+/// use gdsearch_embed::Embedding;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), gdsearch_embed::EmbedError> {
+/// let items: Vec<Embedding> = (0..100)
+///     .map(|i| Embedding::new(vec![(i as f32).sin(), (i as f32).cos(), 1.0]).normalized())
+///     .collect();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let index = LshIndex::builder()
+///     .num_tables(8)
+///     .bits(6)
+///     .build(items.clone(), &mut rng)?;
+/// let hits = index.search(&items[42], 5)?;
+/// assert_eq!(hits[0].id, 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LshBuilder {
+    num_tables: usize,
+    bits: usize,
+}
+
+impl Default for LshBuilder {
+    fn default() -> Self {
+        LshBuilder {
+            num_tables: 16,
+            bits: 8,
+        }
+    }
+}
+
+impl LshBuilder {
+    /// Number of independent hash tables. More tables raise recall at the
+    /// cost of memory and candidate volume.
+    pub fn num_tables(mut self, tables: usize) -> Self {
+        self.num_tables = tables;
+        self
+    }
+
+    /// Signature width per table (max 32). More bits shrink buckets: higher
+    /// precision, lower per-table recall.
+    pub fn bits(mut self, bits: usize) -> Self {
+        self.bits = bits;
+        self
+    }
+
+    /// Builds the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::InvalidParameter`] for zero tables, or bits
+    /// outside `1..=32`, and [`EmbedError::DimensionMismatch`] for ragged
+    /// embeddings.
+    pub fn build<R: Rng + ?Sized>(
+        self,
+        items: Vec<Embedding>,
+        rng: &mut R,
+    ) -> Result<LshIndex, EmbedError> {
+        if self.num_tables == 0 {
+            return Err(EmbedError::invalid_parameter(
+                "num_tables must be positive",
+            ));
+        }
+        if self.bits == 0 || self.bits > 32 {
+            return Err(EmbedError::invalid_parameter("bits must lie in 1..=32"));
+        }
+        let dim = items.first().map(Embedding::dim).unwrap_or(0);
+        for e in &items {
+            EmbedError::check_dims(dim, e.dim())?;
+        }
+        let mut tables = Vec::with_capacity(self.num_tables);
+        for _ in 0..self.num_tables {
+            let planes: Vec<Embedding> = (0..self.bits)
+                .map(|_| random_unit_vector(dim.max(1), rng))
+                .collect();
+            let mut buckets: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (i, item) in items.iter().enumerate() {
+                let sig = signature(&planes, item);
+                buckets.entry(sig).or_default().push(i as u32);
+            }
+            tables.push(Table { planes, buckets });
+        }
+        Ok(LshIndex { items, dim, tables })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    planes: Vec<Embedding>,
+    buckets: HashMap<u32, Vec<u32>>,
+}
+
+/// SimHash signature of `item` under the given hyperplanes.
+fn signature(planes: &[Embedding], item: &Embedding) -> u32 {
+    let mut sig = 0u32;
+    for (b, plane) in planes.iter().enumerate() {
+        let s: f32 = plane
+            .iter()
+            .zip(item.iter())
+            .map(|(p, x)| p * x)
+            .sum();
+        if s >= 0.0 {
+            sig |= 1 << b;
+        }
+    }
+    sig
+}
+
+/// Random-hyperplane LSH index, scoring candidates by cosine similarity.
+///
+/// Search is *approximate*: only vectors sharing a bucket with the query in
+/// at least one table are considered. With default parameters and clustered
+/// data, recall of the top hit is high; tune via [`LshIndex::builder`].
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    items: Vec<Embedding>,
+    dim: usize,
+    tables: Vec<Table>,
+}
+
+impl LshIndex {
+    /// Starts building an index with default parameters (16 tables × 8
+    /// bits).
+    pub fn builder() -> LshBuilder {
+        LshBuilder::default()
+    }
+
+    /// Number of hash tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Candidate ids for a query: the union of its buckets across tables.
+    pub fn candidates(&self, query: &Embedding) -> Vec<usize> {
+        let mut seen: Vec<bool> = vec![false; self.items.len()];
+        let mut out = Vec::new();
+        for table in &self.tables {
+            let sig = signature(&table.planes, query);
+            if let Some(bucket) = table.buckets.get(&sig) {
+                for &i in bucket {
+                    if !seen[i as usize] {
+                        seen[i as usize] = true;
+                        out.push(i as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl VectorIndex for LshIndex {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Result<Vec<Hit>, EmbedError> {
+        if self.items.is_empty() {
+            return Ok(Vec::new());
+        }
+        EmbedError::check_dims(self.dim, query.dim())?;
+        let mut top = TopK::new(k);
+        for id in self.candidates(query) {
+            let score = similarity::cosine(query, &self.items[id])?;
+            top.push(score, id);
+        }
+        Ok(top
+            .into_sorted()
+            .into_iter()
+            .map(|s| Hit {
+                id: s.item,
+                score: s.score,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{recall, BruteForceIndex};
+    use crate::synthetic::SyntheticCorpus;
+    use crate::Similarity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn clustered(seed: u64, n: usize) -> Vec<Embedding> {
+        SyntheticCorpus::builder()
+            .vocab_size(n)
+            .dim(32)
+            .num_topics(10)
+            .topic_noise(0.4)
+            .background_fraction(0.1)
+            .generate(&mut rng(seed))
+            .unwrap()
+            .embeddings()
+            .to_vec()
+    }
+
+    #[test]
+    fn identical_vector_is_always_found() {
+        let items = clustered(1, 300);
+        let idx = LshIndex::builder().build(items.clone(), &mut rng(2)).unwrap();
+        // A vector hashes to its own bucket in every table, so self-queries
+        // always succeed.
+        for probe in [0usize, 50, 299] {
+            let hits = idx.search(&items[probe], 1).unwrap();
+            assert_eq!(hits[0].id, probe);
+        }
+    }
+
+    #[test]
+    fn recall_of_near_duplicates_is_high() {
+        let items = clustered(3, 400);
+        let brute = BruteForceIndex::build(items.clone(), Similarity::Cosine).unwrap();
+        let idx = LshIndex::builder()
+            .num_tables(24)
+            .bits(6)
+            .build(items.clone(), &mut rng(4))
+            .unwrap();
+        let mut total = 0.0;
+        let queries = 20;
+        for i in 0..queries {
+            let q = &items[i * 3];
+            let exact = brute.search(q, 5).unwrap();
+            let approx = idx.search(q, 5).unwrap();
+            total += recall(&exact, &approx);
+        }
+        let avg = total / queries as f64;
+        assert!(avg >= 0.5, "average recall@5 too low: {avg}");
+    }
+
+    #[test]
+    fn empty_index_is_usable() {
+        let idx = LshIndex::builder().build(vec![], &mut rng(5)).unwrap();
+        assert!(idx.is_empty());
+        assert!(idx.search(&Embedding::zeros(3), 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LshIndex::builder()
+            .num_tables(0)
+            .build(vec![], &mut rng(1))
+            .is_err());
+        assert!(LshIndex::builder()
+            .bits(0)
+            .build(vec![], &mut rng(1))
+            .is_err());
+        assert!(LshIndex::builder()
+            .bits(40)
+            .build(vec![], &mut rng(1))
+            .is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_on_search() {
+        let items = clustered(6, 50);
+        let idx = LshIndex::builder().build(items, &mut rng(7)).unwrap();
+        assert!(idx.search(&Embedding::zeros(2), 1).is_err());
+    }
+
+    #[test]
+    fn candidates_shrink_with_more_bits() {
+        let items = clustered(8, 500);
+        let coarse = LshIndex::builder()
+            .num_tables(4)
+            .bits(2)
+            .build(items.clone(), &mut rng(9))
+            .unwrap();
+        let fine = LshIndex::builder()
+            .num_tables(4)
+            .bits(16)
+            .build(items.clone(), &mut rng(9))
+            .unwrap();
+        let q = &items[0];
+        assert!(coarse.candidates(q).len() >= fine.candidates(q).len());
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let items = clustered(10, 20);
+        let idx = LshIndex::builder().build(items.clone(), &mut rng(11)).unwrap();
+        let a = idx.candidates(&items[0]);
+        let b = idx.candidates(&items[0]);
+        assert_eq!(a, b);
+    }
+}

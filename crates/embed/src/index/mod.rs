@@ -1,0 +1,104 @@
+//! Nearest-neighbor indexes over embedding collections.
+//!
+//! Node-local retrieval in the search scheme is a top-k nearest-neighbor
+//! query over the node's document embeddings (paper §III-A). Three engines
+//! are provided:
+//!
+//! * [`BruteForceIndex`] — exact linear scan; the reference every
+//!   approximate engine is tested against, and the right choice for the
+//!   small per-node collections of the paper's experiments;
+//! * [`HnswIndex`] — hierarchical navigable small-world graph, the ANN
+//!   family the paper cites for sub-linear query time;
+//! * [`LshIndex`] — random-hyperplane locality-sensitive hashing, the other
+//!   ANN family named in §III-A.
+//!
+//! All engines score with a configurable [`Similarity`](crate::Similarity) (LSH is inherently
+//! cosine-oriented) and return [`Hit`]s sorted by descending score.
+
+mod brute;
+mod hnsw;
+mod lsh;
+
+pub use brute::BruteForceIndex;
+pub use hnsw::{HnswBuilder, HnswIndex};
+pub use lsh::{LshBuilder, LshIndex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EmbedError, Embedding};
+
+/// One retrieval result: the item's index in the build-time collection and
+/// its similarity score to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hit {
+    /// Index of the item in the collection the index was built from.
+    pub id: usize,
+    /// Similarity score; higher is more relevant.
+    pub score: f32,
+}
+
+/// Common interface of nearest-neighbor indexes.
+///
+/// The trait is object-safe, so heterogeneous engines can be swapped behind
+/// `Box<dyn VectorIndex>` in node configurations.
+pub trait VectorIndex {
+    /// Number of indexed items.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of indexed embeddings.
+    fn dim(&self) -> usize;
+
+    /// Returns up to `k` hits sorted by descending score.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::DimensionMismatch`] if `query.dim()` differs
+    /// from the indexed dimensionality.
+    fn search(&self, query: &Embedding, k: usize) -> Result<Vec<Hit>, EmbedError>;
+}
+
+/// Recall@k of `approx` against ground truth `exact`: the fraction of exact
+/// ids that the approximate result retrieved.
+///
+/// Returns 1.0 when the exact result is empty (nothing to miss).
+pub fn recall(exact: &[Hit], approx: &[Hit]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let truth: std::collections::HashSet<usize> = exact.iter().map(|h| h.id).collect();
+    let found = approx.iter().filter(|h| truth.contains(&h.id)).count();
+    found as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_of_identical_results_is_one() {
+        let hits = vec![Hit { id: 1, score: 0.9 }, Hit { id: 2, score: 0.8 }];
+        assert_eq!(recall(&hits, &hits), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_overlap() {
+        let exact = vec![
+            Hit { id: 1, score: 0.9 },
+            Hit { id: 2, score: 0.8 },
+            Hit { id: 3, score: 0.7 },
+            Hit { id: 4, score: 0.6 },
+        ];
+        let approx = vec![Hit { id: 2, score: 0.8 }, Hit { id: 9, score: 0.5 }];
+        assert!((recall(&exact, &approx) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_with_empty_truth_is_one() {
+        assert_eq!(recall(&[], &[Hit { id: 0, score: 0.0 }]), 1.0);
+    }
+}

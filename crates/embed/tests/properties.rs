@@ -1,0 +1,124 @@
+//! Property-based tests for the dense-retrieval substrate.
+
+use gdsearch_embed::index::{BruteForceIndex, VectorIndex};
+use gdsearch_embed::topk::TopK;
+use gdsearch_embed::{similarity, Embedding, Similarity};
+use proptest::prelude::*;
+
+fn arb_vector(dim: usize) -> impl Strategy<Value = Embedding> {
+    proptest::collection::vec(-10.0f32..10.0, dim).prop_map(Embedding::new)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_bilinear(a in arb_vector(8), b in arb_vector(8), c in arb_vector(8), s in -5.0f32..5.0) {
+        // <a + s·b, c> == <a, c> + s·<b, c>
+        let mut left_vec = a.clone();
+        left_vec.add_scaled_in_place(&b, s).unwrap();
+        let left = similarity::dot(&left_vec, &c).unwrap();
+        let right = similarity::dot(&a, &c).unwrap() + s * similarity::dot(&b, &c).unwrap();
+        prop_assert!((left - right).abs() < 1e-2 * (1.0 + right.abs()),
+            "left {left} right {right}");
+    }
+
+    #[test]
+    fn dot_is_symmetric(a in arb_vector(8), b in arb_vector(8)) {
+        let ab = similarity::dot(&a, &b).unwrap();
+        let ba = similarity::dot(&b, &a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant(a in arb_vector(6), b in arb_vector(6), s in 0.1f32..20.0) {
+        prop_assume!(a.norm() > 1e-3 && b.norm() > 1e-3);
+        let base = similarity::cosine(&a, &b).unwrap();
+        let scaled = similarity::cosine(&a.scaled(s), &b).unwrap();
+        prop_assert!((base - scaled).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_bounded(a in arb_vector(6), b in arb_vector(6)) {
+        let c = similarity::cosine(&a, &b).unwrap();
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
+    }
+
+    #[test]
+    fn normalization_preserves_direction(a in arb_vector(6)) {
+        prop_assume!(a.norm() > 1e-3);
+        let n = a.normalized();
+        prop_assert!((n.norm() - 1.0).abs() < 1e-4);
+        let c = similarity::cosine(&a, &n).unwrap();
+        prop_assert!((c - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(a in arb_vector(5), b in arb_vector(5), c in arb_vector(5)) {
+        let ab = similarity::euclidean(&a, &b).unwrap();
+        let bc = similarity::euclidean(&b, &c).unwrap();
+        let ac = similarity::euclidean(&a, &c).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    #[test]
+    fn topk_matches_full_sort(scores in proptest::collection::vec(-100.0f32..100.0, 0..60), k in 1usize..10) {
+        let mut top = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            top.push(s, i);
+        }
+        let got: Vec<usize> = top.into_sorted().into_iter().map(|s| s.item).collect();
+        let mut expected: Vec<(f32, usize)> =
+            scores.iter().copied().zip(0..).collect();
+        expected.sort_by(|a, b| b.0.total_cmp(&a.0));
+        expected.truncate(k);
+        // Compare score sequences (ties may order differently by item).
+        let got_scores: Vec<f32> = got.iter().map(|&i| scores[i]).collect();
+        let expected_scores: Vec<f32> = expected.iter().map(|e| e.0).collect();
+        prop_assert_eq!(got_scores, expected_scores);
+    }
+
+    #[test]
+    fn brute_force_returns_true_top_k(
+        vectors in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 1..40),
+        query in proptest::collection::vec(-5.0f32..5.0, 4),
+        k in 1usize..8,
+    ) {
+        let items: Vec<Embedding> = vectors.iter().cloned().map(Embedding::new).collect();
+        let q = Embedding::new(query);
+        let index = BruteForceIndex::build(items.clone(), Similarity::Dot).unwrap();
+        let hits = index.search(&q, k).unwrap();
+        // Hits are sorted and no non-hit beats the worst hit.
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        if hits.len() == k.min(items.len()) && !hits.is_empty() {
+            let worst = hits.last().unwrap().score;
+            let hit_ids: std::collections::HashSet<usize> =
+                hits.iter().map(|h| h.id).collect();
+            for (i, item) in items.iter().enumerate() {
+                if !hit_ids.contains(&i) {
+                    let s = similarity::dot(&q, item).unwrap();
+                    prop_assert!(s <= worst + 1e-4,
+                        "missed item {i} with score {s} > worst hit {worst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_aggregation_linearity(
+        vectors in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 1..20),
+        query in proptest::collection::vec(-5.0f32..5.0, 4),
+    ) {
+        // Paper Eq. (3): dot(q, Σ d) == Σ dot(q, d).
+        let q = Embedding::new(query);
+        let mut sum = Embedding::zeros(4);
+        let mut total = 0.0f32;
+        for v in &vectors {
+            let e = Embedding::new(v.clone());
+            total += similarity::dot(&q, &e).unwrap();
+            sum.add_in_place(&e).unwrap();
+        }
+        let combined = similarity::dot(&q, &sum).unwrap();
+        prop_assert!((combined - total).abs() < 1e-2 * (1.0 + total.abs()));
+    }
+}

@@ -1,0 +1,220 @@
+//! Breadth-first search: distances, rings, paths and eccentricities.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Computes BFS hop distances from `source` to every node.
+///
+/// Unreachable nodes map to `None`.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_graph::{generators, NodeId};
+/// use gdsearch_graph::algo::bfs;
+///
+/// let g = generators::path(4); // 0 - 1 - 2 - 3
+/// let d = bfs::distances(&g, NodeId::new(0));
+/// assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for v in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Groups nodes by exact BFS distance from `source`: `rings[d]` holds every
+/// node at distance `d`, for `d <= max_distance`.
+///
+/// Ring 0 is always `[source]`. Rings beyond the graph's reach are empty.
+/// The evaluation harness uses this to sample one querying node per ring
+/// around the gold document's host (paper §V-C).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn distance_rings(g: &Graph, source: NodeId, max_distance: u32) -> Vec<Vec<NodeId>> {
+    let dist = distances(g, source);
+    let mut rings = vec![Vec::new(); max_distance as usize + 1];
+    for (i, d) in dist.iter().enumerate() {
+        if let Some(d) = d {
+            if *d <= max_distance {
+                rings[*d as usize].push(NodeId::new(i as u32));
+            }
+        }
+    }
+    rings
+}
+
+/// Returns one shortest path from `source` to `target` (inclusive of both),
+/// or `None` if `target` is unreachable.
+///
+/// # Panics
+///
+/// Panics if either endpoint is out of range.
+pub fn shortest_path(g: &Graph, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
+    if source == target {
+        return Some(vec![source]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.num_nodes()];
+    let mut seen = vec![false; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                parent[v.index()] = Some(u);
+                if v == target {
+                    let mut rev = vec![v];
+                    let mut cur = u;
+                    loop {
+                        rev.push(cur);
+                        match parent[cur.index()] {
+                            Some(p) => cur = p,
+                            None => break,
+                        }
+                    }
+                    rev.reverse();
+                    return Some(rev);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Eccentricity of `u`: the maximum finite BFS distance to any reachable
+/// node. Returns 0 for an isolated node.
+///
+/// # Panics
+///
+/// Panics if `u` is out of range.
+pub fn eccentricity(g: &Graph, u: NodeId) -> u32 {
+    distances(g, u).iter().flatten().copied().max().unwrap_or(0)
+}
+
+/// Estimates the diameter (longest shortest path) of the largest component by
+/// double-sweep BFS: run BFS from `start`, then from the farthest node found.
+/// Exact on trees; a strong lower bound in general.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn diameter_lower_bound(g: &Graph, start: NodeId) -> u32 {
+    let d1 = distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (i, d)))
+        .max_by_key(|&(_, d)| d)
+        .map(|(i, _)| NodeId::new(i as u32))
+        .unwrap_or(start);
+    eccentricity(g, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_ring() {
+        let g = generators::ring(6).unwrap();
+        let d = distances(&g, NodeId::new(0));
+        assert_eq!(
+            d,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(2), Some(1)]
+        );
+    }
+
+    #[test]
+    fn distances_mark_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let d = distances(&g, NodeId::new(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn rings_partition_reachable_nodes() {
+        let g = generators::grid(4, 4);
+        let rings = distance_rings(&g, NodeId::new(0), 6);
+        let total: usize = rings.iter().map(Vec::len).sum();
+        assert_eq!(total, 16);
+        assert_eq!(rings[0], vec![NodeId::new(0)]);
+        // Manhattan distance on the grid.
+        assert_eq!(rings[1].len(), 2);
+        assert_eq!(rings[6].len(), 1); // opposite corner
+    }
+
+    #[test]
+    fn rings_respect_max_distance() {
+        let g = generators::path(10);
+        let rings = distance_rings(&g, NodeId::new(0), 3);
+        assert_eq!(rings.len(), 4);
+        assert_eq!(rings[3], vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = generators::grid(3, 3);
+        let p = shortest_path(&g, NodeId::new(0), NodeId::new(8)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId::new(0)));
+        assert_eq!(p.last(), Some(&NodeId::new(8)));
+        assert_eq!(p.len(), 5); // 4 hops on the grid
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_same_node() {
+        let g = generators::path(3);
+        assert_eq!(
+            shortest_path(&g, NodeId::new(1), NodeId::new(1)),
+            Some(vec![NodeId::new(1)])
+        );
+    }
+
+    #[test]
+    fn shortest_path_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(shortest_path(&g, NodeId::new(0), NodeId::new(3)), None);
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let g = generators::path(7);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), 6);
+        assert_eq!(eccentricity(&g, NodeId::new(3)), 3);
+        assert_eq!(diameter_lower_bound(&g, NodeId::new(3)), 6);
+    }
+
+    #[test]
+    fn eccentricity_isolated_node() {
+        let g = Graph::empty(3);
+        assert_eq!(eccentricity(&g, NodeId::new(1)), 0);
+    }
+
+    use crate::Graph;
+}

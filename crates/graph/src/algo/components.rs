@@ -1,0 +1,169 @@
+//! Connected components and largest-component extraction.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Connected-component labelling of a graph.
+///
+/// Produced by [`connected_components`]. Labels are dense `0..count`, in
+/// order of discovery from the smallest node id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    labels: Vec<u32>,
+    count: u32,
+}
+
+impl Components {
+    /// Component label of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn label(&self, u: NodeId) -> u32 {
+        self.labels[u.index()]
+    }
+
+    /// Number of connected components.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether `u` and `v` are in the same component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u.index()] == self.labels[v.index()]
+    }
+
+    /// Size of every component, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count as usize];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Label of a largest component (ties broken by smallest label).
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(l, _)| l as u32)
+    }
+}
+
+/// Labels every node with its connected component.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_nodes();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = count;
+        queue.push_back(NodeId::new(start as u32));
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(u) {
+                if labels[v.index()] == u32::MAX {
+                    labels[v.index()] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { labels, count }
+}
+
+/// Extracts the largest connected component as a new graph with compacted
+/// node ids, together with the mapping from new ids to original ids.
+///
+/// Returns `(subgraph, original_ids)` where `original_ids[new.index()]` is
+/// the node's id in `g`. For the empty graph returns an empty graph and map.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<NodeId>) {
+    let comps = connected_components(g);
+    let Some(target) = comps.largest() else {
+        return (Graph::empty(0), Vec::new());
+    };
+    let mut old_to_new = vec![u32::MAX; g.num_nodes()];
+    let mut new_to_old = Vec::new();
+    for u in g.node_ids() {
+        if comps.label(u) == target {
+            old_to_new[u.index()] = new_to_old.len() as u32;
+            new_to_old.push(u);
+        }
+    }
+    let mut b = GraphBuilder::new(new_to_old.len() as u32);
+    for (u, v) in g.edges() {
+        let (nu, nv) = (old_to_new[u.index()], old_to_new[v.index()]);
+        if nu != u32::MAX && nv != u32::MAX {
+            b.add_edge(nu, nv).expect("remapped ids are in range");
+        }
+    }
+    (b.build(), new_to_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = crate::generators::ring(5).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.same_component(NodeId::new(0), NodeId::new(3)));
+        assert_eq!(c.sizes(), vec![5]);
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3); // {0,1,2}, {3,4}, {5}
+        assert!(!c.same_component(NodeId::new(0), NodeId::new(3)));
+        assert_eq!(c.largest(), Some(0));
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = Graph::empty(0);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), None);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4), (5, 6)]).unwrap();
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(map, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn largest_component_of_empty() {
+        let (sub, map) = largest_component(&Graph::empty(0));
+        assert_eq!(sub.num_nodes(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_are_own_components() {
+        let g = Graph::empty(4);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.sizes(), vec![1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Degree statistics and graph summaries for experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::algo::{bfs, clustering, components};
+use crate::{Graph, NodeId};
+
+/// Summary statistics of a degree sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree (lower median for even counts).
+    pub median: usize,
+}
+
+/// Computes [`DegreeStats`] for a graph. Returns all-zero stats for the
+/// empty graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    if g.num_nodes() == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+        };
+    }
+    let mut degrees: Vec<usize> = g.node_ids().map(|u| g.degree(u)).collect();
+    degrees.sort_unstable();
+    DegreeStats {
+        min: degrees[0],
+        max: *degrees.last().unwrap(),
+        mean: g.mean_degree(),
+        median: degrees[(degrees.len() - 1) / 2],
+    }
+}
+
+/// Histogram of node degrees: `histogram[d]` = number of nodes with degree
+/// `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.node_ids().map(|u| g.degree(u)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for u in g.node_ids() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+/// One-stop structural summary of a graph, as reported in experiment logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSummary {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Degree statistics.
+    pub degrees: DegreeStats,
+    /// Number of connected components.
+    pub components: u32,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Average local clustering coefficient.
+    pub average_clustering: f64,
+    /// Double-sweep BFS lower bound on the diameter (from node 0).
+    pub diameter_lower_bound: u32,
+}
+
+/// Computes a [`GraphSummary`].
+///
+/// Costs one clustering pass (`O(Σ deg²)`) plus two BFS traversals, so it is
+/// intended for setup-time logging rather than inner loops.
+pub fn summarize(g: &Graph) -> GraphSummary {
+    let comps = components::connected_components(g);
+    let largest = comps.sizes().into_iter().max().unwrap_or(0);
+    GraphSummary {
+        num_nodes: g.num_nodes(),
+        num_edges: g.num_edges(),
+        degrees: degree_stats(g),
+        components: comps.count(),
+        largest_component: largest,
+        average_clustering: clustering::average_clustering(g),
+        diameter_lower_bound: if g.num_nodes() == 0 {
+            0
+        } else {
+            bfs::diameter_lower_bound(g, NodeId::new(0))
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = generators::star(5);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.median, 1);
+        assert!((s.mean - 2.0 * 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = degree_stats(&crate::Graph::empty(0));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_nodes() {
+        let g = generators::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn summary_of_ring() {
+        let g = generators::ring(8).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.num_nodes, 8);
+        assert_eq!(s.num_edges, 8);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.largest_component, 8);
+        assert_eq!(s.degrees.min, 2);
+        assert_eq!(s.degrees.max, 2);
+        assert_eq!(s.diameter_lower_bound, 4);
+    }
+
+    #[test]
+    fn summary_empty_graph() {
+        let s = summarize(&crate::Graph::empty(0));
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(s.diameter_lower_bound, 0);
+    }
+}

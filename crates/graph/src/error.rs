@@ -1,0 +1,117 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or loading graphs.
+///
+/// All graph-construction entry points validate their inputs
+/// (self-loops, out-of-range endpoints, malformed generator parameters)
+/// and report failures through this type.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge `(u, u)` was supplied; the substrate models simple graphs.
+    SelfLoop {
+        /// The offending node.
+        node: u32,
+    },
+    /// An edge endpoint is `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u32,
+        /// Number of nodes declared for the graph.
+        num_nodes: u32,
+    },
+    /// A generator or algorithm parameter is outside its valid domain.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An edge-list line could not be parsed.
+    ParseEdgeList {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Offending line content (truncated).
+        content: String,
+    },
+    /// An underlying I/O failure while reading or writing a graph file.
+    Io(std::io::Error),
+}
+
+impl GraphError {
+    pub(crate) fn invalid_parameter(reason: impl Into<String>) -> Self {
+        GraphError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node {node} is out of range for a graph with {num_nodes} nodes"
+                )
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+            GraphError::ParseEdgeList { line, content } => {
+                write!(f, "malformed edge-list line {line}: {content:?}")
+            }
+            GraphError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::SelfLoop { node: 3 };
+        assert_eq!(e.to_string(), "self-loop on node 3 is not allowed");
+
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains("out of range"));
+
+        let e = GraphError::invalid_parameter("p must lie in [0, 1]");
+        assert!(e.to_string().contains("p must lie in [0, 1]"));
+    }
+
+    #[test]
+    fn io_errors_expose_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(io);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

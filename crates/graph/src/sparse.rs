@@ -1,0 +1,400 @@
+//! Minimal `f32` CSR sparse matrix and graph transition matrices.
+//!
+//! Personalized PageRank diffusion iterates `E(t) = (1−a) A E(t−1) + a E(0)`
+//! where `A` is a normalized adjacency (transition) matrix. This module
+//! provides the CSR representation and the three standard normalizations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Graph, GraphError, NodeId};
+
+/// How the adjacency matrix of an undirected graph is normalized into a
+/// transition matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Normalization {
+    /// `A = W D^{-1}` — column-stochastic. Entry `(u, v)` is `1/deg(v)`:
+    /// random-walk mass flows from `v` to a uniformly chosen neighbor. This
+    /// is the Markov-chain reading of the paper's Eq. (5) and the default.
+    #[default]
+    ColumnStochastic,
+    /// `A = D^{-1} W` — row-stochastic. Each node averages its neighbors'
+    /// values (neighborhood smoothing).
+    RowStochastic,
+    /// `A = D^{-1/2} W D^{-1/2}` — symmetric normalization, the usual choice
+    /// in graph-convolution literature.
+    Symmetric,
+}
+
+/// Compressed sparse row matrix with `f32` values.
+///
+/// Supports the two products the diffusion engines need: matrix × vector and
+/// matrix × row-major dense matrix.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_graph::sparse::CsrMatrix;
+///
+/// // [[0, 2], [1, 0]]
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 1.0)]).unwrap();
+/// let y = m.mul_vec(&[3.0, 4.0]);
+/// assert_eq!(y, vec![8.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    offsets: Vec<usize>,
+    columns: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets. Triplets may
+    /// arrive in any order; duplicates are summed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if an index is out of range.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        triplets: &[(u32, u32, f32)],
+    ) -> Result<Self, GraphError> {
+        for &(r, c, _) in triplets {
+            if r as usize >= n_rows || c as usize >= n_cols {
+                return Err(GraphError::invalid_parameter(format!(
+                    "triplet ({r}, {c}) out of range for {n_rows}x{n_cols} matrix"
+                )));
+            }
+        }
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates of the same (row, col) by summing their values.
+        let mut merged: Vec<(u32, u32, f32)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut offsets = vec![0usize; n_rows + 1];
+        for &(r, _, _) in &merged {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 1..=n_rows {
+            offsets[i] += offsets[i - 1];
+        }
+        let columns: Vec<u32> = merged.iter().map(|&(_, c, _)| c).collect();
+        let values: Vec<f32> = merged.iter().map(|&(_, _, v)| v).collect();
+        Ok(CsrMatrix {
+            n_rows,
+            n_cols,
+            offsets,
+            columns,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the stored entries of `row` as `(column, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= n_rows`.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let range = self.offsets[row]..self.offsets[row + 1];
+        self.columns[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// Dense matrix-vector product `y = M x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols`.
+    pub fn mul_vec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.n_cols, "dimension mismatch");
+        let mut y = vec![0.0f32; self.n_rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// In-place matrix-vector product `y = M x`, reusing the output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn mul_vec_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.n_cols, "input dimension mismatch");
+        assert_eq!(y.len(), self.n_rows, "output dimension mismatch");
+        for r in 0..self.n_rows {
+            let mut acc = 0.0f32;
+            for i in self.offsets[r]..self.offsets[r + 1] {
+                acc += self.values[i] * x[self.columns[i] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Product with a row-major dense matrix: `Y = M X`, where `X` has
+    /// `n_cols` rows of width `width` stored contiguously, likewise `Y`.
+    ///
+    /// This is the hot loop of dense diffusion (`X` holds one embedding row
+    /// per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer sizes disagree with `n_cols * width` /
+    /// `n_rows * width`.
+    pub fn mul_dense_into(&self, x: &[f32], width: usize, y: &mut [f32]) {
+        assert_eq!(x.len(), self.n_cols * width, "input dimension mismatch");
+        assert_eq!(y.len(), self.n_rows * width, "output dimension mismatch");
+        for r in 0..self.n_rows {
+            let out = &mut y[r * width..(r + 1) * width];
+            out.fill(0.0);
+            for i in self.offsets[r]..self.offsets[r + 1] {
+                let w = self.values[i];
+                let src = &x[self.columns[i] as usize * width..][..width];
+                for (o, s) in out.iter_mut().zip(src) {
+                    *o += w * s;
+                }
+            }
+        }
+    }
+
+    /// Sum of each row's values (useful to verify stochasticity).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.n_rows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Sum of each column's values.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.n_cols];
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                sums[c as usize] += v;
+            }
+        }
+        sums
+    }
+}
+
+/// Builds the normalized transition matrix of an undirected graph.
+///
+/// Isolated nodes produce empty rows/columns: their diffusion state is pure
+/// teleport, which is the correct decentralized semantics (no neighbors to
+/// exchange with).
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_graph::{generators, sparse};
+///
+/// let g = generators::path(3);
+/// let a = sparse::transition_matrix(&g, sparse::Normalization::ColumnStochastic);
+/// // Every column of a column-stochastic matrix sums to 1.
+/// for s in a.col_sums() {
+///     assert!((s - 1.0).abs() < 1e-6);
+/// }
+/// ```
+pub fn transition_matrix(g: &Graph, norm: Normalization) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut triplets = Vec::with_capacity(2 * g.num_edges());
+    for u in g.node_ids() {
+        for v in g.neighbors(u) {
+            let value = match norm {
+                Normalization::ColumnStochastic => 1.0 / g.degree(v) as f32,
+                Normalization::RowStochastic => 1.0 / g.degree(u) as f32,
+                Normalization::Symmetric => {
+                    1.0 / ((g.degree(u) as f32).sqrt() * (g.degree(v) as f32).sqrt())
+                }
+            };
+            triplets.push((u.as_u32(), v.as_u32(), value));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("graph indices are in range")
+}
+
+/// Convenience accessor: the transition weight `A[u][v]` for neighbors
+/// `u, v` under `norm`, as used by decentralized per-node updates.
+///
+/// Returns 0 if `u` and `v` are not adjacent.
+///
+/// # Panics
+///
+/// Panics if either node is out of range.
+pub fn transition_weight(g: &Graph, norm: Normalization, u: NodeId, v: NodeId) -> f32 {
+    if !g.has_edge(u, v) {
+        return 0.0;
+    }
+    match norm {
+        Normalization::ColumnStochastic => 1.0 / g.degree(v) as f32,
+        Normalization::RowStochastic => 1.0 / g.degree(u) as f32,
+        Normalization::Symmetric => {
+            1.0 / ((g.degree(u) as f32).sqrt() * (g.degree(v) as f32).sqrt())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn from_triplets_sorts_rows() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(1, 2, 5.0), (0, 0, 1.0), (1, 0, 2.0)]).unwrap();
+        assert_eq!(m.nnz(), 3);
+        let row1: Vec<_> = m.row(1).collect();
+        assert_eq!(row1, vec![(0, 2.0), (2, 5.0)]);
+    }
+
+    #[test]
+    fn from_triplets_merges_duplicates() {
+        let m =
+            CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5), (1, 0, 4.0)]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 3.5)]);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_range() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        // [[1, 0, 2], [0, 3, 0]]
+        let m =
+            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+        assert_eq!(m.mul_vec(&[0.0, 2.0, 5.0]), vec![10.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_checks_dims() {
+        let m = CsrMatrix::from_triplets(2, 3, &[]).unwrap();
+        let _ = m.mul_vec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_dense_is_columnwise_mul_vec() {
+        let g = generators::ring(5).unwrap();
+        let a = transition_matrix(&g, Normalization::ColumnStochastic);
+        let width = 3;
+        let x: Vec<f32> = (0..5 * width).map(|i| (i as f32).sin()).collect();
+        let mut y = vec![0.0f32; 5 * width];
+        a.mul_dense_into(&x, width, &mut y);
+        for c in 0..width {
+            let col: Vec<f32> = (0..5).map(|r| x[r * width + c]).collect();
+            let expect = a.mul_vec(&col);
+            for r in 0..5 {
+                assert!((y[r * width + c] - expect[r]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn column_stochastic_columns_sum_to_one() {
+        let g = generators::social_circles_like_scaled(100, &mut seeded(1)).unwrap();
+        let a = transition_matrix(&g, Normalization::ColumnStochastic);
+        for (v, s) in a.col_sums().iter().enumerate() {
+            if g.degree(NodeId::new(v as u32)) > 0 {
+                assert!((s - 1.0).abs() < 1e-4, "column {v} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_stochastic_rows_sum_to_one() {
+        let g = generators::grid(4, 4);
+        let a = transition_matrix(&g, Normalization::RowStochastic);
+        for (u, s) in a.row_sums().iter().enumerate() {
+            if g.degree(NodeId::new(u as u32)) > 0 {
+                assert!((s - 1.0).abs() < 1e-5, "row {u} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_normalization_is_symmetric() {
+        let g = generators::star(5);
+        let a = transition_matrix(&g, Normalization::Symmetric);
+        for u in 0..5usize {
+            for (c, v) in a.row(u) {
+                let back: f32 = a
+                    .row(c as usize)
+                    .find(|&(cc, _)| cc as usize == u)
+                    .map(|(_, vv)| vv)
+                    .unwrap();
+                assert!((v - back).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_rows() {
+        let g = crate::Graph::from_edges(3, [(0, 1)]).unwrap();
+        let a = transition_matrix(&g, Normalization::ColumnStochastic);
+        assert_eq!(a.row(2).count(), 0);
+    }
+
+    #[test]
+    fn transition_weight_matches_matrix() {
+        let g = generators::grid(3, 3);
+        for norm in [
+            Normalization::ColumnStochastic,
+            Normalization::RowStochastic,
+            Normalization::Symmetric,
+        ] {
+            let a = transition_matrix(&g, norm);
+            for u in g.node_ids() {
+                for v in g.neighbors(u) {
+                    let from_matrix = a
+                        .row(u.index())
+                        .find(|&(c, _)| c == v.as_u32())
+                        .map(|(_, w)| w)
+                        .unwrap();
+                    let direct = transition_weight(&g, norm, u, v);
+                    assert!((from_matrix - direct).abs() < 1e-6);
+                }
+            }
+        }
+        assert_eq!(
+            transition_weight(
+                &g,
+                Normalization::ColumnStochastic,
+                NodeId::new(0),
+                NodeId::new(8)
+            ),
+            0.0
+        );
+    }
+
+    fn seeded(seed: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the graph substrate.
+
+use gdsearch_graph::algo::{bfs, components};
+use gdsearch_graph::{generators, io, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a small simple graph described by node count and an arbitrary
+/// edge set (self-loops filtered out).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2u32..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..120).prop_map(move |pairs| {
+            let edges = pairs.into_iter().filter(|(u, v)| u != v);
+            Graph::from_edges(n, edges).expect("filtered edges are valid")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let total: usize = g.node_ids().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn adjacency_sorted_and_unique(g in arb_graph()) {
+        for u in g.node_ids() {
+            let ns = g.neighbor_slice(u);
+            for w in ns.windows(2) {
+                prop_assert!(w[0] < w[1], "neighbors must be strictly ascending");
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_is_symmetric(g in arb_graph()) {
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent(g in arb_graph()) {
+        // Triangle inequality across an edge: distances of adjacent nodes
+        // differ by at most 1.
+        let d = bfs::distances(&g, NodeId::new(0));
+        for (u, v) in g.edges() {
+            if let (Some(du), Some(dv)) = (d[u.index()], d[v.index()]) {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                // If one endpoint is reachable the other must be too.
+                prop_assert!(d[u.index()].is_none() && d[v.index()].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_rings_match_distances(g in arb_graph()) {
+        let src = NodeId::new(0);
+        let d = bfs::distances(&g, src);
+        let max = d.iter().flatten().copied().max().unwrap_or(0);
+        let rings = bfs::distance_rings(&g, src, max);
+        for (dist, ring) in rings.iter().enumerate() {
+            for &u in ring {
+                prop_assert_eq!(d[u.index()], Some(dist as u32));
+            }
+        }
+        let total: usize = rings.iter().map(Vec::len).sum();
+        let reachable = d.iter().filter(|x| x.is_some()).count();
+        prop_assert_eq!(total, reachable);
+    }
+
+    #[test]
+    fn shortest_path_length_equals_bfs_distance(g in arb_graph()) {
+        let src = NodeId::new(0);
+        let d = bfs::distances(&g, src);
+        for t in g.node_ids() {
+            match (bfs::shortest_path(&g, src, t), d[t.index()]) {
+                (Some(path), Some(dist)) => {
+                    prop_assert_eq!(path.len() as u32, dist + 1);
+                    for w in path.windows(2) {
+                        prop_assert!(g.has_edge(w[0], w[1]));
+                    }
+                }
+                (None, None) => {}
+                (p, dd) => prop_assert!(false, "path {:?} vs distance {:?}", p, dd),
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_with_bfs(g in arb_graph()) {
+        let comps = components::connected_components(&g);
+        let d = bfs::distances(&g, NodeId::new(0));
+        for u in g.node_ids() {
+            let reachable = d[u.index()].is_some();
+            let same = comps.same_component(NodeId::new(0), u);
+            prop_assert_eq!(reachable, same);
+        }
+    }
+
+    #[test]
+    fn component_sizes_sum_to_node_count(g in arb_graph()) {
+        let comps = components::connected_components(&g);
+        let total: usize = comps.sizes().iter().sum();
+        prop_assert_eq!(total, g.num_nodes());
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let back = io::read_edge_list(buf.as_slice()).unwrap();
+        // Node count can shrink if trailing nodes are isolated (ids are
+        // inferred from max edge endpoint); edges must match exactly.
+        let edges_a: Vec<_> = g.edges().collect();
+        let edges_b: Vec<_> = back.edges().collect();
+        prop_assert_eq!(edges_a, edges_b);
+    }
+
+    #[test]
+    fn largest_component_is_connected(g in arb_graph()) {
+        let (sub, map) = components::largest_component(&g);
+        prop_assert!(generators::is_connected(&sub));
+        prop_assert_eq!(sub.num_nodes(), map.len());
+        // Every extracted edge exists in the original graph.
+        for (u, v) in sub.edges() {
+            prop_assert!(g.has_edge(map[u.index()], map[v.index()]));
+        }
+    }
+
+    #[test]
+    fn transition_matrices_are_stochastic(g in arb_graph()) {
+        use gdsearch_graph::sparse::{transition_matrix, Normalization};
+        let a = transition_matrix(&g, Normalization::ColumnStochastic);
+        for (v, s) in a.col_sums().iter().enumerate() {
+            if g.degree(NodeId::new(v as u32)) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-4);
+            } else {
+                prop_assert_eq!(*s, 0.0);
+            }
+        }
+        let a = transition_matrix(&g, Normalization::RowStochastic);
+        for (u, s) in a.row_sums().iter().enumerate() {
+            if g.degree(NodeId::new(u as u32)) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+use gdsearch_graph::GraphError;
+
+/// Errors produced by the network simulator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A parameter is outside its valid domain.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A node id does not exist in the simulated graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the network.
+        num_nodes: u32,
+    },
+    /// The event budget was exhausted before the network went quiet.
+    EventBudgetExhausted {
+        /// Events processed before giving up.
+        processed: usize,
+    },
+    /// Propagated graph-substrate error.
+    Graph(GraphError),
+}
+
+impl SimError {
+    pub(crate) fn invalid_parameter(reason: impl Into<String>) -> Self {
+        SimError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            SimError::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node {node} out of range for a network of {num_nodes} nodes"
+                )
+            }
+            SimError::EventBudgetExhausted { processed } => {
+                write!(
+                    f,
+                    "event budget exhausted after {processed} events with work remaining"
+                )
+            }
+            SimError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SimError {
+    fn from(e: GraphError) -> Self {
+        SimError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::invalid_parameter("x must be positive")
+            .to_string()
+            .contains("x must be positive"));
+        assert!(SimError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 4
+        }
+        .to_string()
+        .contains("out of range"));
+        assert!(SimError::EventBudgetExhausted { processed: 10 }
+            .to_string()
+            .contains("10 events"));
+    }
+
+    #[test]
+    fn graph_error_source() {
+        let e = SimError::from(GraphError::SelfLoop { node: 0 });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,172 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// Distribution of per-message link delays.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_sim::LatencyModel;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), gdsearch_sim::SimError> {
+/// let model = LatencyModel::uniform(0.01, 0.05)?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let d = model.sample(&mut rng);
+/// assert!((0.01..=0.05).contains(&d));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many seconds.
+    Constant(f64),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Minimum delay (seconds).
+        min: f64,
+        /// Maximum delay (seconds).
+        max: f64,
+    },
+    /// Exponentially distributed with the given mean.
+    Exponential {
+        /// Mean delay (seconds).
+        mean: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Constant latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for negative or non-finite
+    /// values.
+    pub fn constant(secs: f64) -> Result<Self, SimError> {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(SimError::invalid_parameter(
+                "constant latency must be non-negative and finite",
+            ));
+        }
+        Ok(LatencyModel::Constant(secs))
+    }
+
+    /// Uniform latency in `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] unless
+    /// `0 <= min <= max < ∞`.
+    pub fn uniform(min: f64, max: f64) -> Result<Self, SimError> {
+        if !min.is_finite() || !max.is_finite() || min < 0.0 || max < min {
+            return Err(SimError::invalid_parameter(
+                "uniform latency needs 0 <= min <= max",
+            ));
+        }
+        Ok(LatencyModel::Uniform { min, max })
+    }
+
+    /// Exponential latency with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive or
+    /// non-finite means.
+    pub fn exponential(mean: f64) -> Result<Self, SimError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(SimError::invalid_parameter(
+                "exponential latency needs a positive mean",
+            ));
+        }
+        Ok(LatencyModel::Exponential { mean })
+    }
+
+    /// Samples one delay in seconds.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            LatencyModel::Constant(secs) => secs,
+            LatencyModel::Uniform { min, max } => {
+                if max > min {
+                    rng.random_range(min..=max)
+                } else {
+                    min
+                }
+            }
+            LatencyModel::Exponential { mean } => {
+                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                -u.ln() * mean
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// Instant delivery — suitable for experiments that only count hops.
+    fn default() -> Self {
+        LatencyModel::Constant(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::constant(0.25).unwrap();
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), 0.25);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::uniform(0.1, 0.2).unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = m.sample(&mut r);
+            assert!((0.1..=0.2).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let m = LatencyModel::uniform(0.3, 0.3).unwrap();
+        assert_eq!(m.sample(&mut rng()), 0.3);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let m = LatencyModel::exponential(2.0).unwrap();
+        let mut r = rng();
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| m.sample(&mut r)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LatencyModel::constant(-1.0).is_err());
+        assert!(LatencyModel::constant(f64::NAN).is_err());
+        assert!(LatencyModel::uniform(0.5, 0.1).is_err());
+        assert!(LatencyModel::uniform(-0.1, 0.1).is_err());
+        assert!(LatencyModel::exponential(0.0).is_err());
+        assert!(LatencyModel::exponential(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn default_is_instant() {
+        assert_eq!(LatencyModel::default().sample(&mut rng()), 0.0);
+    }
+}

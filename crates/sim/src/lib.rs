@@ -1,0 +1,74 @@
+//! Discrete-event peer-to-peer network simulator for the `gdsearch` stack.
+//!
+//! The reproduced paper evaluates its search scheme by simulation (§V-B,
+//! Fig. 2): nodes exchange query/response messages over a social overlay.
+//! This crate is the transport layer of that simulation:
+//!
+//! * [`SimTime`] / [`EventQueue`] — virtual clock and ordered event queue;
+//! * [`LatencyModel`] — per-link delay distributions;
+//! * [`Network`] — the simulator proper: delivers messages between
+//!   neighboring nodes, applies latency, random loss and node churn, and
+//!   accounts every byte sent ([`NetStats`]);
+//! * [`NodeHandler`] — the protocol hook: the `gdsearch` core crate
+//!   implements the paper's query-forwarding protocol as a handler;
+//! * [`WireMessage`] — wire-size accounting for bandwidth reports;
+//! * [`churn`] — failure-injection schedules (node down/up events);
+//! * [`trace`] — bounded event traces for debugging and assertions.
+//!
+//! The simulator is deterministic under a seeded RNG.
+//!
+//! # Example
+//!
+//! ```
+//! use gdsearch_graph::generators;
+//! use gdsearch_graph::NodeId;
+//! use gdsearch_sim::{Network, NetworkConfig, NodeApi, NodeHandler, WireMessage};
+//!
+//! // A ping protocol: every node forwards a counter to a random neighbor
+//! // until it reaches zero.
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl WireMessage for Ping {
+//!     fn wire_size(&self) -> usize { 4 }
+//! }
+//! struct Relay;
+//! impl NodeHandler<Ping> for Relay {
+//!     fn handle(&mut self, _from: Option<NodeId>, msg: Ping, api: &mut NodeApi<'_, Ping>) {
+//!         if msg.0 > 0 {
+//!             let next = api.random_neighbor().expect("connected graph");
+//!             api.send(next, Ping(msg.0 - 1));
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), gdsearch_sim::SimError> {
+//! let g = generators::ring(8)?;
+//! let handlers = (0..8).map(|_| Relay).collect();
+//! let mut net = Network::new(g, handlers, NetworkConfig::default().with_seed(7))?;
+//! net.inject(NodeId::new(0), Ping(5))?;
+//! net.run_to_completion(10_000)?;
+//! assert_eq!(net.stats().delivered, 6); // injection + 5 relays
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+mod error;
+mod latency;
+mod network;
+mod queue;
+mod stats;
+mod time;
+pub mod trace;
+mod wire;
+
+pub use error::SimError;
+pub use latency::LatencyModel;
+pub use network::{Network, NetworkConfig, NodeApi, NodeHandler};
+pub use queue::EventQueue;
+pub use stats::NetStats;
+pub use time::SimTime;
+pub use wire::{decode_f32_slice, encode_f32_slice, WireMessage};

@@ -1,0 +1,613 @@
+//! The discrete-event network simulator.
+
+use gdsearch_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::churn::{ChurnKind, ChurnSchedule};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::{EventQueue, LatencyModel, NetStats, SimError, SimTime, WireMessage};
+
+/// Protocol logic attached to every node: invoked once per delivered
+/// message.
+///
+/// Handlers are per-node state machines; the simulator owns one handler
+/// instance per node and never shares them across nodes, so no interior
+/// synchronization is needed.
+pub trait NodeHandler<M> {
+    /// Processes `msg` delivered to this node from `from` (`None` for
+    /// external injections). Use `api` to inspect the topology, sample
+    /// randomness and send messages to neighbors.
+    fn handle(&mut self, from: Option<NodeId>, msg: M, api: &mut NodeApi<'_, M>);
+}
+
+/// Capabilities exposed to a [`NodeHandler`] while processing one message.
+#[derive(Debug)]
+pub struct NodeApi<'a, M> {
+    node: NodeId,
+    now: SimTime,
+    neighbors: &'a [NodeId],
+    rng: &'a mut StdRng,
+    outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M> NodeApi<'a, M> {
+    /// The node this handler runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's neighbors, sorted by id.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// A uniformly random neighbor, or `None` for isolated nodes.
+    pub fn random_neighbor(&mut self) -> Option<NodeId> {
+        if self.neighbors.is_empty() {
+            None
+        } else {
+            Some(self.neighbors[self.rng.random_range(0..self.neighbors.len())])
+        }
+    }
+
+    /// The simulation RNG (deterministic under the network seed).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues `msg` for transmission to `to`. The transport applies
+    /// latency, loss and churn; sending to a non-neighbor is allowed only
+    /// for protocols that maintain out-of-band routes (the transport does
+    /// not forbid it, mirroring an IP underlay), but the paper's protocol
+    /// only ever sends to neighbors.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+}
+
+/// Configuration of a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    latency: LatencyModel,
+    loss_probability: f64,
+    seed: u64,
+    trace_capacity: usize,
+    churn: ChurnSchedule,
+}
+
+impl Default for NetworkConfig {
+    /// Instant, lossless, churn-free transport with seed 0 and no trace.
+    fn default() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::default(),
+            loss_probability: 0.0,
+            seed: 0,
+            trace_capacity: 0,
+            churn: ChurnSchedule::none(),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Sets the link latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the independent per-message loss probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] outside `[0, 1]`.
+    pub fn with_loss_probability(mut self, p: f64) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(SimError::invalid_parameter(
+                "loss probability must lie in [0, 1]",
+            ));
+        }
+        self.loss_probability = p;
+        Ok(self)
+    }
+
+    /// Sets the RNG seed (simulations are deterministic per seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables transport tracing with the given ring-buffer capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Installs a churn schedule.
+    pub fn with_churn(mut self, churn: ChurnSchedule) -> Self {
+        self.churn = churn;
+        self
+    }
+}
+
+enum Event<M> {
+    Deliver {
+        from: Option<NodeId>,
+        to: NodeId,
+        msg: M,
+        bytes: usize,
+    },
+    Churn {
+        node: NodeId,
+        kind: ChurnKind,
+    },
+}
+
+/// Discrete-event message-passing simulator over a fixed overlay graph.
+///
+/// Generic over the message type `M` and per-node handler `H`; see the
+/// crate-level example. Drive it with [`Network::inject`] +
+/// [`Network::run_to_completion`] (until no events remain) or
+/// [`Network::run_until`] (until a virtual deadline).
+pub struct Network<M, H> {
+    graph: Graph,
+    handlers: Vec<H>,
+    up: Vec<bool>,
+    queue: EventQueue<Event<M>>,
+    rng: StdRng,
+    now: SimTime,
+    stats: NetStats,
+    trace: Trace,
+    latency: LatencyModel,
+    loss_probability: f64,
+    outbox: Vec<(NodeId, M)>,
+}
+
+impl<M, H> Network<M, H>
+where
+    M: WireMessage,
+    H: NodeHandler<M>,
+{
+    /// Creates a network over `graph` with one handler per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `handlers.len()` differs
+    /// from the node count.
+    pub fn new(graph: Graph, handlers: Vec<H>, config: NetworkConfig) -> Result<Self, SimError> {
+        if handlers.len() != graph.num_nodes() {
+            return Err(SimError::invalid_parameter(format!(
+                "expected one handler per node ({}), got {}",
+                graph.num_nodes(),
+                handlers.len()
+            )));
+        }
+        let mut queue = EventQueue::new();
+        for ev in config.churn.events() {
+            queue.push(
+                ev.time,
+                Event::Churn {
+                    node: ev.node,
+                    kind: ev.kind,
+                },
+            );
+        }
+        let up = vec![true; graph.num_nodes()];
+        Ok(Network {
+            graph,
+            handlers,
+            up,
+            queue,
+            rng: StdRng::seed_from_u64(config.seed),
+            now: SimTime::ZERO,
+            stats: NetStats::default(),
+            trace: Trace::new(config.trace_capacity),
+            latency: config.latency,
+            loss_probability: config.loss_probability,
+            outbox: Vec::new(),
+        })
+    }
+
+    /// The overlay graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The transport trace (empty unless enabled in the config).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Whether `node` is currently up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for unknown nodes.
+    pub fn is_up(&self, node: NodeId) -> Result<bool, SimError> {
+        self.check_node(node)?;
+        Ok(self.up[node.index()])
+    }
+
+    /// Shared access to a node's handler (e.g. to read protocol state after
+    /// a run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for unknown nodes.
+    pub fn handler(&self, node: NodeId) -> Result<&H, SimError> {
+        self.check_node(node)?;
+        Ok(&self.handlers[node.index()])
+    }
+
+    /// Mutable access to a node's handler (e.g. to install documents before
+    /// a run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for unknown nodes.
+    pub fn handler_mut(&mut self, node: NodeId) -> Result<&mut H, SimError> {
+        self.check_node(node)?;
+        Ok(&mut self.handlers[node.index()])
+    }
+
+    /// Injects an external message to `node` at the current time (e.g. a
+    /// user issuing a query).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for unknown nodes.
+    pub fn inject(&mut self, node: NodeId, msg: M) -> Result<(), SimError> {
+        self.check_node(node)?;
+        let bytes = msg.wire_size();
+        self.queue.push(
+            self.now,
+            Event::Deliver {
+                from: None,
+                to: node,
+                msg,
+                bytes,
+            },
+        );
+        Ok(())
+    }
+
+    /// Processes events until the queue drains, up to `max_events`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExhausted`] if events remain after
+    /// the budget.
+    pub fn run_to_completion(&mut self, max_events: usize) -> Result<usize, SimError> {
+        let mut processed = 0;
+        while processed < max_events {
+            if self.step().is_none() {
+                return Ok(processed);
+            }
+            processed += 1;
+        }
+        if self.queue.is_empty() {
+            Ok(processed)
+        } else {
+            Err(SimError::EventBudgetExhausted { processed })
+        }
+    }
+
+    /// Processes events with time ≤ `deadline`; later events stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> usize {
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            processed += 1;
+        }
+        self.now = self.now.max(deadline);
+        processed
+    }
+
+    /// Processes the next event, if any. Returns the event's time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (time, event) = self.queue.pop()?;
+        self.now = time;
+        match event {
+            Event::Churn { node, kind } => {
+                self.up[node.index()] = matches!(kind, ChurnKind::Up);
+            }
+            Event::Deliver {
+                from,
+                to,
+                msg,
+                bytes,
+            } => {
+                if !self.up[to.index()] {
+                    self.stats.dropped_down += 1;
+                    self.trace.record(TraceEvent {
+                        time,
+                        kind: TraceKind::DroppedDown,
+                        from,
+                        to,
+                        bytes,
+                    });
+                } else {
+                    self.stats.delivered += 1;
+                    self.trace.record(TraceEvent {
+                        time,
+                        kind: TraceKind::Delivered,
+                        from,
+                        to,
+                        bytes,
+                    });
+                    self.outbox.clear();
+                    let mut api = NodeApi {
+                        node: to,
+                        now: time,
+                        neighbors: self.graph.neighbor_slice(to),
+                        rng: &mut self.rng,
+                        outbox: &mut self.outbox,
+                    };
+                    self.handlers[to.index()].handle(from, msg, &mut api);
+                    // Transmit everything the handler queued.
+                    let queued: Vec<(NodeId, M)> = self.outbox.drain(..).collect();
+                    for (dest, out_msg) in queued {
+                        self.transmit(to, dest, out_msg);
+                    }
+                }
+            }
+        }
+        Some(time)
+    }
+
+    /// Applies loss/churn/latency to a message from `from` to `to`.
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let bytes = msg.wire_size();
+        self.stats.sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.trace.record(TraceEvent {
+            time: self.now,
+            kind: TraceKind::Sent,
+            from: Some(from),
+            to,
+            bytes,
+        });
+        if self.loss_probability > 0.0 && self.rng.random_bool(self.loss_probability) {
+            self.stats.lost += 1;
+            self.trace.record(TraceEvent {
+                time: self.now,
+                kind: TraceKind::Lost,
+                from: Some(from),
+                to,
+                bytes,
+            });
+            return;
+        }
+        let delay = self.latency.sample(&mut self.rng);
+        self.queue.push(
+            self.now.after(delay),
+            Event::Deliver {
+                from: Some(from),
+                to,
+                msg,
+                bytes,
+            },
+        );
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), SimError> {
+        if node.index() < self.graph.num_nodes() {
+            Ok(())
+        } else {
+            Err(SimError::NodeOutOfRange {
+                node: node.as_u32(),
+                num_nodes: self.graph.num_nodes() as u32,
+            })
+        }
+    }
+}
+
+impl<M, H> std::fmt::Debug for Network<M, H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.graph.num_nodes())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnEvent;
+    use gdsearch_graph::generators;
+
+    /// Counts deliveries; forwards `hops` more times round-robin.
+    #[derive(Clone, Debug)]
+    struct Hop(u32);
+
+    impl WireMessage for Hop {
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    #[derive(Default)]
+    struct Counter {
+        received: u32,
+    }
+
+    impl NodeHandler<Hop> for Counter {
+        fn handle(&mut self, _from: Option<NodeId>, msg: Hop, api: &mut NodeApi<'_, Hop>) {
+            self.received += 1;
+            if msg.0 > 0 {
+                // Deterministic next hop: first neighbor.
+                let next = api.neighbors()[0];
+                api.send(next, Hop(msg.0 - 1));
+            }
+        }
+    }
+
+    fn counters(n: usize) -> Vec<Counter> {
+        (0..n).map(|_| Counter::default()).collect()
+    }
+
+    #[test]
+    fn relay_chain_terminates() {
+        let g = generators::ring(5).unwrap();
+        let mut net = Network::new(g, counters(5), NetworkConfig::default()).unwrap();
+        net.inject(NodeId::new(0), Hop(7)).unwrap();
+        let processed = net.run_to_completion(1000).unwrap();
+        assert_eq!(processed, 8); // 1 injection + 7 relays
+        assert_eq!(net.stats().delivered, 8);
+        assert_eq!(net.stats().sent, 7); // injection not counted as sent
+        assert_eq!(net.stats().bytes_sent, 28);
+    }
+
+    #[test]
+    fn handler_count_must_match() {
+        let g = generators::ring(5).unwrap();
+        assert!(Network::new(g, counters(4), NetworkConfig::default()).is_err());
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let g = generators::ring(4).unwrap();
+        let cfg = NetworkConfig::default()
+            .with_loss_probability(1.0)
+            .unwrap()
+            .with_seed(3);
+        let mut net = Network::new(g, counters(4), cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(5)).unwrap();
+        net.run_to_completion(100).unwrap();
+        // The injected message is delivered; its relay is lost.
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().lost, 1);
+    }
+
+    #[test]
+    fn churn_drops_deliveries_to_down_nodes() {
+        let g = generators::path(3); // 0 - 1 - 2
+        let churn = ChurnSchedule::from_events(vec![ChurnEvent {
+            time: SimTime::ZERO,
+            node: NodeId::new(1),
+            kind: ChurnKind::Down,
+        }]);
+        let cfg = NetworkConfig::default().with_churn(churn);
+        let mut net = Network::new(g, counters(3), cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(3)).unwrap();
+        net.run_to_completion(100).unwrap();
+        // Node 0 receives the injection and forwards to node 1, which is
+        // down: the message dies there.
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().dropped_down, 1);
+        assert_eq!(net.handler(NodeId::new(1)).unwrap().received, 0);
+    }
+
+    #[test]
+    fn node_comes_back_up() {
+        let g = generators::path(2);
+        let churn = ChurnSchedule::from_events(vec![
+            ChurnEvent {
+                time: SimTime::ZERO,
+                node: NodeId::new(1),
+                kind: ChurnKind::Down,
+            },
+            ChurnEvent {
+                time: SimTime::new(1.0).unwrap(),
+                node: NodeId::new(1),
+                kind: ChurnKind::Up,
+            },
+        ]);
+        let cfg = NetworkConfig::default()
+            .with_latency(LatencyModel::constant(2.0).unwrap())
+            .with_churn(churn);
+        let mut net = Network::new(g, counters(2), cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(1)).unwrap();
+        net.run_to_completion(100).unwrap();
+        // The relay takes 2.0s; node 1 recovered at 1.0s, so it arrives.
+        assert_eq!(net.handler(NodeId::new(1)).unwrap().received, 1);
+    }
+
+    #[test]
+    fn latency_orders_deliveries() {
+        let g = generators::ring(4).unwrap();
+        let cfg = NetworkConfig::default()
+            .with_latency(LatencyModel::constant(0.5).unwrap())
+            .with_trace_capacity(64);
+        let mut net = Network::new(g, counters(4), cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(2)).unwrap();
+        net.run_to_completion(100).unwrap();
+        assert!((net.now().as_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(net.trace().count(crate::trace::TraceKind::Delivered), 3);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let g = generators::ring(4).unwrap();
+        let cfg =
+            NetworkConfig::default().with_latency(LatencyModel::constant(1.0).unwrap());
+        let mut net = Network::new(g, counters(4), cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(10)).unwrap();
+        let processed = net.run_until(SimTime::new(2.5).unwrap());
+        // Events at t=0 (injection), t=1, t=2 fire; t=3 stays queued.
+        assert_eq!(processed, 3);
+        assert_eq!(net.now(), SimTime::new(2.5).unwrap());
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let g = generators::ring(4).unwrap();
+        let mut net = Network::new(g, counters(4), NetworkConfig::default()).unwrap();
+        net.inject(NodeId::new(0), Hop(100)).unwrap();
+        assert!(matches!(
+            net.run_to_completion(5),
+            Err(SimError::EventBudgetExhausted { processed: 5 })
+        ));
+    }
+
+    #[test]
+    fn injection_validates_node() {
+        let g = generators::ring(4).unwrap();
+        let mut net = Network::new(g, counters(4), NetworkConfig::default()).unwrap();
+        assert!(net.inject(NodeId::new(9), Hop(1)).is_err());
+        assert!(net.is_up(NodeId::new(9)).is_err());
+        assert!(net.is_up(NodeId::new(1)).unwrap());
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let make = || {
+            let g = generators::social_circles_like_scaled(30, &mut {
+                use rand::SeedableRng;
+                rand::rngs::StdRng::seed_from_u64(1)
+            })
+            .unwrap();
+            let cfg = NetworkConfig::default()
+                .with_latency(LatencyModel::exponential(0.1).unwrap())
+                .with_loss_probability(0.1)
+                .unwrap()
+                .with_seed(42);
+            let mut net = Network::new(g, counters(30), cfg).unwrap();
+            net.inject(NodeId::new(0), Hop(50)).unwrap();
+            net.run_to_completion(10_000).unwrap();
+            *net.stats()
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,161 @@
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// Entry in the event queue, ordered by `(time, seq)` with reversed
+/// comparison so the earliest event pops first. The sequence number makes
+/// ordering of simultaneous events deterministic (FIFO).
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::new(2.0).unwrap(), "late");
+/// q.push(SimTime::new(1.0).unwrap(), "early");
+/// q.push(SimTime::new(1.0).unwrap(), "early-second");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-second");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `item` at `time`.
+    pub fn push(&mut self, time: SimTime, item: T) {
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            item,
+        });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.time, e.item))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Iterates over pending events in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &T)> {
+        self.heap.iter().map(|e| (e.time, &e.item))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::new(secs).unwrap()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), 3);
+        q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, x)| x)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(t(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, x)| x)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(5.0), "x");
+        q.push(t(2.0), "y");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        let mut seen: Vec<i32> = q.iter().map(|(_, &x)| x).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
+    }
+}

@@ -1,0 +1,66 @@
+use serde::{Deserialize, Serialize};
+
+/// Aggregate transport statistics of a simulation run.
+///
+/// The paper's comparisons between informed and blind search hinge on
+/// message counts (communication overhead) and bandwidth, so the simulator
+/// accounts both at the transport layer where no protocol can forget to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages handed to the transport (including ones later lost).
+    pub sent: u64,
+    /// Messages delivered to a handler.
+    pub delivered: u64,
+    /// Messages dropped by random loss.
+    pub lost: u64,
+    /// Messages dropped because the destination (or source) was down.
+    pub dropped_down: u64,
+    /// Total bytes handed to the transport.
+    pub bytes_sent: u64,
+}
+
+impl NetStats {
+    /// Fraction of sent messages that were delivered; 1.0 when nothing was
+    /// sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Mean wire size of sent messages; 0.0 when nothing was sent.
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_with_traffic() {
+        let s = NetStats {
+            sent: 10,
+            delivered: 8,
+            lost: 1,
+            dropped_down: 1,
+            bytes_sent: 420,
+        };
+        assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.mean_message_bytes() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_without_traffic() {
+        let s = NetStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.mean_message_bytes(), 0.0);
+    }
+}

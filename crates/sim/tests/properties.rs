@@ -1,0 +1,135 @@
+//! Property-based tests for the network simulator: transport accounting
+//! and determinism must hold for arbitrary topologies, latency/loss
+//! settings and workloads.
+
+use gdsearch_graph::{generators, NodeId};
+use gdsearch_sim::{LatencyModel, NetStats, Network, NetworkConfig, NodeApi, NodeHandler, WireMessage};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A counter token relayed to a deterministic neighbor until it hits zero.
+#[derive(Clone, Debug)]
+struct Token(u32);
+
+impl WireMessage for Token {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+#[derive(Default)]
+struct Relay {
+    received: u32,
+}
+
+impl NodeHandler<Token> for Relay {
+    fn handle(&mut self, _from: Option<NodeId>, msg: Token, api: &mut NodeApi<'_, Token>) {
+        self.received += 1;
+        if msg.0 > 0 {
+            if let Some(next) = api.random_neighbor() {
+                api.send(next, Token(msg.0 - 1));
+            }
+        }
+    }
+}
+
+fn run_network(
+    seed: u64,
+    n: u32,
+    extra: u32,
+    loss: f64,
+    latency_mean: f64,
+    tokens: u32,
+    hops: u32,
+) -> (NetStats, u32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::random_connected(n, extra, &mut rng).unwrap();
+    let handlers: Vec<Relay> = (0..n).map(|_| Relay::default()).collect();
+    let mut cfg = NetworkConfig::default()
+        .with_seed(seed ^ 0xbeef)
+        .with_loss_probability(loss)
+        .unwrap();
+    if latency_mean > 0.0 {
+        cfg = cfg.with_latency(LatencyModel::exponential(latency_mean).unwrap());
+    }
+    let mut net = Network::new(graph, handlers, cfg).unwrap();
+    for t in 0..tokens {
+        net.inject(NodeId::new(t % n), Token(hops)).unwrap();
+    }
+    net.run_to_completion(5_000_000).unwrap();
+    let total_received = (0..n)
+        .map(|u| net.handler(NodeId::new(u)).unwrap().received)
+        .sum();
+    (*net.stats(), total_received)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transport accounting always balances: every transported message is
+    /// delivered, lost or dropped; deliveries equal handler invocations.
+    #[test]
+    fn accounting_balances(
+        seed in 0u64..10_000,
+        n in 2u32..40,
+        extra in 0u32..30,
+        loss in 0.0f64..0.9,
+        latency in 0.0f64..0.5,
+        tokens in 1u32..10,
+        hops in 0u32..30,
+    ) {
+        let (stats, received) = run_network(seed, n, extra, loss, latency, tokens, hops);
+        prop_assert_eq!(
+            stats.sent + u64::from(tokens),
+            stats.delivered + stats.lost + stats.dropped_down,
+            "accounting must balance: {:?}", stats
+        );
+        prop_assert_eq!(u64::from(received), stats.delivered);
+        prop_assert_eq!(stats.bytes_sent, stats.sent * 4);
+    }
+
+    /// Without loss, a relay chain delivers exactly `hops` messages.
+    #[test]
+    fn lossless_chains_complete(
+        seed in 0u64..10_000,
+        n in 2u32..30,
+        hops in 0u32..40,
+    ) {
+        let (stats, _) = run_network(seed, n, 10, 0.0, 0.1, 1, hops);
+        prop_assert_eq!(stats.sent, u64::from(hops));
+        prop_assert_eq!(stats.delivered, u64::from(hops) + 1);
+        prop_assert_eq!(stats.lost, 0);
+    }
+
+    /// The simulator is deterministic per seed.
+    #[test]
+    fn deterministic_per_seed(
+        seed in 0u64..10_000,
+        n in 2u32..30,
+        loss in 0.0f64..0.5,
+    ) {
+        let a = run_network(seed, n, 8, loss, 0.2, 4, 15);
+        let b = run_network(seed, n, 8, loss, 0.2, 4, 15);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// Virtual time never runs backwards.
+    #[test]
+    fn time_is_monotone(seed in 0u64..5_000, n in 3u32..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::random_connected(n, 5, &mut rng).unwrap();
+        let handlers: Vec<Relay> = (0..n).map(|_| Relay::default()).collect();
+        let cfg = NetworkConfig::default()
+            .with_seed(seed)
+            .with_latency(LatencyModel::exponential(0.3).unwrap());
+        let mut net = Network::new(graph, handlers, cfg).unwrap();
+        net.inject(NodeId::new(0), Token(20)).unwrap();
+        let mut last = net.now();
+        while let Some(t) = net.step() {
+            prop_assert!(t >= last, "time went backwards: {t} < {last}");
+            last = t;
+        }
+    }
+}

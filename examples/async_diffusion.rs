@@ -1,0 +1,76 @@
+//! Asynchronous diffusion demo: shows that the decentralized protocol the
+//! paper relies on (§IV-B, p2pGNN-style) converges to the same embeddings
+//! as centralized synchronous power iteration — first in a deterministic
+//! event simulation with message delays, then on real OS threads.
+//!
+//! ```text
+//! cargo run -p gdsearch-examples --release --bin async_diffusion
+//! ```
+
+use gdsearch_diffusion::gossip::{self, GossipConfig};
+use gdsearch_diffusion::{power, threaded, PprConfig, Signal};
+use gdsearch_embed::synthetic::SyntheticCorpus;
+use gdsearch_graph::generators;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(123);
+    let graph = generators::social_circles_like_scaled(400, &mut rng)?;
+    let corpus = SyntheticCorpus::builder()
+        .vocab_size(100)
+        .dim(16)
+        .generate(&mut rng)?;
+
+    // Sparse personalization: 20 random nodes "hold documents".
+    let mut e0 = Signal::zeros(400, 16);
+    for _ in 0..20 {
+        let node = rng.random_range(0..400usize);
+        let word = rng.random_range(0..100u32);
+        e0.set_row(node, corpus.embedding(gdsearch_embed::WordId::new(word)))?;
+    }
+    let cfg = PprConfig::new(0.5)?.with_tolerance(1e-6);
+
+    // Reference: synchronous power iteration (Eq. 7).
+    let t0 = std::time::Instant::now();
+    let sync = power::diffuse(&graph, &e0, &cfg)?;
+    println!(
+        "synchronous power iteration: {} sweeps, residual {:.2e}, {:.1} ms",
+        sync.iterations,
+        sync.residual,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Asynchronous gossip with exponential message delays.
+    let t0 = std::time::Instant::now();
+    let gossip_cfg = GossipConfig::new(cfg).with_mean_delay(0.5)?;
+    let async_out = gossip::diffuse(&graph, &e0, &gossip_cfg, &mut rng)?;
+    println!(
+        "asynchronous gossip: {} node activations over {:.1} virtual time units, {:.1} ms",
+        async_out.updates,
+        async_out.virtual_time,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    println!(
+        "  converged: {} | max |async - sync| = {:.2e}",
+        async_out.converged,
+        async_out.signal.max_abs_diff(&sync.signal)?
+    );
+
+    // Real threads: chaotic relaxation over shared state.
+    for threads in [1, 2, 4, 8] {
+        let t0 = std::time::Instant::now();
+        let out = threaded::diffuse(&graph, &e0, &cfg, threads)?;
+        println!(
+            "threaded ({threads} workers): {} passes, converged {} , max diff {:.2e}, {:.1} ms",
+            out.passes,
+            out.converged,
+            out.signal.max_abs_diff(&sync.signal)?,
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\nAll engines agree: the decentralized asynchronous protocol");
+    println!("reaches the PPR fixed point of Eq. (6), as claimed in §IV-B.");
+    Ok(())
+}

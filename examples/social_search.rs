@@ -1,0 +1,53 @@
+//! Social-network content search: the paper's motivating scenario at
+//! near-paper scale. Builds a Facebook-sized overlay, runs the accuracy
+//! protocol for one document count, and prints the accuracy-vs-distance
+//! curve for all three teleport probabilities.
+//!
+//! ```text
+//! cargo run -p gdsearch-examples --release --bin social_search
+//! ```
+//!
+//! (Use `--release`; the full-scale diffusion is slow in debug builds.)
+
+use gdsearch::experiment::{accuracy, report, Workbench, WorkbenchSpec};
+use gdsearch::SchemeConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2022);
+
+    // Paper-like environment, scaled to finish in about a minute: a
+    // 1,000-node social graph with Facebook-like degree/clustering and a
+    // 5,000-word corpus.
+    let spec = WorkbenchSpec {
+        nodes: 1000,
+        vocab: 5000,
+        dim: 64,
+        topics: 100,
+        num_queries: 200,
+        min_cosine: 0.6,
+        anisotropy: 0.3,
+    };
+    let workbench = Workbench::generate(&spec, &mut rng)?;
+    println!(
+        "social overlay: {} nodes / {} edges; corpus: {} words; {} query pairs\n",
+        workbench.graph.num_nodes(),
+        workbench.graph.num_edges(),
+        workbench.corpus.len(),
+        workbench.queries.len()
+    );
+
+    let config = accuracy::AccuracyConfig {
+        total_docs: 100,
+        alphas: vec![0.1, 0.5, 0.9],
+        max_distance: 6,
+        iterations: 20,
+    };
+    let base = SchemeConfig::default();
+    let result = accuracy::run(&workbench, &config, &base, &mut rng)?;
+    println!("{}", report::accuracy_markdown(&result));
+    println!("Reading the table: the paper's Fig. 3b shape — near-perfect");
+    println!("accuracy at distances 0-1, sharp decline past 2-3 hops.");
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! End-to-end integration tests of the full search pipeline:
+//! graph generation → corpus → query generation → placement →
+//! personalization → diffusion → guided walk.
+
+use gdsearch::experiment::{accuracy, hops, Workbench, WorkbenchSpec};
+use gdsearch::{DiffusionEngine, Placement, SchemeConfig, SearchNetwork};
+use gdsearch_graph::algo::bfs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn workbench(seed: u64) -> Workbench {
+    Workbench::generate(&WorkbenchSpec::ci_scale(), &mut rng(seed)).unwrap()
+}
+
+#[test]
+fn full_pipeline_is_deterministic_under_seed() {
+    let run_once = || {
+        let wb = workbench(11);
+        let cfg = accuracy::AccuracyConfig {
+            total_docs: 8,
+            alphas: vec![0.5],
+            max_distance: 4,
+            iterations: 5,
+        };
+        accuracy::run(&wb, &cfg, &SchemeConfig::default(), &mut rng(12)).unwrap()
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn accuracy_at_distance_zero_and_one_is_high_with_few_documents() {
+    // Fig. 3a's left edge: with 10 documents, queries at distance 0-1 from
+    // the gold host almost always succeed.
+    let wb = workbench(21);
+    let cfg = accuracy::AccuracyConfig {
+        total_docs: 10,
+        alphas: vec![0.5],
+        max_distance: 3,
+        iterations: 20,
+    };
+    let result = accuracy::run(&wb, &cfg, &SchemeConfig::default(), &mut rng(22)).unwrap();
+    let s = &result.series[0];
+    assert_eq!(s.accuracy[0], 1.0, "distance 0 is a local hit");
+    assert!(
+        s.accuracy[1] >= 0.9,
+        "distance 1 should be nearly always found: {}",
+        s.accuracy[1]
+    );
+}
+
+#[test]
+fn accuracy_declines_as_documents_increase() {
+    // The paper's scalability headline: more stored documents = noisier
+    // diffusion = lower accuracy. Compare few vs many documents at mid
+    // distances on the same workbench.
+    let wb = workbench(31);
+    let run_with_docs = |docs: usize, seed: u64| {
+        let cfg = accuracy::AccuracyConfig {
+            total_docs: docs,
+            alphas: vec![0.5],
+            max_distance: 4,
+            iterations: 20,
+        };
+        let result = accuracy::run(&wb, &cfg, &SchemeConfig::default(), &mut rng(seed)).unwrap();
+        // Aggregate accuracy at distances 2..=4.
+        let s = &result.series[0];
+        (2..=4).map(|d| s.accuracy[d]).sum::<f64>() / 3.0
+    };
+    let few = run_with_docs(5, 32);
+    let many = run_with_docs(200, 32);
+    assert!(
+        few >= many,
+        "accuracy with 5 docs ({few:.3}) must be >= accuracy with 200 docs ({many:.3})"
+    );
+}
+
+#[test]
+fn hop_experiment_matches_walk_semantics() {
+    // Sanity link between the two harnesses: hop counts reported by the
+    // Table I harness are achievable within the TTL.
+    let wb = workbench(41);
+    let base = SchemeConfig::builder().ttl(12).build().unwrap();
+    let cfg = hops::HopCountConfig {
+        total_docs: 5,
+        iterations: 10,
+        queries_per_iteration: 5,
+    };
+    let row = hops::run(&wb, &cfg, &base, &mut rng(42)).unwrap();
+    assert_eq!(row.samples, 50);
+    if let Some(mean) = row.mean_hops {
+        assert!(mean <= 12.0, "mean hops {mean} cannot exceed the TTL");
+    }
+}
+
+#[test]
+fn all_engines_yield_equivalent_search_outcomes() {
+    // Whole-system equivalence: the same placement diffused by different
+    // engines must produce identical greedy walks.
+    let wb = workbench(51);
+    let words: Vec<_> = std::iter::once(wb.queries.pairs()[0].gold)
+        .chain(wb.queries.irrelevant().iter().copied().take(9))
+        .collect();
+    let placement = Placement::uniform(&wb.graph, &words, &mut rng(52)).unwrap();
+    let query = wb.corpus.embedding(wb.queries.pairs()[0].query);
+    let start = gdsearch_graph::NodeId::new(3);
+
+    let mut paths = Vec::new();
+    for engine in [
+        DiffusionEngine::Dense,
+        DiffusionEngine::PerSource,
+        DiffusionEngine::Auto,
+    ] {
+        let cfg = SchemeConfig::builder()
+            .engine(engine)
+            .ttl(20)
+            .tolerance(1e-7)
+            .build()
+            .unwrap();
+        let net = SearchNetwork::build(&wb.graph, &wb.corpus, &placement, &cfg, &mut rng(53))
+            .unwrap();
+        let outcome = net.query(query, start, &mut rng(54)).unwrap();
+        paths.push(outcome.path);
+    }
+    assert_eq!(paths[0], paths[1], "dense vs per-source walks diverged");
+    assert_eq!(paths[0], paths[2], "dense vs auto walks diverged");
+}
+
+#[test]
+fn walk_succeeds_exactly_when_it_visits_the_gold_host() {
+    let wb = workbench(61);
+    let words: Vec<_> = std::iter::once(wb.queries.pairs()[0].gold)
+        .chain(wb.queries.irrelevant().iter().copied().take(4))
+        .collect();
+    let placement = Placement::uniform(&wb.graph, &words, &mut rng(62)).unwrap();
+    let net = SearchNetwork::build(
+        &wb.graph,
+        &wb.corpus,
+        &placement,
+        &SchemeConfig::default(),
+        &mut rng(63),
+    )
+    .unwrap();
+    let query = wb.corpus.embedding(wb.queries.pairs()[0].query);
+    for start_idx in [0u32, 50, 120] {
+        let start = gdsearch_graph::NodeId::new(start_idx);
+        let outcome = net.query(query, start, &mut rng(64)).unwrap();
+        let visited_host = outcome.path.contains(&placement.host(0));
+        assert_eq!(
+            outcome.contains(0),
+            visited_host,
+            "success must coincide with visiting the gold host"
+        );
+    }
+}
+
+#[test]
+fn distance_rings_drive_expected_hop_lower_bound() {
+    // A query issued at BFS distance d cannot find the gold in fewer than
+    // d hops.
+    let wb = workbench(71);
+    let words: Vec<_> = std::iter::once(wb.queries.pairs()[0].gold)
+        .chain(wb.queries.irrelevant().iter().copied().take(9))
+        .collect();
+    let placement = Placement::uniform(&wb.graph, &words, &mut rng(72)).unwrap();
+    let net = SearchNetwork::build(
+        &wb.graph,
+        &wb.corpus,
+        &placement,
+        &SchemeConfig::default(),
+        &mut rng(73),
+    )
+    .unwrap();
+    let query = wb.corpus.embedding(wb.queries.pairs()[0].query);
+    let rings = bfs::distance_rings(&wb.graph, placement.host(0), 4);
+    for (d, ring) in rings.iter().enumerate() {
+        if let Some(&start) = ring.first() {
+            let outcome = net.query(query, start, &mut rng(74)).unwrap();
+            if let Some(hop) = outcome.hop_of(0) {
+                assert!(
+                    hop as usize >= d,
+                    "hop {hop} below BFS distance {d} is impossible"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Failure-injection integration tests: the full protocol under message
+//! loss, latency jitter and node churn. The scheme must degrade gracefully
+//! (fewer completions, consistent accounting) and never wedge or panic.
+
+use gdsearch::protocol::{build_protocol_network, issue_query};
+use gdsearch::{Placement, SchemeConfig, SearchNetwork};
+use gdsearch_embed::synthetic::SyntheticCorpus;
+use gdsearch_embed::WordId;
+use gdsearch_graph::{generators, NodeId};
+use gdsearch_sim::churn::ChurnSchedule;
+use gdsearch_sim::{LatencyModel, NetworkConfig, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Builds a 100-node search deployment with 20 documents.
+fn deployment(seed: u64) -> (gdsearch_graph::Graph, gdsearch_embed::Corpus, Placement) {
+    let mut r = rng(seed);
+    let graph = generators::social_circles_like_scaled(100, &mut r).unwrap();
+    let corpus = SyntheticCorpus::builder()
+        .vocab_size(200)
+        .dim(16)
+        .num_topics(10)
+        .generate(&mut r)
+        .unwrap();
+    let words: Vec<WordId> = (0..20).map(WordId::new).collect();
+    let placement = Placement::uniform(&graph, &words, &mut r).unwrap();
+    (graph, corpus, placement)
+}
+
+#[test]
+fn accounting_is_consistent_under_loss() {
+    let (graph, corpus, placement) = deployment(1);
+    let cfg = SchemeConfig::builder().ttl(10).build().unwrap();
+    let scheme = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(2)).unwrap();
+    let sim_cfg = NetworkConfig::default()
+        .with_loss_probability(0.3)
+        .unwrap()
+        .with_seed(3);
+    let mut net = build_protocol_network(&scheme, sim_cfg).unwrap();
+    for q in 0..10u64 {
+        let origin = NodeId::new((q * 9 % 100) as u32);
+        issue_query(&mut net, origin, q, corpus.embedding(WordId::new(50)).clone(), 10).unwrap();
+    }
+    net.run_until(SimTime::new(1000.0).unwrap());
+    let stats = net.stats();
+    // Deliveries include the 10 injections; transported messages either
+    // deliver, get lost, or hit a down node.
+    assert_eq!(
+        stats.sent + 10,
+        stats.delivered + stats.lost + stats.dropped_down,
+        "transport accounting must balance: {stats:?}"
+    );
+    assert!(stats.lost > 0, "30% loss must drop something");
+}
+
+#[test]
+fn queries_complete_despite_partial_churn() {
+    let (graph, corpus, placement) = deployment(4);
+    let cfg = SchemeConfig::builder().ttl(15).build().unwrap();
+    let scheme = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(5)).unwrap();
+    let churn = ChurnSchedule::random_failures(100, 0.15, 4.0, 1.0, &mut rng(6)).unwrap();
+    let sim_cfg = NetworkConfig::default()
+        .with_latency(LatencyModel::uniform(0.01, 0.05).unwrap())
+        .with_churn(churn)
+        .with_seed(7);
+    let mut net = build_protocol_network(&scheme, sim_cfg).unwrap();
+    let origins: Vec<NodeId> = (0..15).map(|i| NodeId::new(i * 6)).collect();
+    for (q, &origin) in origins.iter().enumerate() {
+        issue_query(
+            &mut net,
+            origin,
+            q as u64,
+            corpus.embedding(WordId::new(40)).clone(),
+            15,
+        )
+        .unwrap();
+    }
+    net.run_until(SimTime::new(300.0).unwrap());
+    let completed: usize = origins
+        .iter()
+        .map(|&o| net.handler(o).unwrap().completed().len())
+        .sum();
+    // Churn may orphan some walks, but with 15% failures most complete.
+    assert!(
+        completed >= origins.len() / 2,
+        "only {completed}/{} queries completed",
+        origins.len()
+    );
+}
+
+#[test]
+fn zero_loss_zero_churn_completes_everything() {
+    let (graph, corpus, placement) = deployment(8);
+    let cfg = SchemeConfig::builder().ttl(12).build().unwrap();
+    let scheme = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(9)).unwrap();
+    let sim_cfg = NetworkConfig::default()
+        .with_latency(LatencyModel::exponential(0.02).unwrap())
+        .with_seed(10);
+    let mut net = build_protocol_network(&scheme, sim_cfg).unwrap();
+    let origins: Vec<NodeId> = (0..12).map(|i| NodeId::new(i * 8)).collect();
+    for (q, &origin) in origins.iter().enumerate() {
+        issue_query(
+            &mut net,
+            origin,
+            q as u64,
+            corpus.embedding(WordId::new(30)).clone(),
+            12,
+        )
+        .unwrap();
+    }
+    net.run_to_completion(1_000_000).unwrap();
+    for &origin in &origins {
+        let completed = net.handler(origin).unwrap().completed();
+        assert_eq!(
+            completed.len(),
+            origins.iter().filter(|&&o| o == origin).count(),
+            "origin {origin} must complete each of its queries exactly once"
+        );
+    }
+}
+
+#[test]
+fn stress_many_concurrent_queries() {
+    // 100 concurrent queries over a lossy, jittery network: no panics, no
+    // budget explosions, accounting stays balanced.
+    let (graph, corpus, placement) = deployment(11);
+    let cfg = SchemeConfig::builder().ttl(8).fanout(2).build().unwrap();
+    let scheme = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(12)).unwrap();
+    let sim_cfg = NetworkConfig::default()
+        .with_latency(LatencyModel::exponential(0.05).unwrap())
+        .with_loss_probability(0.05)
+        .unwrap()
+        .with_seed(13);
+    let mut net = build_protocol_network(&scheme, sim_cfg).unwrap();
+    for q in 0..100u64 {
+        let origin = NodeId::new((q * 7 % 100) as u32);
+        issue_query(
+            &mut net,
+            origin,
+            q,
+            corpus.embedding(WordId::new((q % 100) as u32)).clone(),
+            8,
+        )
+        .unwrap();
+    }
+    net.run_until(SimTime::new(10_000.0).unwrap());
+    let stats = net.stats();
+    assert_eq!(
+        stats.sent + 100,
+        stats.delivered + stats.lost + stats.dropped_down
+    );
+}
