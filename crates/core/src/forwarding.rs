@@ -82,7 +82,7 @@ pub fn select_next_hops<R: Rng + ?Sized>(
         return Vec::new();
     }
     match kind {
-        PolicyKind::PprGreedy => top_by(ctx, |c| candidate_score(ctx, c)),
+        PolicyKind::PprGreedy => top_by_quantized(ctx, |c| candidate_score(ctx, c)),
         PolicyKind::DegreeBiased => top_by(ctx, |c| ctx.graph.degree(c) as f32),
         PolicyKind::RandomWalk => {
             let mut picks: Vec<NodeId> = ctx.candidates.to_vec();
@@ -102,17 +102,54 @@ pub fn select_next_hops<R: Rng + ?Sized>(
     }
 }
 
-/// Top-`fanout` candidates by `score`, ties broken by ascending node id
-/// (candidates arrive sorted, and the sort below is stable).
-fn top_by<F: Fn(NodeId) -> f32>(ctx: &ForwardContext<'_>, score: F) -> Vec<NodeId> {
-    let mut scored: Vec<(f32, NodeId)> =
+/// Relative resolution below which two diffused-embedding scores count as
+/// a tie.
+///
+/// The diffusion engines (dense, per-source, auto) converge to the same
+/// fixed point along different floating-point paths, so their scores can
+/// disagree by noise up to roughly the configured tolerance. Ranking on
+/// raw floats would let any sub-tolerance gap flip a forwarding decision
+/// between engines; quantizing to this grid (four orders of magnitude
+/// coarser than typical engine noise) turns near-ties into explicit
+/// protocol ties resolved by ascending node id. Scores can still straddle
+/// a grid boundary, so cross-engine agreement is overwhelmingly likely
+/// rather than guaranteed — bit-exact agreement is unattainable for
+/// independently converging float iterations.
+const SCORE_TIE_RESOLUTION: f32 = 1e-4;
+
+/// Top-`fanout` candidates by quantized score: scores within
+/// [`SCORE_TIE_RESOLUTION`] (relative to the largest magnitude) tie and
+/// are broken by ascending node id. Used for diffused-embedding scores,
+/// which carry engine-dependent float noise; exact scores (integer
+/// degrees) go through [`top_by`] instead.
+fn top_by_quantized<F: Fn(NodeId) -> f32>(ctx: &ForwardContext<'_>, score: F) -> Vec<NodeId> {
+    let scored: Vec<(f32, NodeId)> =
         ctx.candidates.iter().map(|&c| (score(c), c)).collect();
+    let scale = scored.iter().map(|(s, _)| s.abs()).fold(0.0f32, f32::max);
+    let quantum = (scale * SCORE_TIE_RESOLUTION).max(f32::MIN_POSITIVE);
+    rank_and_take(
+        scored
+            .into_iter()
+            .map(|(s, c)| ((s / quantum).round(), c))
+            .collect(),
+        ctx.fanout,
+    )
+}
+
+/// Top-`fanout` candidates by exact `score`, ties broken by ascending
+/// node id.
+fn top_by<F: Fn(NodeId) -> f32>(ctx: &ForwardContext<'_>, score: F) -> Vec<NodeId> {
+    rank_and_take(
+        ctx.candidates.iter().map(|&c| (score(c), c)).collect(),
+        ctx.fanout,
+    )
+}
+
+/// Sorts `(score, id)` pairs by descending score then ascending id and
+/// returns the first `fanout` ids.
+fn rank_and_take(mut scored: Vec<(f32, NodeId)>, fanout: usize) -> Vec<NodeId> {
     scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-    scored
-        .into_iter()
-        .take(ctx.fanout)
-        .map(|(_, c)| c)
-        .collect()
+    scored.into_iter().take(fanout).map(|(_, c)| c).collect()
 }
 
 #[cfg(test)]
@@ -225,11 +262,10 @@ mod tests {
             let picks = select_next_hops(PolicyKind::RandomWalk, &ctx, &mut r);
             counts[picks[0].index()] += 1;
         }
-        for leaf in 1..5 {
+        for (leaf, &count) in counts.iter().enumerate().skip(1) {
             assert!(
-                (counts[leaf] as f64 - 1000.0).abs() < 150.0,
-                "leaf {leaf}: {}",
-                counts[leaf]
+                (count as f64 - 1000.0).abs() < 150.0,
+                "leaf {leaf}: {count}"
             );
         }
     }

@@ -113,10 +113,15 @@ impl Ord for QueuedEvent {
 
 /// Runs the asynchronous gossip diffusion to convergence.
 ///
-/// Convergence: `num_nodes` consecutive activations each changing their
-/// node's estimate by less than the configured tolerance (and every node
-/// activated at least once). The per-node activation budget is
-/// `config.ppr.max_iterations()`.
+/// Convergence requires, in order: every node activated at least once,
+/// `2 * num_nodes` consecutive quiet events (activations or deliveries
+/// changing their estimate by less than the configured tolerance), no
+/// pending delivery that would still change a stored estimate, and
+/// finally a certification that the *global* synchronous residual of the
+/// current estimates is within tolerance — so a declared convergence
+/// always means the estimates match the synchronous engines' fixed point.
+/// The per-node activation budget is `config.ppr.max_iterations()`;
+/// exhausting it reports `converged = false`.
 ///
 /// # Errors
 ///
@@ -286,7 +291,14 @@ pub fn diffuse<R: Rng + ?Sized>(
                         }
                         Event::Activate(_) => false,
                     });
-                    if pending_significant {
+                    // The streak is still only a heuristic: consecutive
+                    // quiet activations need not cover every node after its
+                    // neighbors last moved (Poisson clocks can leave a node
+                    // sleeping through the whole window). Certify against
+                    // the true synchronous residual before terminating.
+                    if pending_significant
+                        || global_residual(graph, norm, alpha, e0, &current) > tol
+                    {
                         quiet_streak = 0;
                     } else {
                         converged = true;
@@ -328,6 +340,36 @@ pub fn diffuse<R: Rng + ?Sized>(
         virtual_time,
         converged,
     })
+}
+
+/// Max-norm residual of the synchronous PPR update applied to `current`:
+/// `max_u |a e0_u + (1−a) Σ_v A[u][v] current_v − current_u|`. Zero exactly
+/// at the fixed point the synchronous engines converge to.
+fn global_residual(
+    graph: &Graph,
+    norm: gdsearch_graph::sparse::Normalization,
+    alpha: f32,
+    e0: &Signal,
+    current: &Signal,
+) -> f32 {
+    let dim = current.dim();
+    let mut residual = 0.0f32;
+    let mut next = vec![0.0f32; dim];
+    for u in graph.node_ids() {
+        next.fill(0.0);
+        for v in graph.neighbors(u) {
+            let w = transition_weight(graph, norm, u, v);
+            for (nx, x) in next.iter_mut().zip(current.row(v.index())) {
+                *nx += w * x;
+            }
+        }
+        let row = current.row(u.index());
+        for (k, nx) in next.iter().enumerate() {
+            let target = (1.0 - alpha) * nx + alpha * e0.row(u.index())[k];
+            residual = residual.max((target - row[k]).abs());
+        }
+    }
+    residual
 }
 
 /// Exponential sample with the given rate.

@@ -7,7 +7,7 @@
 //! e_u ← a e0_u + (1−a) Σ_v A[u][v] e_v
 //! ```
 //!
-//! on a pool of worker threads (crossbeam scoped threads) that read their
+//! on a pool of worker threads (std scoped threads) that read their
 //! neighbors' *live* values through per-node `parking_lot` RwLocks — reads
 //! and writes genuinely interleave, as they would across real peers. The
 //! update is a `(1−a)`-contraction, so chaotic relaxation converges to the
@@ -114,7 +114,7 @@ pub fn diffuse(
     let gave_up = std::sync::atomic::AtomicBool::new(false);
 
     let mut worker_outcomes: Vec<(usize, bool)> = vec![(0, false); num_threads];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_threads);
         for (worker, shard) in shards.iter().enumerate() {
             let rows = &rows;
@@ -122,7 +122,7 @@ pub fn diffuse(
             let matrix = &matrix;
             let e0 = &e0;
             let gave_up = &gave_up;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 use std::sync::atomic::Ordering;
                 let mut passes = 0usize;
                 let mut converged = false;
@@ -179,8 +179,7 @@ pub fn diffuse(
         for (i, h) in handles.into_iter().enumerate() {
             worker_outcomes[i] = h.join().expect("diffusion worker panicked");
         }
-    })
-    .expect("crossbeam scope panicked");
+    });
 
     let mut signal = Signal::zeros(n, dim);
     for (u, row) in rows.iter().enumerate() {

@@ -240,7 +240,7 @@ impl HnswIndex {
             .iter()
             .map(|&n| (OrdF32(self.score(n, &anchor)), n))
             .collect();
-        scored.sort_by(|a, b| b.0.cmp(&a.0));
+        scored.sort_by_key(|&(score, _)| std::cmp::Reverse(score));
         scored.truncate(max_links);
         self.layers[l][node as usize] = scored.into_iter().map(|(_, n)| n).collect();
     }

@@ -122,3 +122,38 @@ proptest! {
         prop_assert!((combined - total).abs() < 1e-2 * (1.0 + total.abs()));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Corpus and query generation are deterministic under a seeded RNG:
+    /// the same seed reproduces the same embeddings and query pairs.
+    #[test]
+    fn generation_is_deterministic_per_seed(seed in 0u64..1000) {
+        use gdsearch_embed::querygen::{self, QueryGenConfig};
+        use gdsearch_embed::synthetic::SyntheticCorpus;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let corpus = SyntheticCorpus::builder()
+                .vocab_size(80)
+                .dim(8)
+                .num_topics(5)
+                .generate(&mut rng)
+                .unwrap();
+            let queries = querygen::generate(
+                &corpus,
+                QueryGenConfig { num_queries: 4, min_cosine: 0.3 },
+                &mut rng,
+            )
+            .unwrap();
+            (corpus.embeddings().to_vec(), queries.pairs().to_vec())
+        };
+        let (emb_a, pairs_a) = run();
+        let (emb_b, pairs_b) = run();
+        prop_assert_eq!(emb_a, emb_b, "embeddings must reproduce bit-for-bit");
+        prop_assert_eq!(pairs_a, pairs_b, "query pairs must reproduce");
+    }
+}

@@ -144,12 +144,12 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.n_cols, "input dimension mismatch");
         assert_eq!(y.len(), self.n_rows, "output dimension mismatch");
-        for r in 0..self.n_rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for i in self.offsets[r]..self.offsets[r + 1] {
                 acc += self.values[i] * x[self.columns[i] as usize];
             }
-            y[r] = acc;
+            *out = acc;
         }
     }
 

@@ -4,12 +4,70 @@
 
 use gdsearch::experiment::{accuracy, hops, Workbench, WorkbenchSpec};
 use gdsearch::{DiffusionEngine, Placement, SchemeConfig, SearchNetwork};
+use gdsearch_embed::querygen::{self, QueryGenConfig};
+use gdsearch_embed::synthetic::SyntheticCorpus;
 use gdsearch_graph::algo::bfs;
+use gdsearch_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
+}
+
+/// The `examples/quickstart.rs` flow as a fast workspace smoke test:
+/// build graph → corpus → query pairs → placement → diffusion → guided
+/// walk → hit. Any regression in the end-to-end pipeline (or in seeded
+/// determinism of any stage) fails here first.
+#[test]
+fn quickstart_smoke() {
+    let mut rng = rng(42);
+    let graph = generators::social_circles_like_scaled(200, &mut rng).unwrap();
+    assert_eq!(graph.num_nodes(), 200);
+    assert!(graph.num_edges() > 0, "overlay must be non-trivial");
+
+    let corpus = SyntheticCorpus::builder()
+        .vocab_size(500)
+        .dim(32)
+        .num_topics(20)
+        .generate(&mut rng)
+        .unwrap();
+    let queries = querygen::generate(
+        &corpus,
+        QueryGenConfig {
+            num_queries: 10,
+            min_cosine: 0.6,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let pair = queries.pairs()[0];
+    assert!(pair.cosine >= 0.6, "gold must be a near neighbor");
+
+    let mut words = vec![pair.gold];
+    words.extend(queries.irrelevant().iter().copied().take(9));
+    let placement = Placement::uniform(&graph, &words, &mut rng).unwrap();
+    let gold_host = placement.host(0);
+
+    let config = SchemeConfig::builder().alpha(0.5).ttl(50).build().unwrap();
+    let network = SearchNetwork::build(&graph, &corpus, &placement, &config, &mut rng).unwrap();
+    assert_eq!(network.dim(), 32);
+
+    let rings = bfs::distance_rings(&graph, gold_host, 3);
+    let start = rings[3].first().copied().unwrap_or(gold_host);
+    let outcome = network
+        .query(corpus.embedding(pair.query), start, &mut rng)
+        .unwrap();
+    assert!(outcome.unique_nodes > 0);
+    assert!(outcome.hops <= 50, "a single walk spends at most TTL forwards");
+    let hop = outcome
+        .hop_of(0)
+        .expect("quickstart's seeded walk must find the gold document");
+    assert!(
+        outcome.path.contains(&gold_host),
+        "a hit implies the gold host was visited"
+    );
+    assert!(hop as usize >= 3, "gold at BFS distance 3 needs >= 3 hops");
 }
 
 fn workbench(seed: u64) -> Workbench {

@@ -1,0 +1,63 @@
+//! Offline vendored skeleton of the `serde` trait system.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serializes data (there is no `serde_json`/`bincode`
+//! backend anywhere); the crates only *derive* `Serialize`/`Deserialize`
+//! so their types stay serialization-ready. This stub keeps those derives
+//! and any hand-written impls compiling with the real `serde` signatures.
+//! Attempting to drive a real serialization through it returns an error
+//! from the stub derive impls rather than producing data.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error plumbing.
+pub mod ser {
+    use super::Display;
+
+    /// Error type constructible from a message, as in real `serde`.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error plumbing.
+pub mod de {
+    use super::Display;
+
+    /// Error type constructible from a message, as in real `serde`.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can serialize values (stub: shape only).
+pub trait Serializer: Sized {
+    /// Successful output of the serializer.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+}
+
+/// A data format that can deserialize values (stub: shape only).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+}
+
+/// A value serializable into any supported format.
+pub trait Serialize {
+    /// Serializes `self` with `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value deserializable from any supported format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}

@@ -1,0 +1,63 @@
+//! Offline vendored stub of `serde_derive`.
+//!
+//! Emits trait impls whose bodies error at runtime instead of real
+//! serialization code. The workspace never drives a serialization backend
+//! (no `serde_json`/`bincode` anywhere), so the derives only need to make
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes
+//! compile. Works without `syn`/`quote`: it only extracts the type name,
+//! which is sufficient because no deriving type in this workspace is
+//! generic.
+
+use proc_macro::TokenStream;
+
+/// Extracts the type identifier from a `struct`/`enum` definition,
+/// skipping attributes and visibility modifiers.
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(ident) = &tt {
+            let s = ident.to_string();
+            if s == "struct" || s == "enum" {
+                for next in tokens.by_ref() {
+                    if let proc_macro::TokenTree::Ident(name) = next {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name in derive input");
+}
+
+/// Stub `#[derive(Serialize)]`: the impl exists so bounds and method
+/// resolution work, but serializing through it returns an error.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                 Err(<S::Error as serde::ser::Error>::custom(\n\
+                     \"vendored serde stub: no serialization backend is available offline\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Stub `#[derive(Deserialize)]`: mirror of the `Serialize` stub.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {{\n\
+                 Err(<D::Error as serde::de::Error>::custom(\n\
+                     \"vendored serde stub: no serialization backend is available offline\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
