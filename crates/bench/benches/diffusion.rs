@@ -35,7 +35,7 @@ fn bench_power_iteration_alpha(c: &mut Criterion) {
     let e0 = Signal::from_sparse_rows(1000, dim, &sources).expect("valid rows");
     let mut group = c.benchmark_group("power_iteration_alpha");
     for alpha in [0.1f32, 0.5, 0.9] {
-        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-5);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-5).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(alpha), &cfg, |b, cfg| {
             b.iter(|| power::diffuse(black_box(&graph), black_box(&e0), cfg).unwrap())
         });
@@ -48,7 +48,7 @@ fn bench_engine_crossover(c: &mut Criterion) {
     // wins when |sources| << dim, dense wins beyond the crossover.
     let graph = test_graph(1000);
     let dim = 32;
-    let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-5);
+    let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-5).unwrap();
     let mut group = c.benchmark_group("engine_crossover");
     for count in [4usize, 16, 64, 256] {
         let sources = sparse_sources(1000, count, dim);
@@ -71,7 +71,7 @@ fn bench_engine_crossover(c: &mut Criterion) {
 
 fn bench_single_ppr_vector(c: &mut Criterion) {
     let graph = test_graph(4039); // full Facebook scale
-    let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-5);
+    let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-5).unwrap();
     c.bench_function("ppr_vector_facebook_scale", |b| {
         b.iter(|| per_source::ppr_vector(black_box(&graph), NodeId::new(17), &cfg).unwrap())
     });

@@ -1,0 +1,89 @@
+//! Criterion benches for the forward-push engine against the sweep
+//! engines: single-source columns at growing graph size (push work tracks
+//! the pushed mass, sweeps pay `O(iters · E)` regardless) and the batched
+//! multi-source driver across worker counts. Quantifies the crossover that
+//! `per_source::auto_diffuse` exploits when routing sparse
+//! personalizations to `push::diffuse_sparse`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdsearch_diffusion::push::{self, PushConfig};
+use gdsearch_diffusion::{per_source, power, PprConfig, Signal};
+use gdsearch_embed::Embedding;
+use gdsearch_graph::{generators, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Preferential-attachment topology: hub-heavy like real P2P overlays,
+/// cheap to generate at bench scale.
+fn ba_graph(n: u32) -> Graph {
+    let mut rng = StdRng::seed_from_u64(7);
+    generators::barabasi_albert(n, 5, &mut rng).expect("valid generator parameters")
+}
+
+fn sparse_sources(n: u32, count: usize, dim: usize) -> Vec<(NodeId, Embedding)> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..count)
+        .map(|_| {
+            (
+                NodeId::new(rng.random_range(0..n)),
+                Embedding::new((0..dim).map(|_| rng.random::<f32>()).collect()),
+            )
+        })
+        .collect()
+}
+
+fn bench_single_source_engines(c: &mut Criterion) {
+    let cfg = PprConfig::new(0.5)
+        .unwrap()
+        .with_tolerance(1e-5)
+        .unwrap();
+    let mut group = c.benchmark_group("single_source_engines");
+    for n in [1_000u32, 10_000] {
+        let graph = ba_graph(n);
+        let source = NodeId::new(17);
+        let push_cfg = PushConfig::new(cfg);
+        group.bench_with_input(BenchmarkId::new("push", n), &graph, |b, g| {
+            b.iter(|| push::ppr_vector(black_box(g), source, &push_cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("per_source", n), &graph, |b, g| {
+            b.iter(|| per_source::ppr_vector(black_box(g), source, &cfg).unwrap())
+        });
+        let mut e0 = Signal::zeros(n as usize, 1);
+        e0.row_mut(source.index())[0] = 1.0;
+        group.bench_with_input(BenchmarkId::new("power_dense", n), &graph, |b, g| {
+            b.iter(|| power::diffuse(black_box(g), &e0, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_push_batch_threads(c: &mut Criterion) {
+    // The batched driver's scaling across workers; the output is identical
+    // for every thread count, so this measures pure scheduling overhead
+    // and parallel speedup.
+    let graph = ba_graph(10_000);
+    let dim = 16;
+    let sources = sparse_sources(10_000, 32, dim);
+    let cfg = PprConfig::new(0.5)
+        .unwrap()
+        .with_tolerance(1e-5)
+        .unwrap();
+    let mut group = c.benchmark_group("push_batch_threads");
+    for threads in [1usize, 2, 4] {
+        let push_cfg = PushConfig::new(cfg).with_threads(threads).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &push_cfg,
+            |b, push_cfg| {
+                b.iter(|| {
+                    push::diffuse_sparse(black_box(&graph), dim, &sources, push_cfg).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_source_engines, bench_push_batch_threads);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! **Ablation E — diffusion engines.** Compares dense power iteration,
+//! per-source decomposition and the forward-push residual engine on the
+//! same workloads: wall-clock, work counters, and max-abs deviation from a
+//! tight-tolerance reference. This is the measurement behind the
+//! `DiffusionEngine::Auto` crossover model (push for very sparse
+//! personalizations on large graphs) and the push-vs-power speedups
+//! recorded in `CHANGES.md`.
+//!
+//! ```text
+//! cargo run -p gdsearch-bench --release --bin ablation_engines -- \
+//!     --nodes 10000 --dim 8 --sources 4 --alpha 0.5 --tolerance 1e-5 \
+//!     --threads 4 --repeats 3
+//! ```
+
+use std::time::Instant;
+
+use gdsearch_bench::Args;
+use gdsearch_diffusion::push::{self, PushConfig};
+use gdsearch_diffusion::{per_source, power, PprConfig, Signal};
+use gdsearch_embed::Embedding;
+use gdsearch_graph::{generators, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs `f` `repeats` times and returns (best wall-clock in ms, last output).
+fn timed<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let value = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("at least one repeat"))
+}
+
+fn print_row(name: &str, ms: f64, baseline_ms: f64, err: f32, extra: &str) {
+    println!(
+        "| {name} | {ms:.2} | {:.2}x | {err:.2e} | {extra} |",
+        baseline_ms / ms
+    );
+}
+
+fn main() {
+    let args = Args::from_env();
+    let nodes: u32 = args.get_or("nodes", 10_000);
+    let dim: usize = args.get_or("dim", 8);
+    let num_sources: usize = args.get_or("sources", 4);
+    let alpha: f32 = args.get_or("alpha", 0.5);
+    let tolerance: f32 = args.get_or("tolerance", 1e-5);
+    let threads: usize = args.get_or("threads", 4);
+    let repeats: usize = args.get_or("repeats", 3);
+    let seed: u64 = args.get_or("seed", 2022);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph: Graph = generators::barabasi_albert(nodes, 5, &mut rng)
+        .expect("valid generator parameters");
+    let cfg = PprConfig::new(alpha)
+        .unwrap()
+        .with_tolerance(tolerance)
+        .unwrap();
+    // Reference at 100× tighter tolerance: deviations below `tolerance`
+    // from it certify engine interchangeability.
+    let tight = cfg
+        .with_tolerance((tolerance * 1e-2).max(1e-7))
+        .unwrap();
+    println!(
+        "# Ablation: diffusion engines — N = {nodes} (Barabási–Albert m=5, {} edges), \
+         alpha = {alpha}, tolerance = {tolerance:.0e}",
+        graph.num_edges()
+    );
+
+    // ---- Workload A: single-source PPR column --------------------------
+    let source = NodeId::new(17);
+    let reference = per_source::ppr_vector(&graph, source, &tight).unwrap();
+    let max_err = |h: &[f32]| -> f32 {
+        h.iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    };
+    println!("\n## Single-source column (source = {source})");
+    println!("| engine | best ms | vs power | max err | work |");
+    println!("|---|---|---|---|---|");
+    let mut e0 = Signal::zeros(nodes as usize, 1);
+    e0.row_mut(source.index())[0] = 1.0;
+    let (power_ms, power_out) = timed(repeats, || power::diffuse(&graph, &e0, &cfg).unwrap());
+    let power_col: Vec<f32> = (0..nodes as usize)
+        .map(|u| power_out.signal.row(u)[0])
+        .collect();
+    print_row(
+        "power (dense)",
+        power_ms,
+        power_ms,
+        max_err(&power_col),
+        &format!("{} sweeps", power_out.iterations),
+    );
+    let (scalar_ms, scalar_out) =
+        timed(repeats, || per_source::ppr_vector(&graph, source, &cfg).unwrap());
+    print_row(
+        "per-source (scalar sweeps)",
+        scalar_ms,
+        power_ms,
+        max_err(&scalar_out),
+        "-",
+    );
+    let push_cfg = PushConfig::new(cfg);
+    let (push_ms, push_out) = timed(repeats, || {
+        push::ppr_vector_detailed(&graph, source, &push_cfg).unwrap()
+    });
+    print_row(
+        "push (forward residual)",
+        push_ms,
+        power_ms,
+        max_err(&push_out.values),
+        &format!(
+            "{} pushes, {} drains, bound {:.1e}",
+            push_out.pushes, push_out.drains, push_out.residual_bound
+        ),
+    );
+
+    // ---- Workload B: sparse multi-source batch -------------------------
+    let sources: Vec<(NodeId, Embedding)> = (0..num_sources)
+        .map(|_| {
+            (
+                NodeId::new(rng.random_range(0..nodes)),
+                Embedding::new((0..dim).map(|_| rng.random::<f32>()).collect()),
+            )
+        })
+        .collect();
+    let batch_reference = per_source::diffuse_sparse(&graph, dim, &sources, &tight).unwrap();
+    println!(
+        "\n## Batch: {num_sources} sources × dim {dim} (the paper's sparse-personalization shape)"
+    );
+    println!("| engine | best ms | vs power | max err | work |");
+    println!("|---|---|---|---|---|");
+    let e0 = Signal::from_sparse_rows(nodes as usize, dim, &sources).unwrap();
+    let (bpower_ms, bpower_out) = timed(repeats, || power::diffuse(&graph, &e0, &cfg).unwrap());
+    print_row(
+        "power (dense)",
+        bpower_ms,
+        bpower_ms,
+        bpower_out
+            .signal
+            .max_abs_diff(&batch_reference)
+            .unwrap(),
+        &format!("{} sweeps", bpower_out.iterations),
+    );
+    let (bscalar_ms, bscalar_out) = timed(repeats, || {
+        per_source::diffuse_sparse(&graph, dim, &sources, &cfg).unwrap()
+    });
+    print_row(
+        "per-source (scalar sweeps)",
+        bscalar_ms,
+        bpower_ms,
+        bscalar_out.max_abs_diff(&batch_reference).unwrap(),
+        "-",
+    );
+    let (bpush1_ms, bpush1_out) = timed(repeats, || {
+        push::diffuse_sparse(&graph, dim, &sources, &push_cfg).unwrap()
+    });
+    print_row(
+        "push ×1 thread",
+        bpush1_ms,
+        bpower_ms,
+        bpush1_out.max_abs_diff(&batch_reference).unwrap(),
+        "-",
+    );
+    let push_mt = push_cfg.with_threads(threads).unwrap();
+    let (bpushn_ms, bpushn_out) = timed(repeats, || {
+        push::diffuse_sparse(&graph, dim, &sources, &push_mt).unwrap()
+    });
+    print_row(
+        &format!("push ×{threads} threads"),
+        bpushn_ms,
+        bpower_ms,
+        bpushn_out.max_abs_diff(&batch_reference).unwrap(),
+        &format!(
+            "identical to ×1: {}",
+            if bpushn_out == bpush1_out { "yes" } else { "NO" }
+        ),
+    );
+}

@@ -13,10 +13,11 @@ use crate::SearchError;
 /// decentralized protocol.
 ///
 /// [`SearchNetwork`]: crate::SearchNetwork
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum DiffusionEngine {
-    /// Choose per placement: per-source decomposition when few nodes hold
-    /// documents, dense power iteration otherwise.
+    /// Choose per placement: forward push when the personalization is very
+    /// sparse and the graph is large, per-source decomposition when few
+    /// nodes hold documents, dense power iteration otherwise.
     #[default]
     Auto,
     /// Dense synchronous power iteration (paper Eq. 7).
@@ -26,6 +27,29 @@ pub enum DiffusionEngine {
     /// Asynchronous gossip simulation (paper §IV-B's actual protocol) —
     /// slowest, most faithful.
     Gossip,
+    /// Forward-push residual engine: work proportional to the pushed mass
+    /// instead of `O(iters · E)`, batched across source nodes on `threads`
+    /// scoped workers. Output is identical for every thread count.
+    Push {
+        /// Initial frontier granularity (`r(u) > rmax · deg(u)` enters the
+        /// push queue). A schedule knob only — results always meet the
+        /// configured diffusion tolerance. Must be positive and finite.
+        rmax: f32,
+        /// Worker threads of the batched multi-source driver (≥ 1).
+        threads: usize,
+    },
+}
+
+impl DiffusionEngine {
+    /// The push engine with its default granularity (`rmax = 1e-4`) and
+    /// the given worker count.
+    #[must_use]
+    pub fn push(threads: usize) -> Self {
+        DiffusionEngine::Push {
+            rmax: 1e-4,
+            threads,
+        }
+    }
 }
 
 /// How forwarding avoids revisiting nodes (paper §IV-C).
@@ -206,6 +230,18 @@ impl SchemeConfigBuilder {
                 "max_iterations must be positive",
             ));
         }
+        if let DiffusionEngine::Push { rmax, threads } = c.engine {
+            if !rmax.is_finite() || rmax <= 0.0 {
+                return Err(SearchError::invalid_parameter(format!(
+                    "push rmax must be positive and finite, got {rmax}"
+                )));
+            }
+            if threads == 0 {
+                return Err(SearchError::invalid_parameter(
+                    "push threads must be positive",
+                ));
+            }
+        }
         Ok(self.config)
     }
 }
@@ -274,7 +310,7 @@ impl SchemeConfig {
     /// The equivalent PPR configuration for the diffusion substrate.
     pub(crate) fn ppr_config(&self) -> Result<gdsearch_diffusion::PprConfig, SearchError> {
         Ok(gdsearch_diffusion::PprConfig::new(self.alpha)?
-            .with_tolerance(self.tolerance)
+            .with_tolerance(self.tolerance)?
             .with_max_iterations(self.max_iterations)
             .with_normalization(self.normalization))
     }
@@ -306,6 +342,27 @@ mod tests {
         assert!(SchemeConfig::builder().tolerance(0.0).build().is_err());
         assert!(SchemeConfig::builder().max_iterations(0).build().is_err());
         assert!(SchemeConfig::builder().alpha(0.9).ttl(10).build().is_ok());
+    }
+
+    #[test]
+    fn builder_validates_push_engine_knobs() {
+        let with_engine = |engine| SchemeConfig::builder().engine(engine).build();
+        assert!(with_engine(DiffusionEngine::Push {
+            rmax: 0.0,
+            threads: 2
+        })
+        .is_err());
+        assert!(with_engine(DiffusionEngine::Push {
+            rmax: f32::NAN,
+            threads: 2
+        })
+        .is_err());
+        assert!(with_engine(DiffusionEngine::Push {
+            rmax: 1e-4,
+            threads: 0
+        })
+        .is_err());
+        assert!(with_engine(DiffusionEngine::push(4)).is_ok());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! document indexes that serve local retrieval. The result answers queries
 //! through [`SearchNetwork::query`] (§IV-C).
 
-use gdsearch_diffusion::{gossip, per_source, power, Signal};
+use gdsearch_diffusion::{gossip, per_source, power, push, Signal};
 use gdsearch_embed::{similarity, Corpus, Embedding};
 use gdsearch_graph::{Graph, NodeId};
 use rand::Rng;
@@ -91,6 +91,12 @@ impl<'g> SearchNetwork<'g> {
             DiffusionEngine::Dense => {
                 let e0 = Signal::from_sparse_rows(n, dim, &rows)?;
                 power::diffuse_converged(graph, &e0, &ppr)?
+            }
+            DiffusionEngine::Push { rmax, threads } => {
+                let push_cfg = push::PushConfig::new(ppr)
+                    .with_rmax(rmax)?
+                    .with_threads(threads)?;
+                push::diffuse_sparse(graph, dim, &rows, &push_cfg)?
             }
             DiffusionEngine::Gossip => {
                 let e0 = Signal::from_sparse_rows(n, dim, &rows)?;
@@ -265,6 +271,7 @@ mod tests {
         let per_source = build(DiffusionEngine::PerSource, 8);
         let auto = build(DiffusionEngine::Auto, 9);
         let gossip = build(DiffusionEngine::Gossip, 10);
+        let push = build(DiffusionEngine::push(2), 11);
         assert!(
             dense
                 .embeddings()
@@ -273,6 +280,10 @@ mod tests {
                 < 1e-3
         );
         assert!(dense.embeddings().max_abs_diff(auto.embeddings()).unwrap() < 1e-3);
+        assert!(
+            dense.embeddings().max_abs_diff(push.embeddings()).unwrap() < 1e-3,
+            "push engine diverged"
+        );
         assert!(
             dense
                 .embeddings()

@@ -12,15 +12,36 @@ use crate::DiffusionError;
 /// `alpha` = light (local) diffusion. The paper evaluates
 /// `a ∈ {0.1, 0.5, 0.9}`.
 ///
+/// # Tolerance semantics
+///
+/// This is the single normative statement of what [`tolerance`] means —
+/// every engine's docs refer here. The tolerance is an additive **L∞
+/// accuracy target on the PPR fixed point** `E = a (I − (1−a) A)^{-1} E0`:
+///
+/// * the sweep engines ([`crate::power`], [`crate::per_source`],
+///   [`crate::threaded`], [`crate::gossip`]) stop when the max-abs residual
+///   of one synchronous update falls below it; because the update is a
+///   `(1−a)`-contraction, the true L∞ distance to the fixed point is then
+///   at most `tolerance · (1−a)/a`;
+/// * the push engine ([`crate::push`]) certifies
+///   `‖estimate − fixed point‖∞ ≤ tolerance` directly from its residual
+///   mass.
+///
+/// Either way, two engines run at the same tolerance agree entrywise to
+/// `O(tolerance)`, which is what the cross-engine tests assert.
+///
+/// [`tolerance`]: PprConfig::tolerance
+///
 /// # Example
 ///
 /// ```
 /// use gdsearch_diffusion::PprConfig;
 ///
 /// # fn main() -> Result<(), gdsearch_diffusion::DiffusionError> {
-/// let cfg = PprConfig::new(0.5)?.with_tolerance(1e-6).with_max_iterations(500);
+/// let cfg = PprConfig::new(0.5)?.with_tolerance(1e-6)?.with_max_iterations(500);
 /// assert_eq!(cfg.alpha(), 0.5);
 /// assert!(PprConfig::new(0.0).is_err()); // never teleporting never converges
+/// assert!(cfg.with_tolerance(f32::NAN).is_err()); // tolerance must be finite
 /// # Ok(())
 /// # }
 /// ```
@@ -55,46 +76,66 @@ impl PprConfig {
         })
     }
 
-    /// Sets the convergence tolerance (max-abs residual between sweeps).
-    pub fn with_tolerance(mut self, tolerance: f32) -> Self {
+    /// Sets the convergence tolerance (see the [type docs](PprConfig)
+    /// for the exact semantics: an additive L∞ target on the fixed point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidParameter`] unless `tolerance` is
+    /// positive and finite — a NaN or infinite tolerance would make every
+    /// engine's convergence check vacuous or unsatisfiable.
+    pub fn with_tolerance(mut self, tolerance: f32) -> Result<Self, DiffusionError> {
+        if !tolerance.is_finite() || tolerance <= 0.0 {
+            return Err(DiffusionError::invalid_parameter(format!(
+                "tolerance must be positive and finite, got {tolerance}"
+            )));
+        }
         self.tolerance = tolerance;
-        self
+        Ok(self)
     }
 
     /// Sets the iteration budget.
+    #[must_use]
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations;
         self
     }
 
     /// Sets the adjacency normalization.
+    #[must_use]
     pub fn with_normalization(mut self, normalization: Normalization) -> Self {
         self.normalization = normalization;
         self
     }
 
     /// Teleport probability `a`.
+    #[must_use]
     pub fn alpha(&self) -> f32 {
         self.alpha
     }
 
-    /// Convergence tolerance.
+    /// Convergence tolerance — an additive L∞ accuracy target on the fixed
+    /// point; see the [type docs](PprConfig) for the per-engine reading.
+    #[must_use]
     pub fn tolerance(&self) -> f32 {
         self.tolerance
     }
 
     /// Iteration budget.
+    #[must_use]
     pub fn max_iterations(&self) -> usize {
         self.max_iterations
     }
 
     /// Adjacency normalization.
+    #[must_use]
     pub fn normalization(&self) -> Normalization {
         self.normalization
     }
 
     /// Average random-walk length `1/a` — the paper's "effective diffusion
     /// radius".
+    #[must_use]
     pub fn mean_walk_length(&self) -> f32 {
         1.0 / self.alpha
     }
@@ -122,10 +163,22 @@ mod tests {
     }
 
     #[test]
+    fn validates_tolerance_domain() {
+        let cfg = PprConfig::default();
+        assert!(cfg.with_tolerance(f32::NAN).is_err());
+        assert!(cfg.with_tolerance(f32::INFINITY).is_err());
+        assert!(cfg.with_tolerance(f32::NEG_INFINITY).is_err());
+        assert!(cfg.with_tolerance(0.0).is_err());
+        assert!(cfg.with_tolerance(-1e-6).is_err());
+        assert!(cfg.with_tolerance(1e-9).is_ok());
+    }
+
+    #[test]
     fn builder_chain() {
         let cfg = PprConfig::new(0.1)
             .unwrap()
             .with_tolerance(1e-4)
+            .unwrap()
             .with_max_iterations(50)
             .with_normalization(Normalization::Symmetric);
         assert_eq!(cfg.tolerance(), 1e-4);

@@ -1,0 +1,145 @@
+//! Shared residual/convergence bookkeeping for the iterative engines.
+//!
+//! Every engine in this crate ([`crate::power`], [`crate::per_source`],
+//! [`crate::gossip`], [`crate::threaded`], [`crate::push`]) tracks the same
+//! three facts about its progress toward the PPR fixed point: how many
+//! residual observations it has made, the most recent residual, and whether
+//! that residual met the configured tolerance. [`Convergence`] centralizes
+//! that bookkeeping so every engine reports budget exhaustion identically
+//! (see [`PprConfig::tolerance`](crate::PprConfig::tolerance) for what the
+//! tolerance means).
+
+use crate::DiffusionError;
+
+/// Progress of an iterative diffusion toward its fixed point.
+///
+/// `record` each residual observation (a power-iteration sweep, a gossip
+/// certification, a push-phase residual bound); the struct keeps the
+/// iteration count, the last residual, and the converged flag consistent.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_diffusion::Convergence;
+///
+/// let mut conv = Convergence::new();
+/// assert!(!conv.record(0.5, 1e-3)); // still above tolerance
+/// assert!(conv.record(1e-4, 1e-3)); // converged
+/// assert_eq!(conv.iters, 2);
+/// assert!(conv.converged);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// Residual observations recorded so far (sweeps, certifications,
+    /// drain phases — whatever the engine's unit of progress is).
+    pub iters: usize,
+    /// Most recently recorded residual; `f32::INFINITY` before the first
+    /// observation.
+    pub residual: f32,
+    /// Whether the most recent residual met the tolerance it was recorded
+    /// against.
+    pub converged: bool,
+}
+
+impl Convergence {
+    /// Starts tracking: zero iterations, infinite residual, not converged.
+    #[must_use]
+    pub fn new() -> Self {
+        Convergence {
+            iters: 0,
+            residual: f32::INFINITY,
+            converged: false,
+        }
+    }
+
+    /// Records one residual observation against `tolerance` and returns
+    /// whether the engine may stop (`residual <= tolerance`).
+    pub fn record(&mut self, residual: f32, tolerance: f32) -> bool {
+        self.iters += 1;
+        self.residual = residual;
+        self.converged = residual <= tolerance;
+        self.converged
+    }
+
+    /// The [`DiffusionError::NotConverged`] describing this state — for
+    /// engines that turn budget exhaustion into an error.
+    #[must_use]
+    pub fn error(&self) -> DiffusionError {
+        DiffusionError::NotConverged {
+            iterations: self.iters,
+            residual: self.residual,
+        }
+    }
+
+    /// Returns `Ok(self)` when converged, [`DiffusionError::NotConverged`]
+    /// otherwise — for engines whose callers require convergence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::NotConverged`] with the recorded iteration
+    /// count and residual when the tolerance was never met.
+    pub fn require(self) -> Result<Self, DiffusionError> {
+        if self.converged {
+            Ok(self)
+        } else {
+            Err(self.error())
+        }
+    }
+}
+
+impl Default for Convergence {
+    fn default() -> Self {
+        Convergence::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unconverged_with_infinite_residual() {
+        let conv = Convergence::new();
+        assert_eq!(conv.iters, 0);
+        assert!(conv.residual.is_infinite());
+        assert!(!conv.converged);
+        assert!(conv.require().is_err());
+    }
+
+    #[test]
+    fn record_tracks_iters_and_convergence() {
+        let mut conv = Convergence::new();
+        assert!(!conv.record(1.0, 0.1));
+        assert!(!conv.record(0.5, 0.1));
+        assert!(conv.record(0.05, 0.1));
+        assert_eq!(conv.iters, 3);
+        assert_eq!(conv.residual, 0.05);
+        assert!(conv.require().is_ok());
+    }
+
+    #[test]
+    fn convergence_is_not_sticky() {
+        // A residual that rises back above tolerance (asynchronous engines)
+        // must clear the flag again.
+        let mut conv = Convergence::new();
+        assert!(conv.record(0.05, 0.1));
+        assert!(!conv.record(0.2, 0.1));
+        assert!(!conv.converged);
+    }
+
+    #[test]
+    fn error_carries_state() {
+        let mut conv = Convergence::new();
+        conv.record(0.7, 0.1);
+        match conv.error() {
+            DiffusionError::NotConverged {
+                iterations,
+                residual,
+            } => {
+                assert_eq!(iterations, 1);
+                assert_eq!(residual, 0.7);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -32,7 +32,7 @@ pub const RECOMMENDED_MAX_NODES: usize = 512;
 /// let g = generators::grid(3, 3);
 /// let mut e0 = Signal::zeros(9, 1);
 /// e0.row_mut(4)[0] = 1.0;
-/// let cfg = PprConfig::new(0.3)?.with_tolerance(1e-7);
+/// let cfg = PprConfig::new(0.3)?.with_tolerance(1e-7)?;
 /// let truth = exact::diffuse(&g, &e0, &cfg)?;
 /// let approx = power::diffuse(&g, &e0, &cfg)?.signal;
 /// assert!(truth.max_abs_diff(&approx)? < 1e-4);
@@ -141,7 +141,7 @@ mod tests {
         let mut rng = seeded(1);
         for alpha in [0.1f32, 0.5, 0.9] {
             let g = generators::social_circles_like_scaled(40, &mut rng).unwrap();
-            let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-8);
+            let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-8).unwrap();
             let e0 = one_hot(40, 7);
             let truth = diffuse(&g, &e0, &cfg).unwrap();
             let approx = power::diffuse(&g, &e0, &cfg).unwrap().signal;
@@ -164,7 +164,8 @@ mod tests {
             let cfg = PprConfig::new(0.4)
                 .unwrap()
                 .with_normalization(norm)
-                .with_tolerance(1e-8);
+                .with_tolerance(1e-8)
+                .unwrap();
             let truth = diffuse(&g, &e0, &cfg).unwrap();
             let approx = power::diffuse(&g, &e0, &cfg).unwrap().signal;
             assert!(truth.max_abs_diff(&approx).unwrap() < 1e-5, "{norm:?}");
@@ -189,7 +190,7 @@ mod tests {
     #[test]
     fn multi_dim_signals_solve_together() {
         let g = generators::ring(12).unwrap();
-        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-8);
+        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-8).unwrap();
         let mut e0 = Signal::zeros(12, 3);
         e0.row_mut(0).copy_from_slice(&[1.0, 0.0, 2.0]);
         e0.row_mut(6).copy_from_slice(&[0.0, 1.0, -1.0]);

@@ -56,11 +56,13 @@ pub struct PprFilter {
 
 impl PprFilter {
     /// Creates the filter from a validated configuration.
+    #[must_use]
     pub fn new(config: PprConfig) -> Self {
         PprFilter { config }
     }
 
     /// The underlying configuration.
+    #[must_use]
     pub fn config(&self) -> &PprConfig {
         &self.config
     }
@@ -111,11 +113,13 @@ impl HeatKernelFilter {
     }
 
     /// Diffusion time `t`.
+    #[must_use]
     pub fn t(&self) -> f32 {
         self.t
     }
 
     /// Taylor truncation order.
+    #[must_use]
     pub fn order(&self) -> usize {
         self.order
     }
@@ -207,6 +211,7 @@ impl PolynomialFilter {
     }
 
     /// The hop coefficients.
+    #[must_use]
     pub fn coefficients(&self) -> &[f32] {
         &self.coefficients
     }
@@ -260,7 +265,7 @@ mod tests {
     fn ppr_truncation_approaches_exact_ppr() {
         let g = generators::grid(4, 4);
         let e0 = one_hot(16, 5);
-        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-8);
+        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-8).unwrap();
         let exact = PprFilter::new(cfg).apply(&g, &e0).unwrap();
         let truncated = PolynomialFilter::ppr_truncation(
             0.5,

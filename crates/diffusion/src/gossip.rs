@@ -24,6 +24,7 @@ use gdsearch_graph::sparse::transition_weight;
 use gdsearch_graph::{Graph, NodeId};
 use rand::Rng;
 
+use crate::convergence::Convergence;
 use crate::{DiffusionError, PprConfig, Signal};
 
 /// Configuration of the asynchronous gossip engine.
@@ -39,6 +40,7 @@ pub struct GossipConfig {
 
 impl GossipConfig {
     /// Creates a gossip configuration with instant delivery.
+    #[must_use]
     pub fn new(ppr: PprConfig) -> Self {
         GossipConfig {
             ppr,
@@ -74,6 +76,9 @@ pub struct GossipResult {
     pub virtual_time: f64,
     /// Whether the convergence window was satisfied within the budget.
     pub converged: bool,
+    /// Last certified *global* synchronous residual (`f32::INFINITY` if the
+    /// certification never ran before the budget was exhausted).
+    pub residual: f32,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -142,7 +147,7 @@ impl Ord for QueuedEvent {
 /// let g = generators::ring(12)?;
 /// let mut e0 = Signal::zeros(12, 1);
 /// e0.row_mut(0)[0] = 1.0;
-/// let cfg = PprConfig::new(0.5)?.with_tolerance(1e-6);
+/// let cfg = PprConfig::new(0.5)?.with_tolerance(1e-6)?;
 /// let sync = power::diffuse(&g, &e0, &cfg)?.signal;
 /// let out = gossip::diffuse(&g, &e0, &GossipConfig::new(cfg), &mut StdRng::seed_from_u64(7))?;
 /// assert!(out.converged);
@@ -173,6 +178,7 @@ pub fn diffuse<R: Rng + ?Sized>(
             updates: 0,
             virtual_time: 0.0,
             converged: true,
+            residual: 0.0,
         });
     }
 
@@ -221,7 +227,9 @@ pub fn diffuse<R: Rng + ?Sized>(
     let mut activated_count = 0usize;
     let mut quiet_streak = 0usize; // consecutive activations below tolerance
     let mut virtual_time = 0.0f64;
-    let mut converged = false;
+    // Tracks the certification attempts against the global synchronous
+    // residual — the shared bookkeeping of every engine in this crate.
+    let mut conv = Convergence::new();
 
     while let Some(QueuedEvent { time: t, event, .. }) = queue.pop() {
         virtual_time = t;
@@ -297,11 +305,10 @@ pub fn diffuse<R: Rng + ?Sized>(
                     // sleeping through the whole window). Certify against
                     // the true synchronous residual before terminating.
                     if pending_significant
-                        || global_residual(graph, norm, alpha, e0, &current) > tol
+                        || !conv.record(global_residual(graph, norm, alpha, e0, &current), tol)
                     {
                         quiet_streak = 0;
                     } else {
-                        converged = true;
                         break;
                     }
                 }
@@ -338,7 +345,8 @@ pub fn diffuse<R: Rng + ?Sized>(
         signal: current,
         updates,
         virtual_time,
-        converged,
+        converged: conv.converged,
+        residual: conv.residual,
     })
 }
 
@@ -399,7 +407,7 @@ mod tests {
     #[test]
     fn converges_to_synchronous_fixed_point() {
         let g = generators::social_circles_like_scaled(60, &mut rng(1)).unwrap();
-        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-7);
+        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-7).unwrap();
         let e0 = one_hot(60, 10);
         let sync = power::diffuse(&g, &e0, &cfg).unwrap().signal;
         let out = diffuse(&g, &e0, &GossipConfig::new(cfg), &mut rng(2)).unwrap();
@@ -413,7 +421,7 @@ mod tests {
     #[test]
     fn converges_with_message_delays() {
         let g = generators::grid(6, 6);
-        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-6);
+        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-6).unwrap();
         let e0 = one_hot(36, 0);
         let sync = power::diffuse(&g, &e0, &cfg).unwrap().signal;
         let gossip_cfg = GossipConfig::new(cfg).with_mean_delay(2.0).unwrap();
@@ -426,7 +434,7 @@ mod tests {
     #[test]
     fn multi_dimensional_signals() {
         let g = generators::ring(15).unwrap();
-        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-6);
+        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-6).unwrap();
         let mut e0 = Signal::zeros(15, 3);
         e0.row_mut(2).copy_from_slice(&[1.0, -1.0, 0.5]);
         e0.row_mut(9).copy_from_slice(&[0.0, 2.0, 1.0]);
@@ -466,6 +474,7 @@ mod tests {
         let cfg = PprConfig::new(0.05)
             .unwrap()
             .with_tolerance(1e-10)
+            .unwrap()
             .with_max_iterations(1); // 1 activation per node: hopeless
         let out = diffuse(&g, &one_hot(30, 0), &GossipConfig::new(cfg), &mut rng(7)).unwrap();
         assert!(!out.converged);

@@ -22,7 +22,17 @@
 //! * [`gossip`] — deterministic simulated *asynchronous* engine, the
 //!   decentralized protocol of the paper;
 //! * [`threaded`] — the same asynchronous protocol on real threads
-//!   (crossbeam), demonstrating convergence under true concurrency.
+//!   (crossbeam), demonstrating convergence under true concurrency;
+//! * [`push`] — forward-push with residual queues (PowerWalk,
+//!   arXiv:1608.06054): work proportional to the pushed mass instead of
+//!   `O(iters · E)`, certified to the same L∞ tolerance, batched across
+//!   sources on a [`workpool`] of scoped threads with bit-for-bit
+//!   thread-count determinism.
+//!
+//! All engines interpret [`PprConfig::tolerance`] the same way — an
+//! additive L∞ accuracy target on the fixed point; the normative statement
+//! lives on [`PprConfig`]. Shared residual bookkeeping lives in
+//! [`Convergence`].
 //!
 //! Heat-kernel and arbitrary polynomial filters ([`filter`]) cover the
 //! "graph filters such as PPR" generality of §II-C.
@@ -50,15 +60,19 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod convergence;
 mod error;
 pub mod exact;
 pub mod filter;
 pub mod gossip;
 pub mod per_source;
 pub mod power;
+pub mod push;
 mod signal;
 pub mod threaded;
+pub mod workpool;
 
 pub use config::PprConfig;
+pub use convergence::Convergence;
 pub use error::DiffusionError;
 pub use signal::Signal;

@@ -19,7 +19,8 @@ use gdsearch_embed::Embedding;
 use gdsearch_graph::sparse::{transition_matrix, CsrMatrix};
 use gdsearch_graph::{Graph, NodeId};
 
-use crate::{power, DiffusionError, PprConfig, Signal};
+use crate::convergence::Convergence;
+use crate::{power, push, DiffusionError, PprConfig, Signal};
 
 /// Computes the single-source PPR vector `h_s`: entry `u` is the weight
 /// with which source `s`'s personalization reaches node `u`.
@@ -74,7 +75,8 @@ pub fn ppr_vector_with_matrix(
     let mut current = vec![0.0f32; n];
     current[source.index()] = 1.0;
     let mut next = vec![0.0f32; n];
-    for iteration in 1..=config.max_iterations() {
+    let mut conv = Convergence::new();
+    while conv.iters < config.max_iterations() {
         matrix.mul_vec_into(&current, &mut next);
         let mut max_delta = 0.0f32;
         for (i, nx) in next.iter_mut().enumerate() {
@@ -88,17 +90,11 @@ pub fn ppr_vector_with_matrix(
             }
         }
         std::mem::swap(&mut current, &mut next);
-        if max_delta <= config.tolerance() {
+        if conv.record(max_delta, config.tolerance()) {
             return Ok(current);
         }
-        if iteration == config.max_iterations() {
-            return Err(DiffusionError::NotConverged {
-                iterations: iteration,
-                residual: max_delta,
-            });
-        }
     }
-    unreachable!("loop always returns")
+    Err(conv.error())
 }
 
 /// Diffuses a sparse personalization — `(source node, embedding)` pairs —
@@ -149,18 +145,28 @@ pub fn diffuse_sparse(
     Ok(out)
 }
 
-/// Picks the cheaper engine for a sparse personalization: per-source
-/// decomposition when `|sources| < dim / 4`, dense power iteration
-/// otherwise.
+/// Picks the cheapest engine for a sparse personalization.
 ///
-/// The flop-count crossover sits at `|sources| ≈ dim`, but the dense
-/// engine's contiguous row operations are ≈ 4× more efficient per flop
-/// than per-source sparse passes; the `engine_crossover` Criterion bench
-/// measures the break-even near `dim / 4`.
+/// The crossover model has two axes:
+///
+/// * **few vs. many sources** — the flop-count crossover between
+///   per-source decomposition and dense power iteration sits at
+///   `|sources| ≈ dim`, but the dense engine's contiguous row operations
+///   are ≈ 4× more efficient per flop than per-source sparse passes; the
+///   `engine_crossover` Criterion bench measures the break-even near
+///   `dim / 4`;
+/// * **sweep vs. push** — within the few-source regime, scalar power
+///   iteration still pays `O(iters · E)` per source while forward push
+///   ([`crate::push`]) pays only for the pushed mass. Push's queue
+///   bookkeeping has a constant overhead, so it is selected when the graph
+///   is large (`N ≥` [`push::AUTO_PUSH_MIN_NODES`]) *and* the
+///   personalization is genuinely sparse (`|sources| · 16 ≤ N`); the
+///   batched driver then uses all available cores (the result is
+///   identical for every thread count).
 ///
 /// # Errors
 ///
-/// As [`diffuse_sparse`] / [`power::diffuse`].
+/// As [`diffuse_sparse`] / [`push::diffuse_sparse`] / [`power::diffuse`].
 pub fn auto_diffuse(
     graph: &Graph,
     dim: usize,
@@ -168,6 +174,14 @@ pub fn auto_diffuse(
     config: &PprConfig,
 ) -> Result<Signal, DiffusionError> {
     if sources.len() < dim / 4 {
+        let n = graph.num_nodes();
+        if n >= push::AUTO_PUSH_MIN_NODES && sources.len().saturating_mul(16) <= n {
+            let threads = std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(sources.len().max(1));
+            let push_cfg = push::PushConfig::new(*config).with_threads(threads)?;
+            return push::diffuse_sparse(graph, dim, sources, &push_cfg);
+        }
         diffuse_sparse(graph, dim, sources, config)
     } else {
         let e0 = Signal::from_sparse_rows(graph.num_nodes(), dim, sources)?;
@@ -196,7 +210,7 @@ mod tests {
     #[test]
     fn ppr_vector_sums_to_one() {
         let g = generators::social_circles_like_scaled(60, &mut seeded(1)).unwrap();
-        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-8);
+        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-8).unwrap();
         let h = ppr_vector(&g, NodeId::new(4), &cfg).unwrap();
         let total: f32 = h.iter().sum();
         assert!((total - 1.0).abs() < 1e-3, "column mass {total}");
@@ -220,7 +234,7 @@ mod tests {
     #[test]
     fn sparse_matches_dense_power() {
         let g = generators::social_circles_like_scaled(70, &mut seeded(2)).unwrap();
-        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-8);
+        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-8).unwrap();
         let dim = 5;
         let mut rng = seeded(3);
         let sources: Vec<(NodeId, Embedding)> = (0..4)
@@ -243,7 +257,7 @@ mod tests {
     #[test]
     fn auto_picks_both_paths_consistently() {
         let g = generators::grid(6, 6);
-        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-8);
+        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-8).unwrap();
         let dim = 3;
         let few: Vec<(NodeId, Embedding)> =
             vec![(NodeId::new(0), Embedding::new(vec![1.0, 0.0, 0.0]))];
@@ -259,6 +273,23 @@ mod tests {
         let e0 = Signal::from_sparse_rows(36, dim, &many).unwrap();
         let b = power::diffuse(&g, &e0, &cfg).unwrap().signal;
         assert!(a.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn auto_picks_push_on_large_sparse_graphs() {
+        // 70×70 grid: 4,900 nodes ≥ AUTO_PUSH_MIN_NODES, one source with
+        // dim 8 → |sources| < dim/4 and |sources|·16 ≤ N, so Auto routes
+        // through the push engine; the result must match the sweep engine.
+        let g = generators::grid(70, 70);
+        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-6).unwrap();
+        let dim = 8;
+        let sources = vec![(
+            NodeId::new(17),
+            Embedding::new((0..dim).map(|k| 1.0 + k as f32).collect()),
+        )];
+        let auto = auto_diffuse(&g, dim, &sources, &cfg).unwrap();
+        let sweep = diffuse_sparse(&g, dim, &sources, &cfg).unwrap();
+        assert!(auto.max_abs_diff(&sweep).unwrap() < 1e-4);
     }
 
     #[test]
@@ -300,6 +331,7 @@ mod tests {
         let cfg = PprConfig::new(0.01)
             .unwrap()
             .with_tolerance(1e-12)
+            .unwrap()
             .with_max_iterations(2);
         assert!(matches!(
             ppr_vector(&g, NodeId::new(0), &cfg),

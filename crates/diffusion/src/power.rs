@@ -1,6 +1,7 @@
 //! Synchronous power-iteration evaluation of the PPR filter (paper Eq. 7):
 //! `E(t) = (1−a) A E(t−1) + a E0`, iterated until the max-abs residual
-//! between sweeps falls below the configured tolerance.
+//! between sweeps falls below the configured tolerance (see
+//! [`PprConfig::tolerance`] for the exact semantics).
 //!
 //! The iteration is a contraction with factor `(1−a)` in the appropriate
 //! norm, so it converges geometrically for any `a ∈ (0, 1]`.
@@ -8,6 +9,7 @@
 use gdsearch_graph::sparse::{transition_matrix, CsrMatrix};
 use gdsearch_graph::Graph;
 
+use crate::convergence::Convergence;
 use crate::{DiffusionError, PprConfig, Signal};
 
 /// Outcome of an iterative diffusion.
@@ -82,9 +84,8 @@ pub fn diffuse_with_matrix(
     let alpha = config.alpha();
     let mut current = e0.clone();
     let mut next = Signal::zeros(n, dim);
-    let mut residual = f32::INFINITY;
-    let mut iterations = 0;
-    while iterations < config.max_iterations() {
+    let mut conv = Convergence::new();
+    while conv.iters < config.max_iterations() {
         // next = (1 - a) * A * current + a * e0
         matrix.mul_dense_into(current.as_slice(), dim.max(1), next.as_mut_slice());
         let mut max_delta = 0.0f32;
@@ -101,22 +102,15 @@ pub fn diffuse_with_matrix(
             }
         }
         std::mem::swap(&mut current, &mut next);
-        iterations += 1;
-        residual = max_delta;
-        if residual <= config.tolerance() {
-            return Ok(DiffusionResult {
-                signal: current,
-                iterations,
-                residual,
-                converged: true,
-            });
+        if conv.record(max_delta, config.tolerance()) {
+            break;
         }
     }
     Ok(DiffusionResult {
         signal: current,
-        iterations,
-        residual,
-        converged: false,
+        iterations: conv.iters,
+        residual: conv.residual,
+        converged: conv.converged,
     })
 }
 
@@ -180,7 +174,8 @@ mod tests {
         let cfg = PprConfig::new(0.2)
             .unwrap()
             .with_normalization(Normalization::ColumnStochastic)
-            .with_tolerance(1e-8);
+            .with_tolerance(1e-8)
+            .unwrap();
         let out = diffuse(&g, &e0, &cfg).unwrap();
         assert!(out.converged);
         let mass = out.signal.column_mass()[0];
@@ -204,7 +199,7 @@ mod tests {
     fn linearity_of_diffusion() {
         // PPR is a linear operator: H(x + y) = Hx + Hy.
         let g = generators::grid(4, 4);
-        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-8);
+        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-8).unwrap();
         let x = one_hot_signal(16, 0);
         let y = one_hot_signal(16, 9);
         let mut xy = Signal::zeros(16, 1);
@@ -225,6 +220,7 @@ mod tests {
         let cfg = PprConfig::new(0.01)
             .unwrap()
             .with_tolerance(1e-12)
+            .unwrap()
             .with_max_iterations(3);
         let out = diffuse(&g, &one_hot_signal(50, 0), &cfg).unwrap();
         assert!(!out.converged);

@@ -34,6 +34,7 @@ pub struct Signal {
 
 impl Signal {
     /// The all-zero signal of shape `num_nodes × dim`.
+    #[must_use]
     pub fn zeros(num_nodes: usize, dim: usize) -> Self {
         Signal {
             num_nodes,
@@ -100,11 +101,13 @@ impl Signal {
     }
 
     /// Number of nodes (rows).
+    #[must_use]
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
     }
 
     /// Dimensionality of each node value (columns).
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.dim
     }
@@ -115,6 +118,7 @@ impl Signal {
     ///
     /// Panics if `u >= num_nodes`.
     #[inline]
+    #[must_use]
     pub fn row(&self, u: usize) -> &[f32] {
         &self.data[u * self.dim..(u + 1) * self.dim]
     }
@@ -151,11 +155,13 @@ impl Signal {
     /// # Panics
     ///
     /// Panics if `u >= num_nodes`.
+    #[must_use]
     pub fn row_embedding(&self, u: usize) -> Embedding {
         Embedding::new(self.row(u).to_vec())
     }
 
     /// Flat row-major storage.
+    #[must_use]
     pub fn as_slice(&self) -> &[f32] {
         &self.data
     }
@@ -198,6 +204,7 @@ impl Signal {
 
     /// Sum over nodes of each dimension: the total "mass" per column.
     /// Column-stochastic PPR preserves this for stochastic inputs.
+    #[must_use]
     pub fn column_mass(&self) -> Vec<f32> {
         let mut mass = vec![0.0f32; self.dim];
         for u in 0..self.num_nodes {

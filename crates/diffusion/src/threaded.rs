@@ -18,6 +18,7 @@ use gdsearch_graph::sparse::{transition_matrix, CsrMatrix};
 use gdsearch_graph::Graph;
 use parking_lot::RwLock;
 
+use crate::convergence::Convergence;
 use crate::{DiffusionError, PprConfig, Signal};
 
 /// Outcome of a threaded asynchronous diffusion.
@@ -56,7 +57,7 @@ pub struct ThreadedResult {
 /// let g = generators::grid(5, 5);
 /// let mut e0 = Signal::zeros(25, 2);
 /// e0.row_mut(12).copy_from_slice(&[1.0, -1.0]);
-/// let cfg = PprConfig::new(0.4)?.with_tolerance(1e-6);
+/// let cfg = PprConfig::new(0.4)?.with_tolerance(1e-6)?;
 /// let sync = power::diffuse(&g, &e0, &cfg)?.signal;
 /// let out = threaded::diffuse(&g, &e0, &cfg, 4)?;
 /// assert!(out.converged);
@@ -193,9 +194,9 @@ pub fn diffuse(
     // meets the tolerance. Near the fixed point this costs one or two
     // sweeps; if the workers gave up early it degrades gracefully into
     // plain power iteration on the remaining budget.
-    let mut converged = false;
+    let mut conv = Convergence::new();
     let mut next = Signal::zeros(n, dim);
-    for _ in 0..config.max_iterations() {
+    while conv.iters < config.max_iterations() {
         matrix.mul_dense_into(signal.as_slice(), dim.max(1), next.as_mut_slice());
         let mut residual = 0.0f32;
         for (i, nx) in next.as_mut_slice().iter_mut().enumerate() {
@@ -204,15 +205,14 @@ pub fn diffuse(
         }
         std::mem::swap(&mut signal, &mut next);
         passes += 1;
-        if residual <= tol {
-            converged = true;
+        if conv.record(residual, tol) {
             break;
         }
     }
     Ok(ThreadedResult {
         signal,
         passes,
-        converged,
+        converged: conv.converged,
     })
 }
 
@@ -257,7 +257,7 @@ mod tests {
     fn matches_synchronous_fixed_point() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let g = generators::social_circles_like_scaled(120, &mut rng).unwrap();
-        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-7);
+        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-7).unwrap();
         let e0 = one_hot(120, 3);
         let sync = power::diffuse(&g, &e0, &cfg).unwrap().signal;
         for threads in [1, 2, 4] {
@@ -273,7 +273,7 @@ mod tests {
     #[test]
     fn multi_dim_and_many_threads() {
         let g = generators::grid(8, 8);
-        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-6);
+        let cfg = PprConfig::new(0.3).unwrap().with_tolerance(1e-6).unwrap();
         let mut e0 = Signal::zeros(64, 4);
         e0.row_mut(0).copy_from_slice(&[1.0, 2.0, -1.0, 0.5]);
         e0.row_mut(63).copy_from_slice(&[0.5, 0.0, 1.0, -2.0]);
@@ -310,6 +310,7 @@ mod tests {
         let cfg = PprConfig::new(0.05)
             .unwrap()
             .with_tolerance(1e-12)
+            .unwrap()
             .with_max_iterations(2);
         let out = diffuse(&g, &one_hot(40, 0), &cfg, 2).unwrap();
         assert!(!out.converged);

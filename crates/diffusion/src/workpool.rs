@@ -1,0 +1,125 @@
+//! Deterministic work batching over scoped OS threads.
+//!
+//! The multi-source push driver ([`crate::push::diffuse_sparse`]) is
+//! embarrassingly parallel across sources, but its output must be
+//! *bit-for-bit identical* regardless of the worker count — the experiment
+//! harness and the property tests rely on engine determinism. This module
+//! provides the one primitive that makes that easy: an order-preserving
+//! parallel map. Each item is processed by a pure function on some worker
+//! (round-robin sharding, the [`crate::threaded`] precedent), results are
+//! reassembled by item index on the calling thread, and nothing about the
+//! scheduling can leak into the output.
+//!
+//! Built on `std::thread::scope` — no extra dependencies, workers may
+//! borrow from the caller's stack.
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning outputs in item order.
+///
+/// Determinism contract: `f` is applied to each item exactly once and the
+/// result vector is ordered by item index, so as long as `f` itself is a
+/// pure function of its argument the output is independent of `threads`.
+///
+/// `threads` is clamped to `1..=items.len()`; with one worker (or one
+/// item) everything runs inline on the calling thread with no spawn
+/// overhead.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_diffusion::workpool;
+///
+/// let squares = workpool::map_batched(&[1u64, 2, 3, 4], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn map_batched<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                // Round-robin sharding: worker w takes items w, w+T, w+2T, …
+                let mut out = Vec::new();
+                let mut i = worker;
+                while i < items.len() {
+                    out.push((i, f(&items[i])));
+                    i += threads;
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            // Re-raise worker panics with their original payload.
+            let results = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (i, value) in results {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item index is assigned to exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let out = map_batched(&items, threads, |&x| x * 10);
+            assert_eq!(out, (0..100).map(|x| x * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_counts() {
+        // Float accumulation inside f is per-item, so outputs must match
+        // bitwise whatever the worker count.
+        let items: Vec<f32> = (0..57).map(|i| i as f32 * 0.37).collect();
+        let reference = map_batched(&items, 1, |&x| (x.sin() + 1.0) / (x.cos() + 2.0));
+        for threads in [2, 4, 8] {
+            let out = map_batched(&items, threads, |&x| (x.sin() + 1.0) / (x.cos() + 2.0));
+            assert_eq!(out, reference);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_batched(&empty, 4, |&x| x).is_empty());
+        assert_eq!(map_batched(&[41u32], 4, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = map_batched(&[1u32, 2, 3], 64, |&x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn workers_can_borrow_caller_state() {
+        let offset = 100u32;
+        let out = map_batched(&[1u32, 2, 3], 2, |&x| x + offset);
+        assert_eq!(out, vec![101, 102, 103]);
+    }
+}

@@ -2,17 +2,34 @@
 //! identities must hold on arbitrary graphs and inputs.
 
 use gdsearch_diffusion::filter::{GraphFilter, PolynomialFilter, PprFilter};
+use gdsearch_diffusion::push::{self, PushConfig};
 use gdsearch_diffusion::{exact, per_source, power, PprConfig, Signal};
+use gdsearch_embed::Embedding;
 use gdsearch_graph::sparse::Normalization;
 use gdsearch_graph::{generators, Graph, NodeId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2u32..30, 0u32..40, 0u64..1000).prop_map(|(n, extra, seed)| {
         let mut rng = StdRng::seed_from_u64(seed);
         generators::random_connected(n, extra, &mut rng).unwrap()
+    })
+}
+
+/// Ring, Erdős–Rényi and Barabási–Albert families — the graph classes the
+/// push-engine acceptance criteria name. ER may be disconnected and BA is
+/// hub-heavy, which stresses the degree-scaled frontier and the residual
+/// bounds from different directions.
+fn arb_push_graph() -> impl Strategy<Value = Graph> {
+    (0usize..3, 4u32..36, 0u64..1000).prop_map(|(family, n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match family {
+            0 => generators::ring(n).unwrap(),
+            1 => generators::erdos_renyi(n, 0.15, &mut rng).unwrap(),
+            _ => generators::barabasi_albert(n, 2, &mut rng).unwrap(),
+        }
     })
 }
 
@@ -30,7 +47,7 @@ proptest! {
     fn power_matches_exact(g in arb_graph(), alpha in 0.1f32..1.0, src in 0usize..30) {
         let n = g.num_nodes();
         let e0 = one_hot(n, src);
-        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
         let truth = exact::diffuse(&g, &e0, &cfg).unwrap();
         let approx = power::diffuse(&g, &e0, &cfg).unwrap();
         prop_assert!(approx.converged);
@@ -44,7 +61,7 @@ proptest! {
     fn ppr_preserves_nonnegativity(g in arb_graph(), alpha in 0.1f32..1.0) {
         let n = g.num_nodes();
         let e0 = one_hot(n, 0);
-        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
         let out = power::diffuse(&g, &e0, &cfg).unwrap().signal;
         for u in 0..n {
             prop_assert!(out.row(u)[0] >= -1e-6);
@@ -60,7 +77,8 @@ proptest! {
         let cfg = PprConfig::new(alpha)
             .unwrap()
             .with_normalization(Normalization::ColumnStochastic)
-            .with_tolerance(1e-6);
+            .with_tolerance(1e-6)
+            .unwrap();
         let out = power::diffuse(&g, &e0, &cfg).unwrap().signal;
         let mass = out.column_mass()[0];
         prop_assert!((mass - 1.0).abs() < 1e-3, "mass {mass}");
@@ -70,7 +88,7 @@ proptest! {
     #[test]
     fn per_source_equals_dense(g in arb_graph(), alpha in 0.1f32..1.0, src in 0usize..30) {
         let n = g.num_nodes();
-        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
         let src = NodeId::new((src % n) as u32);
         let h = per_source::ppr_vector(&g, src, &cfg).unwrap();
         let dense = power::diffuse(&g, &one_hot(n, src.index()), &cfg)
@@ -87,7 +105,7 @@ proptest! {
     fn polynomial_truncation_converges(g in arb_graph(), alpha in 0.3f32..1.0) {
         let n = g.num_nodes();
         let e0 = one_hot(n, 0);
-        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
         let fixed = PprFilter::new(cfg).apply(&g, &e0).unwrap();
         // Order chosen so (1-alpha)^order < 1e-4.
         let order = ((1e-4f32.ln()) / (1.0 - alpha + 1e-6).ln()).ceil() as usize + 1;
@@ -103,7 +121,7 @@ proptest! {
     #[test]
     fn linearity(g in arb_graph(), alpha in 0.1f32..1.0, s in -3.0f32..3.0) {
         let n = g.num_nodes();
-        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
         let x = one_hot(n, 0);
         let y = one_hot(n, n.saturating_sub(1));
         let hx = power::diffuse(&g, &x, &cfg).unwrap().signal;
@@ -125,13 +143,80 @@ proptest! {
         let n = g.num_nodes();
         let e0 = one_hot(n, 0);
         let run = |alpha: f32| {
-            let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6);
+            let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
             power::diffuse(&g, &e0, &cfg).unwrap().signal.row(0)[0]
         };
         let heavy = run(0.1);
         let light = run(0.9);
         prop_assert!(light >= heavy - 1e-5,
             "self-mass at alpha 0.9 ({light}) must exceed alpha 0.1 ({heavy})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Forward push agrees with the exact dense solve within the
+    /// configured tolerance on every graph family (single source).
+    #[test]
+    fn push_matches_exact(g in arb_push_graph(), alpha in 0.1f32..1.0, src in 0usize..36) {
+        let n = g.num_nodes();
+        let src = src % n;
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
+        let mut e0 = Signal::zeros(n, 1);
+        e0.row_mut(src)[0] = 1.0;
+        let truth = exact::diffuse(&g, &e0, &cfg).unwrap();
+        let h = push::ppr_vector(&g, NodeId::new(src as u32), &PushConfig::new(cfg)).unwrap();
+        for (u, hu) in h.iter().enumerate() {
+            prop_assert!((hu - truth.row(u)[0]).abs() < 1e-4, "node {u}");
+        }
+    }
+
+    /// Multi-source batched push agrees with the exact solve of the summed
+    /// personalization (duplicate source nodes included).
+    #[test]
+    fn push_batch_matches_exact(g in arb_push_graph(), alpha in 0.1f32..1.0, seed in 0u64..1000) {
+        let n = g.num_nodes();
+        let dim = 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sources: Vec<(NodeId, Embedding)> = (0..4)
+            .map(|_| {
+                (
+                    NodeId::new(rng.random_range(0..n as u32)),
+                    Embedding::new((0..dim).map(|_| rng.random::<f32>()).collect()),
+                )
+            })
+            .collect();
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
+        let pushed = push::diffuse_sparse(&g, dim, &sources, &PushConfig::new(cfg)).unwrap();
+        let e0 = Signal::from_sparse_rows(n, dim, &sources).unwrap();
+        let truth = exact::diffuse(&g, &e0, &cfg).unwrap();
+        prop_assert!(pushed.max_abs_diff(&truth).unwrap() < 1e-3);
+    }
+
+    /// The batched driver is bit-for-bit deterministic across thread
+    /// counts: 1 worker and 4 workers must produce identical signals.
+    #[test]
+    fn push_is_deterministic_across_threads(g in arb_push_graph(), seed in 0u64..1000) {
+        let n = g.num_nodes();
+        let dim = 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sources: Vec<(NodeId, Embedding)> = (0..6)
+            .map(|_| {
+                (
+                    NodeId::new(rng.random_range(0..n as u32)),
+                    Embedding::new((0..dim).map(|_| rng.random::<f32>()).collect()),
+                )
+            })
+            .collect();
+        let ppr = PprConfig::new(0.5).unwrap().with_tolerance(1e-6).unwrap();
+        let single = push::diffuse_sparse(
+            &g, dim, &sources, &PushConfig::new(ppr).with_threads(1).unwrap(),
+        ).unwrap();
+        let quad = push::diffuse_sparse(
+            &g, dim, &sources, &PushConfig::new(ppr).with_threads(4).unwrap(),
+        ).unwrap();
+        prop_assert_eq!(single, quad, "thread count leaked into the output");
     }
 }
 
@@ -147,7 +232,7 @@ proptest! {
 
         let n = g.num_nodes();
         let e0 = one_hot(n, 0);
-        let cfg = GossipConfig::new(PprConfig::new(0.5).unwrap().with_tolerance(1e-5))
+        let cfg = GossipConfig::new(PprConfig::new(0.5).unwrap().with_tolerance(1e-5).unwrap())
             .with_mean_delay(delay)
             .unwrap();
         let a = gossip::diffuse(&g, &e0, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();

@@ -171,6 +171,7 @@ fn all_engines_yield_equivalent_search_outcomes() {
         DiffusionEngine::Dense,
         DiffusionEngine::PerSource,
         DiffusionEngine::Auto,
+        DiffusionEngine::push(2),
     ] {
         let cfg = SchemeConfig::builder()
             .engine(engine)
@@ -185,6 +186,7 @@ fn all_engines_yield_equivalent_search_outcomes() {
     }
     assert_eq!(paths[0], paths[1], "dense vs per-source walks diverged");
     assert_eq!(paths[0], paths[2], "dense vs auto walks diverged");
+    assert_eq!(paths[0], paths[3], "dense vs push walks diverged");
 }
 
 #[test]

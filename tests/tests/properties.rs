@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn ppr_conserves_mass(seed in 0u64..500, n in 5u32..60, alpha in 0.05f32..1.0) {
         let g = graph_from_seed(seed, n);
-        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-7);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-7).unwrap();
         let h = per_source::ppr_vector(&g, NodeId::new(0), &cfg).unwrap();
         let total: f32 = h.iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-3, "mass {total}");
@@ -47,7 +47,7 @@ proptest! {
     #[test]
     fn engines_agree(seed in 0u64..500, n in 5u32..40, k in 1usize..6) {
         let g = graph_from_seed(seed, n);
-        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-7);
+        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-7).unwrap();
         let corpus = corpus();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
         let sources: Vec<(NodeId, gdsearch_embed::Embedding)> = (0..k)

@@ -166,7 +166,7 @@ impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 pub mod collection {
     use super::{SampleRange, Strategy};
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec()`](fn@vec): an exact length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -197,7 +197,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
