@@ -147,6 +147,22 @@ fn main() {
             .unwrap(),
         &format!("{} sweeps", bpower_out.iterations),
     );
+    let (bpowern_ms, bpowern_out) = timed(repeats, || {
+        power::diffuse_threaded(&graph, &e0, &cfg, threads).unwrap()
+    });
+    print_row(
+        &format!("power ×{threads} threads"),
+        bpowern_ms,
+        bpower_ms,
+        bpowern_out
+            .signal
+            .max_abs_diff(&batch_reference)
+            .unwrap(),
+        &format!(
+            "identical to ×1: {}",
+            if bpowern_out.signal == bpower_out.signal { "yes" } else { "NO" }
+        ),
+    );
     let (bscalar_ms, bscalar_out) = timed(repeats, || {
         per_source::diffuse_sparse(&graph, dim, &sources, &cfg).unwrap()
     });

@@ -1,7 +1,10 @@
 //! Rendering of experiment results as markdown tables and CSV, in the
-//! paper's own layout (Fig. 3 series per α; Table I columns).
+//! paper's own layout (Fig. 3 series per α; Table I columns), plus
+//! transport-layer bandwidth tables for the bounded-backend experiments.
 
 use std::fmt::Write as _;
+
+use gdsearch_sim::NetStats;
 
 use crate::experiment::accuracy::AccuracyResult;
 use crate::experiment::hops::HopCountRow;
@@ -106,6 +109,61 @@ pub fn hops_csv(rows: &[HopCountRow]) -> String {
     out
 }
 
+/// Renders labeled transport statistics as a markdown table: message and
+/// byte counts, drop breakdown, and the bounded backend's queue metrics
+/// (high-water depth, mean queueing delay). This is the report format of
+/// the `ablation_transport` bandwidth experiments.
+pub fn transport_markdown(rows: &[(&str, &NetStats)]) -> String {
+    let mut out = String::from(
+        "| configuration | sent | delivered | bytes | lost | down | \
+         backpressure | max queue | mean queue wait |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    for (label, s) in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2} |",
+            label,
+            s.sent,
+            s.delivered,
+            s.bytes_sent,
+            s.lost,
+            s.dropped_down,
+            s.dropped_backpressure,
+            s.max_queue_depth,
+            s.mean_queue_delay_ticks(),
+        );
+    }
+    out
+}
+
+/// Renders labeled transport statistics as CSV (one row per
+/// configuration, same columns as [`transport_markdown`] plus
+/// `dropped_no_route`).
+pub fn transport_csv(rows: &[(&str, &NetStats)]) -> String {
+    let mut out = String::from(
+        "configuration,sent,delivered,bytes_sent,lost,dropped_down,\
+         dropped_backpressure,dropped_no_route,max_queue_depth,queue_delay_ticks\n",
+    );
+    for (label, s) in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            label,
+            s.sent,
+            s.delivered,
+            s.bytes_sent,
+            s.lost,
+            s.dropped_down,
+            s.dropped_backpressure,
+            s.dropped_no_route,
+            s.max_queue_depth,
+            s.queue_delay_ticks,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +239,36 @@ mod tests {
         let csv = hops_csv(&sample_rows());
         assert!(csv.contains("10,1905,5000,0.3810,3.0000,7.6200,10.8300"));
         assert!(csv.contains("100,0,5000,0.0000,,,"));
+    }
+
+    fn sample_stats() -> NetStats {
+        NetStats {
+            sent: 100,
+            delivered: 90,
+            lost: 4,
+            dropped_down: 2,
+            bytes_sent: 12_345,
+            dropped_backpressure: 3,
+            dropped_no_route: 1,
+            max_queue_depth: 17,
+            queue_delay_ticks: 184,
+        }
+    }
+
+    #[test]
+    fn transport_markdown_layout() {
+        let s = sample_stats();
+        let md = transport_markdown(&[("flooding @ 1 KB/s", &s)]);
+        assert!(md.contains("| configuration |"));
+        assert!(md.contains("| flooding @ 1 KB/s | 100 | 90 | 12345 | 4 | 2 | 3 | 17 | 2.00 |"));
+    }
+
+    #[test]
+    fn transport_csv_layout() {
+        let s = sample_stats();
+        let csv = transport_csv(&[("a", &s), ("b", &s)]);
+        assert!(csv.starts_with("configuration,sent,delivered"));
+        assert!(csv.contains("a,100,90,12345,4,2,3,1,17,184"));
+        assert_eq!(csv.lines().count(), 3);
     }
 }

@@ -29,7 +29,10 @@ use gdsearch_diffusion::Signal;
 use gdsearch_embed::topk::TopK;
 use gdsearch_embed::Embedding;
 use gdsearch_graph::{Graph, NodeId};
-use gdsearch_sim::{Network, NetworkConfig, NodeApi, NodeHandler, SimError, WireMessage};
+use gdsearch_sim::{
+    NetStats, Network, NetworkConfig, NodeApi, NodeHandler, Reactor, SimError, TransportConfig,
+    WireMessage,
+};
 
 use crate::forwarding::{self, ForwardContext};
 use crate::{DocId, PolicyKind, SearchError, SearchNetwork};
@@ -288,20 +291,14 @@ impl NodeHandler<SearchMessage> for SearchNode {
     }
 }
 
-/// Builds a simulator [`Network`] whose handlers run the search protocol
-/// with the state of `network` (documents, diffused embeddings, policy).
-///
-/// # Errors
-///
-/// Propagates simulator construction failures.
-pub fn build_protocol_network(
-    network: &SearchNetwork<'_>,
-    sim_config: NetworkConfig,
-) -> Result<Network<SearchMessage, SearchNode>, SearchError> {
+/// Builds the per-node protocol handlers for `network`'s state
+/// (documents, diffused embeddings, policy) — shared by both transport
+/// backends.
+fn make_handlers(network: &SearchNetwork<'_>) -> Vec<SearchNode> {
     let graph = Arc::new(network.graph().clone());
     let embeddings = Arc::new(network.embeddings().clone());
     let config = network.config();
-    let handlers: Vec<SearchNode> = network
+    network
         .graph()
         .node_ids()
         .map(|u| SearchNode {
@@ -322,8 +319,217 @@ pub fn build_protocol_network(
             next_msg: 0,
             completed: Vec::new(),
         })
-        .collect();
+        .collect()
+}
+
+/// Builds a simulator [`Network`] whose handlers run the search protocol
+/// with the state of `network` (documents, diffused embeddings, policy).
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn build_protocol_network(
+    network: &SearchNetwork<'_>,
+    sim_config: NetworkConfig,
+) -> Result<Network<SearchMessage, SearchNode>, SearchError> {
+    let handlers = make_handlers(network);
     Ok(Network::new(network.graph().clone(), handlers, sim_config)?)
+}
+
+/// Builds a bandwidth-aware [`Reactor`] whose handlers run the search
+/// protocol; messages serialize over bounded finite-bandwidth links
+/// (queueing delay, saturation, backpressure drops).
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn build_protocol_reactor(
+    network: &SearchNetwork<'_>,
+    transport: TransportConfig,
+) -> Result<Reactor<SearchMessage, SearchNode>, SearchError> {
+    let handlers = make_handlers(network);
+    Ok(Reactor::new(network.graph().clone(), handlers, transport)?)
+}
+
+/// Which transport backend runs the message-passing protocol.
+///
+/// The instant event loop is the default everywhere (all hop-count and
+/// accuracy experiments are bandwidth-agnostic); pick the bounded reactor
+/// to study the regimes the paper's bandwidth argument is about — link
+/// saturation, queueing delay and backpressure.
+#[derive(Debug, Clone, Default)]
+pub enum SimBackend {
+    /// Instant delivery over infinitely wide links
+    /// ([`gdsearch_sim::Network`]), with optional latency/loss/churn.
+    #[default]
+    Instant,
+    /// As [`SimBackend::Instant`] with an explicit simulator
+    /// configuration.
+    InstantWith(NetworkConfig),
+    /// Bounded finite-bandwidth links ([`gdsearch_sim::Reactor`]); the
+    /// [`TransportConfig`] sets bytes/tick, queue bounds and worker
+    /// threads.
+    Bounded(TransportConfig),
+}
+
+/// A protocol network over either transport backend, with a common
+/// driving surface — what the bandwidth experiments iterate over.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch::protocol::{ProtocolNetwork, SimBackend};
+/// use gdsearch::{Placement, SchemeConfig, SearchNetwork};
+/// use gdsearch_sim::TransportConfig;
+/// # use gdsearch_embed::synthetic::SyntheticCorpus;
+/// # use gdsearch_graph::generators;
+/// # use rand::SeedableRng;
+/// # use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut rng = StdRng::seed_from_u64(5);
+/// # let graph = generators::social_circles_like_scaled(30, &mut rng)?;
+/// # let corpus = SyntheticCorpus::builder().vocab_size(60).dim(8).generate(&mut rng)?;
+/// # let words = vec![gdsearch_embed::WordId::new(0)];
+/// # let placement = Placement::uniform(&graph, &words, &mut rng)?;
+/// # let cfg = SchemeConfig::builder().ttl(5).build()?;
+/// # let scheme = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng)?;
+/// let backend = SimBackend::Bounded(TransportConfig::default().with_bandwidth(1_000)?);
+/// let mut net = ProtocolNetwork::build(&scheme, backend)?;
+/// let origin = gdsearch_graph::NodeId::new(3);
+/// net.issue_query(origin, 1, corpus.embedding(gdsearch_embed::WordId::new(1)).clone(), 5)?;
+/// net.run_to_completion(100_000)?;
+/// assert_eq!(net.completed(origin)?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub enum ProtocolNetwork {
+    /// Instant-delivery event loop.
+    Instant(Network<SearchMessage, SearchNode>),
+    /// Bandwidth-aware reactor.
+    Bounded(Reactor<SearchMessage, SearchNode>),
+}
+
+impl ProtocolNetwork {
+    /// Builds the protocol network over the selected backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn build(
+        network: &SearchNetwork<'_>,
+        backend: SimBackend,
+    ) -> Result<Self, SearchError> {
+        Ok(match backend {
+            SimBackend::Instant => {
+                ProtocolNetwork::Instant(build_protocol_network(network, NetworkConfig::default())?)
+            }
+            SimBackend::InstantWith(cfg) => {
+                ProtocolNetwork::Instant(build_protocol_network(network, cfg)?)
+            }
+            SimBackend::Bounded(cfg) => {
+                ProtocolNetwork::Bounded(build_protocol_reactor(network, cfg)?)
+            }
+        })
+    }
+
+    /// Issues a query at `origin` (see [`issue_query`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Sim`] for unknown origins.
+    pub fn issue_query(
+        &mut self,
+        origin: NodeId,
+        query_id: u64,
+        embedding: Embedding,
+        ttl: u32,
+    ) -> Result<(), SearchError> {
+        let msg_id = self.handler_mut(origin)?.fresh_msg_id();
+        let msg = SearchMessage::Query {
+            query_id,
+            msg_id,
+            embedding,
+            ttl,
+            hop: 0,
+        };
+        match self {
+            ProtocolNetwork::Instant(net) => net.inject(origin, msg)?,
+            ProtocolNetwork::Bounded(net) => net.inject(origin, msg)?,
+        }
+        Ok(())
+    }
+
+    /// Drains the network: `budget` counts events on the instant backend
+    /// and ticks on the bounded one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Sim`] on budget exhaustion with work
+    /// remaining (e.g. when drops orphaned a walk subtree — inspect
+    /// handlers and [`ProtocolNetwork::stats`] in that case).
+    pub fn run_to_completion(&mut self, budget: usize) -> Result<(), SearchError> {
+        match self {
+            ProtocolNetwork::Instant(net) => {
+                net.run_to_completion(budget)?;
+            }
+            ProtocolNetwork::Bounded(net) => {
+                net.run_to_completion(budget as u64)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The queries completed at `origin` so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Sim`] for unknown origins.
+    pub fn completed(&self, origin: NodeId) -> Result<Vec<CompletedQuery>, SearchError> {
+        Ok(self.handler(origin)?.completed().to_vec())
+    }
+
+    /// Transport statistics so far (the bounded backend additionally
+    /// fills the queue-depth/-delay and backpressure fields).
+    pub fn stats(&self) -> &NetStats {
+        match self {
+            ProtocolNetwork::Instant(net) => net.stats(),
+            ProtocolNetwork::Bounded(net) => net.stats(),
+        }
+    }
+
+    /// Current virtual time, in seconds (= ticks on the bounded backend).
+    pub fn now_secs(&self) -> f64 {
+        match self {
+            ProtocolNetwork::Instant(net) => net.now().as_secs(),
+            ProtocolNetwork::Bounded(net) => net.now().as_secs(),
+        }
+    }
+
+    /// Shared access to a node's protocol handler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Sim`] for unknown nodes.
+    pub fn handler(&self, node: NodeId) -> Result<&SearchNode, SearchError> {
+        Ok(match self {
+            ProtocolNetwork::Instant(net) => net.handler(node)?,
+            ProtocolNetwork::Bounded(net) => net.handler(node)?,
+        })
+    }
+
+    /// Mutable access to a node's protocol handler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Sim`] for unknown nodes.
+    pub fn handler_mut(&mut self, node: NodeId) -> Result<&mut SearchNode, SearchError> {
+        Ok(match self {
+            ProtocolNetwork::Instant(net) => net.handler_mut(node)?,
+            ProtocolNetwork::Bounded(net) => net.handler_mut(node)?,
+        })
+    }
 }
 
 /// Issues a query into a protocol network at `origin`.
@@ -520,6 +726,77 @@ mod tests {
         // never completes (documented protocol limitation without timers).
         assert!(completed.is_empty());
         assert_eq!(net.stats().lost, 1);
+    }
+
+    #[test]
+    fn bounded_backend_agrees_with_instant_for_deterministic_policy() {
+        // PprGreedy consumes no randomness and both backends run the same
+        // handlers, so under ample bandwidth the walk tree — and thus the
+        // message count and final results — must coincide exactly.
+        let mut r = rng(21);
+        let g = generators::social_circles_like_scaled(50, &mut r).unwrap();
+        let c = corpus(22);
+        let words: Vec<_> = (0..5).map(gdsearch_embed::WordId::new).collect();
+        let p = Placement::uniform(&g, &words, &mut r).unwrap();
+        let cfg = SchemeConfig::builder().ttl(12).top_k(3).build().unwrap();
+        let scheme = SearchNetwork::build(&g, &c, &p, &cfg, &mut r).unwrap();
+        let origin = NodeId::new(7);
+        let query = c.embedding(gdsearch_embed::WordId::new(8)).clone();
+        let run = |backend: SimBackend| {
+            let mut net = ProtocolNetwork::build(&scheme, backend).unwrap();
+            net.issue_query(origin, 4, query.clone(), 12).unwrap();
+            net.run_to_completion(1_000_000).unwrap();
+            let stats = *net.stats();
+            (net.completed(origin).unwrap(), stats)
+        };
+        let (instant_done, instant_stats) = run(SimBackend::Instant);
+        let bounded = SimBackend::Bounded(
+            TransportConfig::default()
+                .with_bandwidth(1 << 20)
+                .unwrap()
+                .with_threads(4)
+                .unwrap(),
+        );
+        let (bounded_done, bounded_stats) = run(bounded);
+        assert_eq!(instant_done, bounded_done);
+        assert_eq!(instant_stats.sent, bounded_stats.sent);
+        assert_eq!(instant_stats.delivered, bounded_stats.delivered);
+        assert_eq!(instant_stats.bytes_sent, bounded_stats.bytes_sent);
+        assert_eq!(bounded_stats.dropped_total(), 0);
+    }
+
+    #[test]
+    fn saturated_links_backpressure_flooding() {
+        // Flooding a narrow-link network must saturate queues: either
+        // messages wait (queue delay) or overflow (backpressure drops).
+        let mut r = rng(31);
+        let g = generators::social_circles_like_scaled(40, &mut r).unwrap();
+        let c = corpus(32);
+        let words: Vec<_> = (0..4).map(gdsearch_embed::WordId::new).collect();
+        let p = Placement::uniform(&g, &words, &mut r).unwrap();
+        let cfg = SchemeConfig::builder()
+            .ttl(4)
+            .policy(crate::PolicyKind::Flooding)
+            .build()
+            .unwrap();
+        let scheme = SearchNetwork::build(&g, &c, &p, &cfg, &mut r).unwrap();
+        let transport = TransportConfig::default()
+            .with_bandwidth(64)
+            .unwrap()
+            .with_queue_capacity(3)
+            .unwrap();
+        let mut net =
+            ProtocolNetwork::build(&scheme, SimBackend::Bounded(transport)).unwrap();
+        let origin = NodeId::new(0);
+        net.issue_query(origin, 1, c.embedding(gdsearch_embed::WordId::new(5)).clone(), 4)
+            .unwrap();
+        net.run_to_completion(1_000_000).unwrap();
+        let stats = net.stats();
+        assert!(
+            stats.queue_delay_ticks > 0 || stats.dropped_backpressure > 0,
+            "narrow links must queue or drop: {stats:?}"
+        );
+        assert!(stats.max_queue_depth > 1);
     }
 
     #[test]

@@ -73,6 +73,45 @@ pub fn diffuse_with_matrix(
     e0: &Signal,
     config: &PprConfig,
 ) -> Result<DiffusionResult, DiffusionError> {
+    diffuse_with_matrix_threaded(matrix, e0, config, 1)
+}
+
+/// Like [`diffuse`], but shards every row sweep across `threads` scoped
+/// workers from [`crate::workpool`].
+///
+/// Each output row of the sweep `E(t) = (1−a) A E(t−1) + a E0` depends
+/// only on the previous iterate, so disjoint row ranges are computed
+/// concurrently into disjoint chunks of the next iterate
+/// ([`CsrMatrix::mul_dense_rows_into`]); the per-chunk residual maxima are
+/// folded in chunk order, and `f32::max` is associative for the non-NaN
+/// values produced here — the result is therefore bit-for-bit identical
+/// for every thread count, including `threads = 1` (which is exactly
+/// [`diffuse`]).
+///
+/// # Errors
+///
+/// As [`diffuse`].
+pub fn diffuse_threaded(
+    graph: &Graph,
+    e0: &Signal,
+    config: &PprConfig,
+    threads: usize,
+) -> Result<DiffusionResult, DiffusionError> {
+    let a = transition_matrix(graph, config.normalization());
+    diffuse_with_matrix_threaded(&a, e0, config, threads)
+}
+
+/// [`diffuse_threaded`] over a prebuilt transition matrix.
+///
+/// # Errors
+///
+/// Returns [`DiffusionError::ShapeMismatch`] if shapes disagree.
+pub fn diffuse_with_matrix_threaded(
+    matrix: &CsrMatrix,
+    e0: &Signal,
+    config: &PprConfig,
+    threads: usize,
+) -> Result<DiffusionResult, DiffusionError> {
     let n = matrix.n_rows();
     if e0.num_nodes() != n {
         return Err(DiffusionError::ShapeMismatch {
@@ -81,26 +120,40 @@ pub fn diffuse_with_matrix(
         });
     }
     let dim = e0.dim();
+    let width = dim.max(1);
+    let threads = threads.max(1).min(n.max(1));
+    let chunk_rows = n.max(1).div_ceil(threads);
     let alpha = config.alpha();
     let mut current = e0.clone();
     let mut next = Signal::zeros(n, dim);
     let mut conv = Convergence::new();
     while conv.iters < config.max_iterations() {
-        // next = (1 - a) * A * current + a * e0
-        matrix.mul_dense_into(current.as_slice(), dim.max(1), next.as_mut_slice());
-        let mut max_delta = 0.0f32;
-        for (i, (nx, e)) in next
-            .as_mut_slice()
-            .iter_mut()
-            .zip(e0.as_slice())
-            .enumerate()
-        {
-            *nx = (1.0 - alpha) * *nx + alpha * e;
-            let delta = (*nx - current.as_slice()[i]).abs();
-            if delta > max_delta {
-                max_delta = delta;
-            }
-        }
+        // next = (1 - a) * A * current + a * e0, sharded by row range.
+        let max_delta = {
+            let cur = current.as_slice();
+            let origin = e0.as_slice();
+            let mut chunks: Vec<(usize, &mut [f32])> = next
+                .as_mut_slice()
+                .chunks_mut(chunk_rows * width)
+                .enumerate()
+                .map(|(i, chunk)| (i * chunk_rows, chunk))
+                .collect();
+            let deltas =
+                crate::workpool::map_batched_mut(&mut chunks, threads, |(first_row, chunk)| {
+                    matrix.mul_dense_rows_into(*first_row, cur, width, chunk);
+                    let base = *first_row * width;
+                    let mut local_max = 0.0f32;
+                    for (j, nx) in chunk.iter_mut().enumerate() {
+                        *nx = (1.0 - alpha) * *nx + alpha * origin[base + j];
+                        let delta = (*nx - cur[base + j]).abs();
+                        if delta > local_max {
+                            local_max = delta;
+                        }
+                    }
+                    local_max
+                });
+            deltas.into_iter().fold(0.0f32, f32::max)
+        };
         std::mem::swap(&mut current, &mut next);
         if conv.record(max_delta, config.tolerance()) {
             break;
@@ -226,6 +279,34 @@ mod tests {
         assert!(!out.converged);
         assert_eq!(out.iterations, 3);
         assert!(diffuse_converged(&g, &one_hot_signal(50, 0), &cfg).is_err());
+    }
+
+    #[test]
+    fn threaded_sweeps_are_bitwise_identical() {
+        let g = generators::social_circles_like_scaled(120, &mut seeded(9)).unwrap();
+        let mut e0 = Signal::zeros(120, 5);
+        for u in 0..120 {
+            for d in 0..5 {
+                e0.row_mut(u)[d] = ((u * 5 + d) as f32 * 0.17).sin();
+            }
+        }
+        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-7).unwrap();
+        let reference = diffuse(&g, &e0, &cfg).unwrap();
+        for threads in [2, 3, 4, 16] {
+            let out = diffuse_threaded(&g, &e0, &cfg, threads).unwrap();
+            assert_eq!(out.signal.as_slice(), reference.signal.as_slice());
+            assert_eq!(out.iterations, reference.iterations);
+            assert_eq!(out.residual, reference.residual);
+            assert_eq!(out.converged, reference.converged);
+        }
+    }
+
+    #[test]
+    fn threaded_handles_more_threads_than_rows() {
+        let g = generators::ring(3).unwrap();
+        let out = diffuse_threaded(&g, &one_hot_signal(3, 0), &PprConfig::default(), 64).unwrap();
+        let reference = diffuse(&g, &one_hot_signal(3, 0), &PprConfig::default()).unwrap();
+        assert_eq!(out.signal.as_slice(), reference.signal.as_slice());
     }
 
     #[test]

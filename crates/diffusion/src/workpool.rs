@@ -78,6 +78,69 @@ where
         .collect()
 }
 
+/// Maps `f` over `items` in place on up to `threads` scoped worker
+/// threads, returning the per-item outputs in item order.
+///
+/// The mutable sibling of [`map_batched`], for stages whose items carry
+/// their own mutable state (per-node handlers, RNGs, output buffers).
+/// Sharding is by contiguous chunk (`chunks_mut` hands each worker a
+/// disjoint subslice), so no synchronization is needed and the borrow
+/// checker proves the items disjoint.
+///
+/// Determinism contract: `f` runs on each item exactly once and only ever
+/// sees that item, so as long as `f(&mut item)` is a pure function of the
+/// item's own state, both the mutations and the returned vector are
+/// independent of `threads` — chunk boundaries move with the worker count,
+/// but no item can observe them.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_diffusion::workpool;
+///
+/// let mut items = [1u64, 2, 3, 4];
+/// let old = workpool::map_batched_mut(&mut items, 2, |x| {
+///     let before = *x;
+///     *x *= 10;
+///     before
+/// });
+/// assert_eq!(items, [10, 20, 30, 40]);
+/// assert_eq!(old, vec![1, 2, 3, 4]);
+/// ```
+pub fn map_batched_mut<I, O, F>(items: &mut [I], threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&mut I) -> O + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut outputs: Vec<(usize, Vec<O>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (index, chunk) in items.chunks_mut(chunk_size).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move || (index, chunk.iter_mut().map(f).collect())));
+        }
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    outputs.sort_by_key(|&(index, _)| index);
+    outputs.into_iter().flat_map(|(_, out)| out).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +184,49 @@ mod tests {
         let offset = 100u32;
         let out = map_batched(&[1u32, 2, 3], 2, |&x| x + offset);
         assert_eq!(out, vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn mut_map_mutates_and_orders_outputs() {
+        for threads in [1, 2, 3, 7, 16] {
+            let mut items: Vec<u64> = (0..53).collect();
+            let out = map_batched_mut(&mut items, threads, |x| {
+                *x += 1;
+                *x * 2
+            });
+            assert_eq!(items, (1..=53).collect::<Vec<_>>());
+            assert_eq!(out, (1..=53).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn mut_map_handles_empty_and_excess_threads() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(map_batched_mut(&mut empty, 4, |x| *x).is_empty());
+        let mut one = [9u32];
+        assert_eq!(map_batched_mut(&mut one, 64, |x| *x + 1), vec![10]);
+    }
+
+    #[test]
+    fn mut_map_items_see_only_themselves() {
+        // Per-item accumulator state must come out identical for every
+        // thread count (the reactor's determinism rests on this).
+        let reference: Vec<(f32, f32)> = {
+            let mut items: Vec<f32> = (0..41).map(|i| i as f32 * 0.61).collect();
+            let out = map_batched_mut(&mut items, 1, |x| {
+                *x = x.sin() * 3.0;
+                *x
+            });
+            items.into_iter().zip(out).collect()
+        };
+        for threads in [2, 4, 8] {
+            let mut items: Vec<f32> = (0..41).map(|i| i as f32 * 0.61).collect();
+            let out = map_batched_mut(&mut items, threads, |x| {
+                *x = x.sin() * 3.0;
+                *x
+            });
+            let got: Vec<(f32, f32)> = items.into_iter().zip(out).collect();
+            assert_eq!(got, reference);
+        }
     }
 }

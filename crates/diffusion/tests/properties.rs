@@ -42,6 +42,34 @@ fn one_hot(n: usize, u: usize) -> Signal {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
+    /// The workpool-sharded dense sweeps are bit-for-bit identical to the
+    /// sequential engine for every thread count, on arbitrary graphs and
+    /// dense multi-column signals.
+    #[test]
+    fn power_threaded_is_bitwise_deterministic(
+        g in arb_graph(),
+        alpha in 0.1f32..1.0,
+        dim in 1usize..5,
+        signal_seed in 0u64..1000,
+    ) {
+        let n = g.num_nodes();
+        let mut rng = StdRng::seed_from_u64(signal_seed);
+        let mut e0 = Signal::zeros(n, dim);
+        for u in 0..n {
+            for d in 0..dim {
+                e0.row_mut(u)[d] = rng.random::<f32>();
+            }
+        }
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
+        let reference = power::diffuse(&g, &e0, &cfg).unwrap();
+        for threads in [2usize, 4, 7] {
+            let out = power::diffuse_threaded(&g, &e0, &cfg, threads).unwrap();
+            prop_assert_eq!(out.signal.as_slice(), reference.signal.as_slice());
+            prop_assert_eq!(out.iterations, reference.iterations);
+            prop_assert_eq!(out.residual.to_bits(), reference.residual.to_bits());
+        }
+    }
+
     /// Power iteration matches the exact dense solve.
     #[test]
     fn power_matches_exact(g in arb_graph(), alpha in 0.1f32..1.0, src in 0usize..30) {

@@ -164,16 +164,43 @@ impl CsrMatrix {
     /// Panics if buffer sizes disagree with `n_cols * width` /
     /// `n_rows * width`.
     pub fn mul_dense_into(&self, x: &[f32], width: usize, y: &mut [f32]) {
-        assert_eq!(x.len(), self.n_cols * width, "input dimension mismatch");
         assert_eq!(y.len(), self.n_rows * width, "output dimension mismatch");
-        for r in 0..self.n_rows {
-            let out = &mut y[r * width..(r + 1) * width];
+        self.mul_dense_rows_into(0, x, width, y);
+    }
+
+    /// Partial product `Y[first_row..] = (M X)[first_row..]`: computes only
+    /// the output rows covered by `y`, which holds
+    /// `y.len() / width` consecutive rows starting at `first_row`.
+    ///
+    /// Each output row depends only on `x` and that row's stored entries,
+    /// so disjoint row ranges can be computed concurrently into disjoint
+    /// buffers and the assembled result is bitwise identical to one
+    /// [`CsrMatrix::mul_dense_into`] call — the primitive behind the
+    /// parallel dense diffusion sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols * width`, `y.len()` is not a multiple
+    /// of `width`, or the row range extends past `n_rows`.
+    pub fn mul_dense_rows_into(&self, first_row: usize, x: &[f32], width: usize, y: &mut [f32]) {
+        assert_eq!(x.len(), self.n_cols * width, "input dimension mismatch");
+        let w = width.max(1);
+        assert_eq!(y.len() % w, 0, "output buffer must hold whole rows");
+        let rows = y.len() / w;
+        assert!(
+            first_row + rows <= self.n_rows,
+            "row range {first_row}..{} exceeds {} rows",
+            first_row + rows,
+            self.n_rows
+        );
+        for (chunk_row, out) in y.chunks_mut(w).enumerate() {
+            let r = first_row + chunk_row;
             out.fill(0.0);
             for i in self.offsets[r]..self.offsets[r + 1] {
-                let w = self.values[i];
+                let weight = self.values[i];
                 let src = &x[self.columns[i] as usize * width..][..width];
                 for (o, s) in out.iter_mut().zip(src) {
-                    *o += w * s;
+                    *o += weight * s;
                 }
             }
         }
@@ -314,6 +341,35 @@ mod tests {
                 assert!((y[r * width + c] - expect[r]).abs() < 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn mul_dense_rows_assembles_to_full_product() {
+        let g = generators::social_circles_like_scaled(40, &mut seeded(7)).unwrap();
+        let a = transition_matrix(&g, Normalization::ColumnStochastic);
+        let width = 4;
+        let x: Vec<f32> = (0..40 * width).map(|i| (i as f32 * 0.13).cos()).collect();
+        let mut full = vec![0.0f32; 40 * width];
+        a.mul_dense_into(&x, width, &mut full);
+        // Compute the same product in uneven row ranges; must be bitwise
+        // identical to the monolithic call.
+        let mut pieced = vec![0.0f32; 40 * width];
+        let mut row = 0;
+        for rows in [1usize, 7, 12, 20] {
+            let chunk = &mut pieced[row * width..(row + rows) * width];
+            a.mul_dense_rows_into(row, &x, width, chunk);
+            row += rows;
+        }
+        assert_eq!(full, pieced);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn mul_dense_rows_checks_range() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        let x = [1.0f32, 2.0];
+        let mut y = [0.0f32; 4];
+        m.mul_dense_rows_into(1, &x, 1, &mut y[..2]);
     }
 
     #[test]

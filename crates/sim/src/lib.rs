@@ -6,16 +6,23 @@
 //!
 //! * [`SimTime`] / [`EventQueue`] — virtual clock and ordered event queue;
 //! * [`LatencyModel`] — per-link delay distributions;
-//! * [`Network`] — the simulator proper: delivers messages between
-//!   neighboring nodes, applies latency, random loss and node churn, and
-//!   accounts every byte sent ([`NetStats`]);
-//! * [`NodeHandler`] — the protocol hook: the `gdsearch` core crate
-//!   implements the paper's query-forwarding protocol as a handler;
+//! * [`Network`] — the instant-delivery simulator: delivers messages
+//!   between neighboring nodes, applies latency, random loss and node
+//!   churn, and accounts every byte sent ([`NetStats`]);
+//! * [`Reactor`] — the bandwidth-aware backend: the same protocol surface,
+//!   but every overlay edge is a bounded FIFO [`link`] with finite bytes
+//!   per tick ([`TransportConfig`]), so queueing delay, saturation and
+//!   backpressure ([`NodeApi::poll_ready`] / [`NodeApi::try_send`]) are
+//!   modeled; node activations run in parallel on worker threads with
+//!   bit-for-bit deterministic results (see [`reactor`]);
+//! * [`NodeHandler`] — the protocol hook shared by both backends: the
+//!   `gdsearch` core crate implements the paper's query-forwarding
+//!   protocol as a handler;
 //! * [`WireMessage`] — wire-size accounting for bandwidth reports;
 //! * [`churn`] — failure-injection schedules (node down/up events);
 //! * [`trace`] — bounded event traces for debugging and assertions.
 //!
-//! The simulator is deterministic under a seeded RNG.
+//! Both backends are deterministic under a seeded RNG.
 //!
 //! # Example
 //!
@@ -58,17 +65,23 @@
 pub mod churn;
 mod error;
 mod latency;
+pub mod link;
 mod network;
 mod queue;
+pub mod reactor;
 mod stats;
 mod time;
 pub mod trace;
+mod transport;
 mod wire;
 
 pub use error::SimError;
 pub use latency::LatencyModel;
+pub use link::LinkStats;
 pub use network::{Network, NetworkConfig, NodeApi, NodeHandler};
 pub use queue::EventQueue;
+pub use reactor::Reactor;
 pub use stats::NetStats;
 pub use time::SimTime;
+pub use transport::TransportConfig;
 pub use wire::{decode_f32_slice, encode_f32_slice, WireMessage};

@@ -29,9 +29,54 @@ pub struct NodeApi<'a, M> {
     neighbors: &'a [NodeId],
     rng: &'a mut StdRng,
     outbox: &'a mut Vec<(NodeId, M)>,
+    /// Outgoing-link occupancy view of the bounded transport; `None` on
+    /// the instant backend, whose links are infinitely wide.
+    backpressure: Option<LinkCapacityView<'a>>,
+}
+
+/// Occupancy of a node's outgoing link queues during one handler
+/// activation of the bounded-transport reactor.
+///
+/// A directed link `u → v` only ever gains messages from `u` itself, and
+/// the reactor drains queues strictly between handler activations, so a
+/// snapshot of the queue depths taken when the activation starts, plus a
+/// count of the activation's own sends, is an *exact* view of the
+/// occupancy those sends will meet — not a stale heuristic. (With random
+/// loss enabled it becomes a conservative upper bound: lost sends are
+/// discarded before reaching the queue, so fewer messages may occupy it
+/// than were counted.) This is what makes [`NodeApi::poll_ready`]
+/// reliable enough to build protocol-level backpressure on.
+#[derive(Debug)]
+pub(crate) struct LinkCapacityView<'a> {
+    /// Maximum messages a link queue holds.
+    pub(crate) capacity: usize,
+    /// Queue depth per neighbor (indexed like `neighbors`) when this
+    /// activation started.
+    pub(crate) depths: &'a [u32],
+    /// Messages this activation has already queued per neighbor.
+    pub(crate) pending: &'a mut [u32],
 }
 
 impl<'a, M> NodeApi<'a, M> {
+    /// Assembles an API handle; `backpressure` is `Some` only on the
+    /// bounded-transport backend.
+    pub(crate) fn new(
+        node: NodeId,
+        now: SimTime,
+        neighbors: &'a [NodeId],
+        rng: &'a mut StdRng,
+        outbox: &'a mut Vec<(NodeId, M)>,
+        backpressure: Option<LinkCapacityView<'a>>,
+    ) -> Self {
+        NodeApi {
+            node,
+            now,
+            neighbors,
+            rng,
+            outbox,
+            backpressure,
+        }
+    }
     /// The node this handler runs on.
     pub fn node(&self) -> NodeId {
         self.node
@@ -63,11 +108,66 @@ impl<'a, M> NodeApi<'a, M> {
 
     /// Queues `msg` for transmission to `to`. The transport applies
     /// latency, loss and churn; sending to a non-neighbor is allowed only
-    /// for protocols that maintain out-of-band routes (the transport does
-    /// not forbid it, mirroring an IP underlay), but the paper's protocol
+    /// for protocols that maintain out-of-band routes (the instant backend
+    /// does not forbid it, mirroring an IP underlay; the bounded reactor
+    /// drops such sends as `dropped_no_route`), but the paper's protocol
     /// only ever sends to neighbors.
+    ///
+    /// On the bounded backend a `send` onto a full link queue is dropped
+    /// by the transport and counted as `dropped_backpressure`; use
+    /// [`NodeApi::poll_ready`] / [`NodeApi::try_send`] to react to
+    /// saturation instead of losing messages.
     pub fn send(&mut self, to: NodeId, msg: M) {
+        self.note_pending(to);
         self.outbox.push((to, msg));
+    }
+
+    /// Whether the link to `to` can accept one more message right now.
+    ///
+    /// Always `true` on the instant backend. On the bounded reactor this
+    /// is exact for lossless links — a directed link only ever gains
+    /// messages from its own sender, so the depth snapshot taken at
+    /// activation start plus the messages this activation already queued
+    /// is the true occupancy (a conservative upper bound when random loss
+    /// discards some sends before they reach the queue). Returns `false`
+    /// for destinations with no link (non-neighbors).
+    pub fn poll_ready(&self, to: NodeId) -> bool {
+        match &self.backpressure {
+            None => true,
+            Some(view) => match self.neighbors.binary_search(&to) {
+                Err(_) => false,
+                Ok(i) => (view.depths[i] as usize) + (view.pending[i] as usize) < view.capacity,
+            },
+        }
+    }
+
+    /// Sends `msg` to `to` only if the link has room, returning the
+    /// message back to the caller otherwise so it can be re-routed,
+    /// buffered or dropped deliberately.
+    ///
+    /// Equivalent to [`NodeApi::send`] on the instant backend (which never
+    /// exerts backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(msg)` when [`NodeApi::poll_ready`] is `false`.
+    pub fn try_send(&mut self, to: NodeId, msg: M) -> Result<(), M> {
+        if self.poll_ready(to) {
+            self.send(to, msg);
+            Ok(())
+        } else {
+            Err(msg)
+        }
+    }
+
+    /// Records a queued send in the capacity view so later
+    /// [`NodeApi::poll_ready`] calls in the same activation stay exact.
+    fn note_pending(&mut self, to: NodeId) {
+        if let Some(view) = &mut self.backpressure {
+            if let Ok(i) = self.neighbors.binary_search(&to) {
+                view.pending[i] += 1;
+            }
+        }
     }
 }
 
@@ -354,13 +454,14 @@ where
                         bytes,
                     });
                     self.outbox.clear();
-                    let mut api = NodeApi {
-                        node: to,
-                        now: time,
-                        neighbors: self.graph.neighbor_slice(to),
-                        rng: &mut self.rng,
-                        outbox: &mut self.outbox,
-                    };
+                    let mut api = NodeApi::new(
+                        to,
+                        time,
+                        self.graph.neighbor_slice(to),
+                        &mut self.rng,
+                        &mut self.outbox,
+                        None,
+                    );
                     self.handlers[to.index()].handle(from, msg, &mut api);
                     // Transmit everything the handler queued.
                     let queued: Vec<(NodeId, M)> = self.outbox.drain(..).collect();

@@ -1,0 +1,767 @@
+//! Deterministic bandwidth-aware reactor: the bounded-transport backend.
+//!
+//! [`Network`](crate::Network) delivers every message instantly over
+//! infinitely wide links, which is exactly right for hop-count experiments
+//! and exactly wrong for the paper's *bandwidth* argument — flooding and
+//! diffusion search differ most where links saturate, queues build and
+//! messages are dropped under backpressure. [`Reactor`] models that
+//! regime: per-edge FIFO [`Link`](crate::link) queues with finite bytes
+//! per tick ([`TransportConfig`]), bounded send queues, and backpressure
+//! surfaced to handlers through [`NodeApi::poll_ready`] /
+//! [`NodeApi::try_send`]. No async runtime is involved: the reactor is a
+//! hand-rolled tick loop, so the build stays offline-friendly.
+//!
+//! # Execution model
+//!
+//! Virtual time advances in integer ticks; one tick runs three phases:
+//!
+//! 1. **Handler phase.** Every node with a non-empty inbox is *activated*:
+//!    its handler processes the tick's deliveries and queues sends into a
+//!    private outbox. Activations are data-parallel — they are sharded
+//!    over [`gdsearch_diffusion::workpool`] worker threads.
+//! 2. **Transport phase (sequential).** Outboxes are drained in ascending
+//!    node order; each message is lost, dropped (full queue / no route) or
+//!    enqueued on its directed link.
+//! 3. **Link phase (sequential).** Every link spends its per-tick byte
+//!    budget in deterministic CSR order; completed messages become the
+//!    next tick's inboxes.
+//!
+//! # Why the result is bit-for-bit deterministic for every thread count
+//!
+//! The parallel section is exactly the handler phase, and each activation
+//! is a pure function of activation-local state:
+//!
+//! * **State.** A handler owns its per-node state, a *per-node* RNG
+//!   (seeded from the transport seed and the node id, never shared), its
+//!   inbox slice, and a private outbox. Nothing else is written.
+//! * **Reads.** Shared reads (graph topology, link-queue depths) are
+//!   frozen before the phase starts: depths are snapshotted per node, and
+//!   a directed link `u → v` only ever gains messages from `u` itself, so
+//!   the snapshot plus the activation's own send count is an exact view
+//!   (an upper bound when random loss is enabled, since lost sends never
+//!   reach the queue).
+//! * **Scheduling.** [`workpool::map_batched_mut`] applies the handler to
+//!   each activation exactly once and hands results back in item order;
+//!   chunk boundaries move with the worker count but no activation can
+//!   observe them.
+//!
+//! Everything ordering-sensitive — stats, trace records, loss coin flips,
+//! link enqueue/service — happens in the sequential phases, in fixed node
+//! and link order. Hence the same seed yields the same [`Trace`], the
+//! same [`NetStats`] and the same handler states for threads ∈ {1, 2, …}
+//! (property-tested in `tests/properties.rs`), the same discipline as the
+//! push engine's batched driver.
+//!
+//! [`workpool::map_batched_mut`]: gdsearch_diffusion::workpool::map_batched_mut
+//!
+//! # Example
+//!
+//! ```
+//! use gdsearch_graph::{generators, NodeId};
+//! use gdsearch_sim::{NodeApi, NodeHandler, Reactor, TransportConfig, WireMessage};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl WireMessage for Ping {
+//!     fn wire_size(&self) -> usize { 4 }
+//! }
+//! struct Relay;
+//! impl NodeHandler<Ping> for Relay {
+//!     fn handle(&mut self, _from: Option<NodeId>, msg: Ping, api: &mut NodeApi<'_, Ping>) {
+//!         if msg.0 > 0 {
+//!             let next = api.neighbors()[0];
+//!             api.send(next, Ping(msg.0 - 1));
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), gdsearch_sim::SimError> {
+//! let g = generators::ring(8)?;
+//! let handlers = (0..8).map(|_| Relay).collect();
+//! let mut net = Reactor::new(g, handlers, TransportConfig::default())?;
+//! net.inject(NodeId::new(0), Ping(5))?;
+//! let ticks = net.run_to_completion(1_000)?;
+//! assert_eq!(net.stats().delivered, 6); // injection + 5 relays
+//! assert!(ticks >= 5); // every hop serializes over a link
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeSet;
+
+use gdsearch_diffusion::workpool;
+use gdsearch_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::churn::{ChurnEvent, ChurnKind};
+use crate::link::LinkStats;
+use crate::network::{LinkCapacityView, NodeApi, NodeHandler};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::transport::{Transport, TransportConfig};
+use crate::{NetStats, SimError, SimTime, WireMessage};
+
+/// One queued delivery: `(sender, message, wire bytes)`.
+type Inbound<M> = (Option<NodeId>, M, usize);
+
+/// Everything one activated node needs during the parallel handler phase.
+/// Item-local by construction — see the module docs.
+struct Activation<M, H> {
+    node: NodeId,
+    handler: H,
+    rng: StdRng,
+    inbox: Vec<Inbound<M>>,
+    outbox: Vec<(NodeId, M)>,
+    /// Outgoing-link queue depths, snapshotted at phase start.
+    depths: Vec<u32>,
+    /// Sends this activation queued per outgoing link.
+    pending: Vec<u32>,
+}
+
+/// Bandwidth-aware deterministic network simulator (see the module docs).
+///
+/// The second backend next to [`Network`](crate::Network): same
+/// [`NodeHandler`] protocol hook, same [`NetStats`]/[`Trace`] accounting,
+/// but messages serialize over bounded finite-bandwidth links and handlers
+/// additionally see backpressure via [`NodeApi::poll_ready`] /
+/// [`NodeApi::try_send`].
+pub struct Reactor<M, H> {
+    graph: Graph,
+    handlers: Vec<Option<H>>,
+    /// Per-node protocol RNGs (never shared across nodes — the basis of
+    /// thread-count determinism).
+    rngs: Vec<StdRng>,
+    /// Loss coin flips; only used in the sequential transport phase.
+    transport_rng: StdRng,
+    transport: Transport<M>,
+    inboxes: Vec<Vec<Inbound<M>>>,
+    /// Indices of nodes with a non-empty inbox (kept sorted so the
+    /// handler phase visits nodes in deterministic ascending order
+    /// without scanning all inboxes).
+    active: BTreeSet<usize>,
+    up: Vec<bool>,
+    churn: Vec<ChurnEvent>,
+    churn_cursor: usize,
+    tick: u64,
+    threads: usize,
+    loss_probability: f64,
+    stats: NetStats,
+    trace: Trace,
+}
+
+impl<M, H> Reactor<M, H>
+where
+    M: WireMessage + Send,
+    H: NodeHandler<M> + Send,
+{
+    /// Creates a bounded-transport network over `graph` with one handler
+    /// per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `handlers.len()` differs
+    /// from the node count (degenerate transport parameters are already
+    /// rejected by [`TransportConfig`]'s builder methods).
+    pub fn new(graph: Graph, handlers: Vec<H>, config: TransportConfig) -> Result<Self, SimError> {
+        if handlers.len() != graph.num_nodes() {
+            return Err(SimError::invalid_parameter(format!(
+                "expected one handler per node ({}), got {}",
+                graph.num_nodes(),
+                handlers.len()
+            )));
+        }
+        let n = graph.num_nodes();
+        let rngs = (0..n).map(|u| node_rng(config.seed, u as u64)).collect();
+        let transport = Transport::new(&graph, &config);
+        let mut churn = config.churn.events().to_vec();
+        churn.sort_by_key(|e| e.time);
+        Ok(Reactor {
+            handlers: handlers.into_iter().map(Some).collect(),
+            rngs,
+            transport_rng: StdRng::seed_from_u64(config.seed ^ 0x0072_6561_6374_6f72),
+            transport,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            active: BTreeSet::new(),
+            up: vec![true; n],
+            churn,
+            churn_cursor: 0,
+            tick: 0,
+            threads: config.threads,
+            loss_probability: config.loss_probability,
+            stats: NetStats::default(),
+            trace: Trace::new(config.trace_capacity),
+            graph,
+        })
+    }
+
+    /// The overlay graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current virtual time (`tick` ticks, one abstract second each).
+    pub fn now(&self) -> SimTime {
+        SimTime::new(self.tick as f64).expect("tick counts are finite and non-negative")
+    }
+
+    /// Ticks executed so far.
+    pub fn now_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The transport trace (empty unless enabled in the config).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Statistics of the directed link `from → to`, if that overlay edge
+    /// exists.
+    pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<&LinkStats> {
+        self.transport.link_stats(&self.graph, from, to)
+    }
+
+    /// Whether `node` is currently up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for unknown nodes.
+    pub fn is_up(&self, node: NodeId) -> Result<bool, SimError> {
+        self.check_node(node)?;
+        Ok(self.up[node.index()])
+    }
+
+    /// Shared access to a node's handler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for unknown nodes.
+    pub fn handler(&self, node: NodeId) -> Result<&H, SimError> {
+        self.check_node(node)?;
+        Ok(self.handlers[node.index()]
+            .as_ref()
+            .expect("handlers are only detached inside the handler phase"))
+    }
+
+    /// Mutable access to a node's handler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for unknown nodes.
+    pub fn handler_mut(&mut self, node: NodeId) -> Result<&mut H, SimError> {
+        self.check_node(node)?;
+        Ok(self.handlers[node.index()]
+            .as_mut()
+            .expect("handlers are only detached inside the handler phase"))
+    }
+
+    /// Injects an external message: it reaches `node`'s handler in the
+    /// next tick's handler phase, bypassing the link fabric (like the
+    /// instant backend, injections model local user actions, not
+    /// traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for unknown nodes.
+    pub fn inject(&mut self, node: NodeId, msg: M) -> Result<(), SimError> {
+        self.check_node(node)?;
+        let bytes = msg.wire_size();
+        self.inboxes[node.index()].push((None, msg, bytes));
+        self.active.insert(node.index());
+        Ok(())
+    }
+
+    /// Whether no deliveries are pending and all link queues are drained.
+    /// O(1).
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.transport.is_idle()
+    }
+
+    /// Runs ticks until the network goes idle, up to `max_ticks`.
+    /// Returns the number of ticks executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExhausted`] if work remains after
+    /// the budget.
+    pub fn run_to_completion(&mut self, max_ticks: u64) -> Result<u64, SimError> {
+        let mut executed = 0;
+        while !self.is_idle() {
+            if executed >= max_ticks {
+                return Err(SimError::EventBudgetExhausted {
+                    processed: executed as usize,
+                });
+            }
+            self.step();
+            executed += 1;
+        }
+        Ok(executed)
+    }
+
+    /// Executes exactly one tick (handler, transport and link phases) and
+    /// returns the tick's virtual time. Idle ticks are valid — time
+    /// passes, nothing moves.
+    pub fn step(&mut self) -> SimTime {
+        let now = self.now();
+        let tick = self.tick;
+        self.apply_churn();
+
+        // ---- Handler phase (parallel over activations) ----------------
+        let mut activations: Vec<Activation<M, H>> = Vec::new();
+        for index in std::mem::take(&mut self.active) {
+            let node = NodeId::new(index as u32);
+            let inbox = std::mem::take(&mut self.inboxes[index]);
+            if !self.up[index] {
+                for (from, _, bytes) in &inbox {
+                    self.stats.dropped_down += 1;
+                    self.trace.record(TraceEvent {
+                        time: now,
+                        kind: TraceKind::DroppedDown,
+                        from: *from,
+                        to: node,
+                        bytes: *bytes,
+                    });
+                }
+                continue;
+            }
+            for (from, _, bytes) in &inbox {
+                self.stats.delivered += 1;
+                self.trace.record(TraceEvent {
+                    time: now,
+                    kind: TraceKind::Delivered,
+                    from: *from,
+                    to: node,
+                    bytes: *bytes,
+                });
+            }
+            let depths = self.transport.depths(node);
+            let pending = vec![0u32; depths.len()];
+            activations.push(Activation {
+                node,
+                handler: self.handlers[index]
+                    .take()
+                    .expect("handlers are attached between phases"),
+                rng: std::mem::replace(&mut self.rngs[index], StdRng::seed_from_u64(0)),
+                inbox,
+                outbox: Vec::new(),
+                depths,
+                pending,
+            });
+        }
+        let graph = &self.graph;
+        let queue_capacity = self.transport.queue_capacity();
+        workpool::map_batched_mut(&mut activations, self.threads, |activation| {
+            let neighbors = graph.neighbor_slice(activation.node);
+            for (from, msg, _) in activation.inbox.drain(..) {
+                let mut api = NodeApi::new(
+                    activation.node,
+                    now,
+                    neighbors,
+                    &mut activation.rng,
+                    &mut activation.outbox,
+                    Some(LinkCapacityView {
+                        capacity: queue_capacity,
+                        depths: &activation.depths,
+                        pending: &mut activation.pending,
+                    }),
+                );
+                activation.handler.handle(from, msg, &mut api);
+            }
+        });
+
+        // ---- Transport phase (sequential, node order) ------------------
+        for activation in activations {
+            let index = activation.node.index();
+            self.handlers[index] = Some(activation.handler);
+            self.rngs[index] = activation.rng;
+            for (to, msg) in activation.outbox {
+                self.transmit(activation.node, to, msg, tick);
+            }
+        }
+
+        // ---- Link phase (sequential, CSR link order) -------------------
+        let inboxes = &mut self.inboxes;
+        let active = &mut self.active;
+        self.transport.service(tick, |from, to, done| {
+            inboxes[to.index()].push((Some(from), done.msg, done.bytes));
+            active.insert(to.index());
+        });
+        self.transport.fold_stats(&mut self.stats);
+        self.tick += 1;
+        now
+    }
+
+    /// Hands a message to the link fabric, accounting every outcome. The
+    /// route check precedes the loss coin: a message with no link can
+    /// never be transmitted, so it is always `dropped_no_route` (and
+    /// spends no randomness), regardless of the loss probability.
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: M, tick: u64) {
+        let bytes = msg.wire_size();
+        self.stats.sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        let now = self.now();
+        self.trace.record(TraceEvent {
+            time: now,
+            kind: TraceKind::Sent,
+            from: Some(from),
+            to,
+            bytes,
+        });
+        let Some(link) = self.transport.link_id(&self.graph, from, to) else {
+            self.stats.dropped_no_route += 1;
+            self.trace.record(TraceEvent {
+                time: now,
+                kind: TraceKind::DroppedNoRoute,
+                from: Some(from),
+                to,
+                bytes,
+            });
+            return;
+        };
+        if self.loss_probability > 0.0 && self.transport_rng.random_bool(self.loss_probability) {
+            self.stats.lost += 1;
+            self.trace.record(TraceEvent {
+                time: now,
+                kind: TraceKind::Lost,
+                from: Some(from),
+                to,
+                bytes,
+            });
+            return;
+        }
+        if !self.transport.enqueue_at(link, msg, bytes, tick) {
+            self.stats.dropped_backpressure += 1;
+            self.trace.record(TraceEvent {
+                time: now,
+                kind: TraceKind::DroppedFull,
+                from: Some(from),
+                to,
+                bytes,
+            });
+        }
+    }
+
+    /// Applies all churn events scheduled at or before the current tick.
+    fn apply_churn(&mut self) {
+        while let Some(event) = self.churn.get(self.churn_cursor) {
+            if event.time.as_secs() > self.tick as f64 {
+                break;
+            }
+            self.up[event.node.index()] = matches!(event.kind, ChurnKind::Up);
+            self.churn_cursor += 1;
+        }
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), SimError> {
+        if node.index() < self.graph.num_nodes() {
+            Ok(())
+        } else {
+            Err(SimError::NodeOutOfRange {
+                node: node.as_u32(),
+                num_nodes: self.graph.num_nodes() as u32,
+            })
+        }
+    }
+}
+
+impl<M, H> std::fmt::Debug for Reactor<M, H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("nodes", &self.graph.num_nodes())
+            .field("tick", &self.tick)
+            .field("threads", &self.threads)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Per-node RNG seeding: a splitmix-style mix of the transport seed and
+/// the node id, so streams are decorrelated and independent of scheduling.
+fn node_rng(seed: u64, node: u64) -> StdRng {
+    let mut z = seed ^ node.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnSchedule;
+    use gdsearch_graph::generators;
+
+    #[derive(Clone, Debug)]
+    struct Hop(u32);
+
+    impl WireMessage for Hop {
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    #[derive(Default)]
+    struct Counter {
+        received: u32,
+    }
+
+    impl NodeHandler<Hop> for Counter {
+        fn handle(&mut self, _from: Option<NodeId>, msg: Hop, api: &mut NodeApi<'_, Hop>) {
+            self.received += 1;
+            if msg.0 > 0 {
+                let next = api.neighbors()[0];
+                api.send(next, Hop(msg.0 - 1));
+            }
+        }
+    }
+
+    fn counters(n: usize) -> Vec<Counter> {
+        (0..n).map(|_| Counter::default()).collect()
+    }
+
+    #[test]
+    fn relay_chain_matches_instant_backend_accounting() {
+        let g = generators::ring(5).unwrap();
+        let mut net = Reactor::new(g, counters(5), TransportConfig::default()).unwrap();
+        net.inject(NodeId::new(0), Hop(7)).unwrap();
+        net.run_to_completion(1_000).unwrap();
+        assert_eq!(net.stats().delivered, 8);
+        assert_eq!(net.stats().sent, 7);
+        assert_eq!(net.stats().bytes_sent, 28);
+        assert_eq!(net.stats().dropped_total(), 0);
+        // One tick per hop plus the final delivery tick.
+        assert_eq!(net.now_tick(), 8);
+    }
+
+    #[test]
+    fn handler_count_must_match() {
+        let g = generators::ring(5).unwrap();
+        assert!(Reactor::new(g, counters(4), TransportConfig::default()).is_err());
+    }
+
+    #[test]
+    fn narrow_link_serializes_messages() {
+        // A 4-byte message over a 1-byte/tick link takes 4 ticks of wire
+        // time per hop.
+        let g = generators::path(2);
+        let cfg = TransportConfig::default().with_bandwidth(1).unwrap();
+        let mut net = Reactor::new(g, counters(2), cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(1)).unwrap();
+        let ticks = net.run_to_completion(100).unwrap();
+        assert_eq!(net.handler(NodeId::new(1)).unwrap().received, 1);
+        assert!(ticks >= 4, "4-byte message over 1 B/tick took {ticks} ticks");
+    }
+
+    #[test]
+    fn backpressure_drops_are_counted() {
+        // Node 0 floods 5 messages at node 1 in one activation through a
+        // queue of capacity 2.
+        struct Burst;
+        impl NodeHandler<Hop> for Burst {
+            fn handle(&mut self, from: Option<NodeId>, _msg: Hop, api: &mut NodeApi<'_, Hop>) {
+                if from.is_none() {
+                    for _ in 0..5 {
+                        let next = api.neighbors()[0];
+                        api.send(next, Hop(0));
+                    }
+                }
+            }
+        }
+        let g = generators::path(2);
+        let cfg = TransportConfig::default()
+            .with_queue_capacity(2)
+            .unwrap()
+            .with_bandwidth(1)
+            .unwrap();
+        let mut net = Reactor::new(g, vec![Burst, Burst], cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(0)).unwrap();
+        net.run_to_completion(100).unwrap();
+        assert_eq!(net.stats().sent, 5);
+        assert_eq!(net.stats().dropped_backpressure, 3);
+        assert_eq!(net.stats().delivered, 1 + 2);
+        assert_eq!(net.stats().max_queue_depth, 2);
+        assert_eq!(
+            net.link_stats(NodeId::new(0), NodeId::new(1))
+                .unwrap()
+                .dropped_full,
+            3
+        );
+    }
+
+    #[test]
+    fn try_send_respects_backpressure_exactly() {
+        // With try_send the handler observes the same bound and keeps the
+        // overflow instead of losing it.
+        #[derive(Default)]
+        struct Careful {
+            refused: u32,
+        }
+        impl NodeHandler<Hop> for Careful {
+            fn handle(&mut self, from: Option<NodeId>, _msg: Hop, api: &mut NodeApi<'_, Hop>) {
+                if from.is_none() {
+                    let next = api.neighbors()[0];
+                    for _ in 0..5 {
+                        let ready = api.poll_ready(next);
+                        match api.try_send(next, Hop(0)) {
+                            Ok(()) => assert!(ready, "try_send succeeded while not ready"),
+                            Err(Hop(_)) => {
+                                assert!(!ready, "try_send refused while ready");
+                                self.refused += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let g = generators::path(2);
+        let cfg = TransportConfig::default()
+            .with_queue_capacity(2)
+            .unwrap()
+            .with_bandwidth(1)
+            .unwrap();
+        let mut net = Reactor::new(g, vec![Careful::default(), Careful::default()], cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(0)).unwrap();
+        net.run_to_completion(100).unwrap();
+        assert_eq!(net.stats().dropped_backpressure, 0);
+        assert_eq!(net.stats().sent, 2);
+        assert_eq!(net.handler(NodeId::new(0)).unwrap().refused, 3);
+    }
+
+    #[test]
+    fn no_route_sends_are_dropped_and_counted() {
+        struct Wild;
+        impl NodeHandler<Hop> for Wild {
+            fn handle(&mut self, from: Option<NodeId>, _msg: Hop, api: &mut NodeApi<'_, Hop>) {
+                if from.is_none() {
+                    // Node 2 is not adjacent to node 0 on a path graph.
+                    assert!(!api.poll_ready(NodeId::new(2)));
+                    api.send(NodeId::new(2), Hop(0));
+                }
+            }
+        }
+        let g = generators::path(3);
+        let mut net =
+            Reactor::new(g, vec![Wild, Wild, Wild], TransportConfig::default()).unwrap();
+        net.inject(NodeId::new(0), Hop(0)).unwrap();
+        net.run_to_completion(100).unwrap();
+        assert_eq!(net.stats().dropped_no_route, 1);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn churn_drops_deliveries_to_down_nodes() {
+        let g = generators::path(3);
+        let churn = ChurnSchedule::from_events(vec![ChurnEvent {
+            time: SimTime::ZERO,
+            node: NodeId::new(1),
+            kind: ChurnKind::Down,
+        }]);
+        let cfg = TransportConfig::default().with_churn(churn);
+        let mut net = Reactor::new(g, counters(3), cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(3)).unwrap();
+        net.run_to_completion(100).unwrap();
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().dropped_down, 1);
+        assert_eq!(net.handler(NodeId::new(1)).unwrap().received, 0);
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let g = generators::ring(4).unwrap();
+        let cfg = TransportConfig::default()
+            .with_loss_probability(1.0)
+            .unwrap()
+            .with_seed(3);
+        let mut net = Reactor::new(g, counters(4), cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(5)).unwrap();
+        net.run_to_completion(100).unwrap();
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().lost, 1);
+    }
+
+    #[test]
+    fn queue_delay_accrues_under_saturation() {
+        let g = generators::path(2);
+        let cfg = TransportConfig::default()
+            .with_bandwidth(4)
+            .unwrap()
+            .with_queue_capacity(64)
+            .unwrap();
+        // Burst ten 4-byte messages onto a 4 B/tick link: message k waits
+        // k ticks.
+        struct Burst;
+        impl NodeHandler<Hop> for Burst {
+            fn handle(&mut self, from: Option<NodeId>, _msg: Hop, api: &mut NodeApi<'_, Hop>) {
+                if from.is_none() {
+                    for _ in 0..10 {
+                        let next = api.neighbors()[0];
+                        api.send(next, Hop(0));
+                    }
+                }
+            }
+        }
+        let mut net = Reactor::new(g, vec![Burst, Burst], cfg).unwrap();
+        net.inject(NodeId::new(0), Hop(0)).unwrap();
+        net.run_to_completion(100).unwrap();
+        assert_eq!(net.stats().delivered, 11);
+        assert_eq!(net.stats().queue_delay_ticks, (0..10).sum::<u64>());
+        assert_eq!(net.stats().max_queue_depth, 10);
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let g = generators::ring(4).unwrap();
+        let mut net = Reactor::new(g, counters(4), TransportConfig::default()).unwrap();
+        net.inject(NodeId::new(0), Hop(100)).unwrap();
+        assert!(matches!(
+            net.run_to_completion(5),
+            Err(SimError::EventBudgetExhausted { processed: 5 })
+        ));
+    }
+
+    #[test]
+    fn injection_validates_node() {
+        let g = generators::ring(4).unwrap();
+        let mut net = Reactor::new(g, counters(4), TransportConfig::default()).unwrap();
+        assert!(net.inject(NodeId::new(9), Hop(1)).is_err());
+        assert!(net.is_up(NodeId::new(9)).is_err());
+        assert!(net.is_up(NodeId::new(1)).unwrap());
+    }
+
+    #[test]
+    fn thread_counts_agree_bit_for_bit() {
+        let run = |threads: usize| {
+            let g = generators::social_circles_like_scaled(40, &mut {
+                StdRng::seed_from_u64(11)
+            })
+            .unwrap();
+            let cfg = TransportConfig::default()
+                .with_bandwidth(8)
+                .unwrap()
+                .with_queue_capacity(4)
+                .unwrap()
+                .with_loss_probability(0.05)
+                .unwrap()
+                .with_seed(99)
+                .with_threads(threads)
+                .unwrap()
+                .with_trace_capacity(4096);
+            let mut net = Reactor::new(g, counters(40), cfg).unwrap();
+            for u in 0..8 {
+                net.inject(NodeId::new(u), Hop(30)).unwrap();
+            }
+            net.run_to_completion(10_000).unwrap();
+            let received: Vec<u32> = (0..40)
+                .map(|u| net.handler(NodeId::new(u)).unwrap().received)
+                .collect();
+            (*net.stats(), net.trace().clone(), received, net.now_tick())
+        };
+        let reference = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), reference, "threads = {threads} diverged");
+        }
+    }
+}

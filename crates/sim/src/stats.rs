@@ -17,6 +17,23 @@ pub struct NetStats {
     pub dropped_down: u64,
     /// Total bytes handed to the transport.
     pub bytes_sent: u64,
+    /// Messages dropped because a bounded link queue was full (only the
+    /// bandwidth-aware [`Reactor`] backend produces these; the instant
+    /// event loop has infinitely wide links).
+    ///
+    /// [`Reactor`]: crate::Reactor
+    pub dropped_backpressure: u64,
+    /// Messages dropped because there is no link to the destination (the
+    /// reactor only provisions queues along overlay edges; the instant
+    /// backend routes any pair like an IP underlay).
+    pub dropped_no_route: u64,
+    /// High-water queue depth over all links, in messages (0 for the
+    /// instant backend). Per-link values are on
+    /// [`Reactor::link_stats`](crate::Reactor::link_stats).
+    pub max_queue_depth: u64,
+    /// Total ticks transported messages spent queued behind other traffic
+    /// before their own transmission started (0 for the instant backend).
+    pub queue_delay_ticks: u64,
 }
 
 impl NetStats {
@@ -38,6 +55,29 @@ impl NetStats {
             self.bytes_sent as f64 / self.sent as f64
         }
     }
+
+    /// Mean ticks a transported message waited in its link queue before
+    /// transmission started; 0.0 when nothing was transported.
+    ///
+    /// The denominator is the messages that actually entered a link
+    /// (`sent` minus loss, full-queue and no-route drops) — injections
+    /// bypass the link fabric and messages dropped before enqueueing
+    /// never wait, so neither belongs in the average.
+    pub fn mean_queue_delay_ticks(&self) -> f64 {
+        let transported =
+            self.sent - self.lost - self.dropped_backpressure - self.dropped_no_route;
+        if transported == 0 {
+            0.0
+        } else {
+            self.queue_delay_ticks as f64 / transported as f64
+        }
+    }
+
+    /// All drops combined: loss, down endpoints, full queues, missing
+    /// links.
+    pub fn dropped_total(&self) -> u64 {
+        self.lost + self.dropped_down + self.dropped_backpressure + self.dropped_no_route
+    }
 }
 
 #[cfg(test)]
@@ -52,9 +92,16 @@ mod tests {
             lost: 1,
             dropped_down: 1,
             bytes_sent: 420,
+            dropped_backpressure: 2,
+            dropped_no_route: 1,
+            max_queue_depth: 5,
+            queue_delay_ticks: 18,
         };
         assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
         assert!((s.mean_message_bytes() - 42.0).abs() < 1e-12);
+        // 18 ticks over the 10 − 1 − 2 − 1 = 6 messages that entered a link.
+        assert!((s.mean_queue_delay_ticks() - 3.0).abs() < 1e-12);
+        assert_eq!(s.dropped_total(), 5);
     }
 
     #[test]
@@ -62,5 +109,7 @@ mod tests {
         let s = NetStats::default();
         assert_eq!(s.delivery_ratio(), 1.0);
         assert_eq!(s.mean_message_bytes(), 0.0);
+        assert_eq!(s.mean_queue_delay_ticks(), 0.0);
+        assert_eq!(s.dropped_total(), 0);
     }
 }

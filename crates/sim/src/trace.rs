@@ -18,6 +18,10 @@ pub enum TraceKind {
     Lost,
     /// Dropped because an endpoint was down.
     DroppedDown,
+    /// Dropped because the bounded link queue was full (reactor backend).
+    DroppedFull,
+    /// Dropped because no link exists to the destination (reactor backend).
+    DroppedNoRoute,
 }
 
 /// One transport-layer trace record.
@@ -60,7 +64,7 @@ pub struct TraceEvent {
 /// assert_eq!(trace.len(), 2);
 /// assert_eq!(trace.iter().next().unwrap().to, NodeId::new(1));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     capacity: usize,
     events: VecDeque<TraceEvent>,

@@ -1,9 +1,16 @@
 //! Property-based tests for the network simulator: transport accounting
 //! and determinism must hold for arbitrary topologies, latency/loss
-//! settings and workloads.
+//! settings and workloads — on both the instant event loop and the
+//! bounded-transport reactor (where determinism must additionally hold
+//! across worker-thread counts).
 
 use gdsearch_graph::{generators, NodeId};
-use gdsearch_sim::{LatencyModel, NetStats, Network, NetworkConfig, NodeApi, NodeHandler, WireMessage};
+use gdsearch_sim::churn::ChurnSchedule;
+use gdsearch_sim::trace::Trace;
+use gdsearch_sim::{
+    LatencyModel, NetStats, Network, NetworkConfig, NodeApi, NodeHandler, Reactor,
+    TransportConfig, WireMessage,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,6 +120,100 @@ proptest! {
         let b = run_network(seed, n, 8, loss, 0.2, 4, 15);
         prop_assert_eq!(a.0, b.0);
         prop_assert_eq!(a.1, b.1);
+    }
+
+    /// Deterministic replay of the reactor: the same seed yields the same
+    /// trace, stats, handler states and tick count for *every* worker
+    /// thread count, on arbitrary topologies with loss, churn, narrow
+    /// links and short queues.
+    #[test]
+    fn reactor_replay_is_identical_across_thread_counts(
+        seed in 0u64..10_000,
+        n in 3u32..30,
+        extra in 0u32..20,
+        loss in 0.0f64..0.4,
+        bandwidth in 1u64..64,
+        queue in 1usize..8,
+        tokens in 1u32..8,
+        hops in 0u32..25,
+    ) {
+        let run = |threads: usize| -> (NetStats, Trace, Vec<u32>, u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = generators::random_connected(n, extra, &mut rng).unwrap();
+            let churn = ChurnSchedule::random_failures(n, 0.2, 30.0, 4.0, &mut rng).unwrap();
+            let handlers: Vec<Relay> = (0..n).map(|_| Relay::default()).collect();
+            let cfg = TransportConfig::default()
+                .with_seed(seed ^ 0xfeed)
+                .with_loss_probability(loss).unwrap()
+                .with_bandwidth(bandwidth).unwrap()
+                .with_queue_capacity(queue).unwrap()
+                .with_threads(threads).unwrap()
+                .with_churn(churn)
+                .with_trace_capacity(1 << 14);
+            let mut net = Reactor::new(graph, handlers, cfg).unwrap();
+            for t in 0..tokens {
+                net.inject(NodeId::new(t % n), Token(hops)).unwrap();
+            }
+            net.run_to_completion(1_000_000).unwrap();
+            let received = (0..n)
+                .map(|u| net.handler(NodeId::new(u)).unwrap().received)
+                .collect();
+            (*net.stats(), net.trace().clone(), received, net.now_tick())
+        };
+        let reference = run(1);
+        for threads in [2usize, 4] {
+            let replay = run(threads);
+            prop_assert_eq!(&replay.0, &reference.0, "stats diverged at {} threads", threads);
+            prop_assert_eq!(&replay.1, &reference.1, "trace diverged at {} threads", threads);
+            prop_assert_eq!(&replay.2, &reference.2);
+            prop_assert_eq!(replay.3, reference.3);
+        }
+    }
+
+    /// Churn under backpressure: accounting still balances exactly — every
+    /// transported message is delivered, lost, dropped at a down node,
+    /// dropped by a full queue or dropped for lack of a route.
+    #[test]
+    fn reactor_accounting_balances_under_churn_and_backpressure(
+        seed in 0u64..10_000,
+        n in 2u32..30,
+        extra in 0u32..20,
+        loss in 0.0f64..0.6,
+        bandwidth in 1u64..32,
+        queue in 1usize..4,
+        tokens in 1u32..10,
+        hops in 0u32..30,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::random_connected(n, extra, &mut rng).unwrap();
+        let churn = ChurnSchedule::random_failures(n, 0.3, 50.0, 7.0, &mut rng).unwrap();
+        let handlers: Vec<Relay> = (0..n).map(|_| Relay::default()).collect();
+        let cfg = TransportConfig::default()
+            .with_seed(seed ^ 0xabcd)
+            .with_loss_probability(loss).unwrap()
+            .with_bandwidth(bandwidth).unwrap()
+            .with_queue_capacity(queue).unwrap()
+            .with_threads(2).unwrap()
+            .with_churn(churn);
+        let mut net = Reactor::new(graph, handlers, cfg).unwrap();
+        for t in 0..tokens {
+            net.inject(NodeId::new(t % n), Token(hops)).unwrap();
+        }
+        net.run_to_completion(1_000_000).unwrap();
+        let stats = net.stats();
+        prop_assert!(net.is_idle());
+        prop_assert_eq!(
+            stats.sent + u64::from(tokens),
+            stats.delivered + stats.dropped_total(),
+            "accounting must balance: {:?}", stats
+        );
+        let received: u64 = (0..n)
+            .map(|u| u64::from(net.handler(NodeId::new(u)).unwrap().received))
+            .sum();
+        prop_assert_eq!(received, stats.delivered);
+        prop_assert_eq!(stats.bytes_sent, stats.sent * 4);
+        // Bounded queues can never exceed their capacity.
+        prop_assert!(stats.max_queue_depth <= queue as u64);
     }
 
     /// Virtual time never runs backwards.

@@ -1,0 +1,102 @@
+//! Bounded-transport demo: runs the paper's search protocol over both
+//! simulator backends and shows what only the bandwidth-aware reactor can
+//! show — link saturation, queueing delay and backpressure drops — by
+//! comparing PPR-greedy diffusion search against TTL-bounded flooding on
+//! narrow links.
+//!
+//! ```text
+//! cargo run -p gdsearch-examples --release --bin bounded_transport
+//! ```
+
+use gdsearch::experiment::report;
+use gdsearch::protocol::{ProtocolNetwork, SimBackend};
+use gdsearch::{Placement, PolicyKind, SchemeConfig, SearchNetwork};
+use gdsearch_embed::querygen::{self, QueryGenConfig};
+use gdsearch_embed::synthetic::SyntheticCorpus;
+use gdsearch_graph::{generators, NodeId};
+use gdsearch_sim::{NetStats, TransportConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let graph = generators::social_circles_like_scaled(300, &mut rng)?;
+    let corpus = SyntheticCorpus::builder()
+        .vocab_size(400)
+        .dim(32)
+        .generate(&mut rng)?;
+    let queries = querygen::generate(
+        &corpus,
+        QueryGenConfig {
+            num_queries: 5,
+            min_cosine: 0.6,
+        },
+        &mut rng,
+    )?;
+    let pair = queries.pairs()[0];
+    let mut words = vec![pair.gold];
+    words.extend(queries.irrelevant().iter().copied().take(19));
+    let placement = Placement::uniform(&graph, &words, &mut rng)?;
+    let origins: Vec<NodeId> = (0..10).map(|_| NodeId::new(rng.random_range(0..300))).collect();
+
+    let mut rows: Vec<(String, NetStats, usize)> = Vec::new();
+    for (policy, ttl, name) in [
+        (PolicyKind::PprGreedy, 30u32, "diffusion"),
+        (PolicyKind::Flooding, 3u32, "flooding"),
+    ] {
+        let cfg = SchemeConfig::builder().policy(policy).ttl(ttl).build()?;
+        let scheme = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng)?;
+        for (backend, backend_name) in [
+            (SimBackend::Instant, "instant".to_string()),
+            (
+                // 1 KB/s links with short queues: the saturation regime.
+                SimBackend::Bounded(
+                    TransportConfig::default()
+                        .with_bandwidth(1_000)?
+                        .with_queue_capacity(16)?
+                        .with_threads(4)?,
+                ),
+                "1 KB/s".to_string(),
+            ),
+        ] {
+            let mut net = ProtocolNetwork::build(&scheme, backend)?;
+            for (i, &origin) in origins.iter().enumerate() {
+                net.issue_query(origin, i as u64, corpus.embedding(pair.query).clone(), ttl)?;
+            }
+            net.run_to_completion(10_000_000)?;
+            let hits = origins
+                .iter()
+                .enumerate()
+                .filter(|(i, &origin)| {
+                    net.completed(origin)
+                        .map(|c| {
+                            c.iter().any(|q| {
+                                q.query_id == *i as u64
+                                    && q.results.iter().any(|(doc, _, _)| *doc == 0)
+                            })
+                        })
+                        .unwrap_or(false)
+                })
+                .count();
+            rows.push((format!("{name} @ {backend_name}"), *net.stats(), hits));
+        }
+    }
+
+    let labeled: Vec<(&str, &NetStats)> =
+        rows.iter().map(|(l, s, _)| (l.as_str(), s)).collect();
+    print!("{}", report::transport_markdown(&labeled));
+    println!();
+    for (label, stats, hits) in &rows {
+        println!(
+            "{label:>22}: recall {hits}/10, {:.1} KB total, mean queue wait {:.1} ticks",
+            stats.bytes_sent as f64 / 1e3,
+            stats.mean_queue_delay_ticks(),
+        );
+    }
+    println!(
+        "\nOn narrow links flooding pays in queueing delay and backpressure drops;\n\
+         the diffusion-guided walk moves orders of magnitude fewer bytes for\n\
+         comparable recall — the paper's bandwidth argument, measured."
+    );
+    Ok(())
+}
