@@ -17,12 +17,22 @@ use crate::SearchError;
 pub enum DiffusionEngine {
     /// Choose per placement: forward push when the personalization is very
     /// sparse and the graph is large, per-source decomposition when few
-    /// nodes hold documents, dense power iteration otherwise.
+    /// nodes hold documents, dense power iteration otherwise. At
+    /// `gdsearch_diffusion::sharded::AUTO_SHARD_MIN_NODES` nodes and above
+    /// the sharded engines take over so diffusion state is partitioned by
+    /// node range instead of monolithic.
     #[default]
     Auto,
-    /// Dense synchronous power iteration (paper Eq. 7).
-    Dense,
-    /// Per-source PPR decomposition (exploits sparse personalization).
+    /// Dense synchronous power iteration (paper Eq. 7), its row sweeps
+    /// sharded across `threads` scoped workers. Output is identical for
+    /// every thread count.
+    Dense {
+        /// Worker threads of the parallel row sweep (≥ 1).
+        threads: usize,
+    },
+    /// Per-source PPR decomposition (exploits sparse personalization);
+    /// columns are computed over the diffusion workpool on all available
+    /// cores (identical output for every worker count).
     PerSource,
     /// Asynchronous gossip simulation (paper §IV-B's actual protocol) —
     /// slowest, most faithful.
@@ -38,6 +48,19 @@ pub enum DiffusionEngine {
         /// Worker threads of the batched multi-source driver (≥ 1).
         threads: usize,
     },
+    /// Diffusion on partitioned state: the node set is split into `shards`
+    /// contiguous ranges (per-shard CSR rows + halo index) and the sweep /
+    /// push runs shard-locally, exchanging only boundary data between
+    /// steps. Sparse personalizations use the sharded push, dense ones the
+    /// sharded power sweep. Output is identical for every
+    /// `(shards, threads)` combination.
+    Sharded {
+        /// Number of node-range shards state is partitioned into (≥ 1;
+        /// clamped to the node count).
+        shards: usize,
+        /// Worker threads the shards are scheduled over (≥ 1).
+        threads: usize,
+    },
 }
 
 impl DiffusionEngine {
@@ -49,6 +72,18 @@ impl DiffusionEngine {
             rmax: 1e-4,
             threads,
         }
+    }
+
+    /// The dense power-iteration engine with the given worker count.
+    #[must_use]
+    pub fn dense(threads: usize) -> Self {
+        DiffusionEngine::Dense { threads }
+    }
+
+    /// The sharded engine with the given partition and worker counts.
+    #[must_use]
+    pub fn sharded(shards: usize, threads: usize) -> Self {
+        DiffusionEngine::Sharded { shards, threads }
     }
 }
 
@@ -230,17 +265,39 @@ impl SchemeConfigBuilder {
                 "max_iterations must be positive",
             ));
         }
-        if let DiffusionEngine::Push { rmax, threads } = c.engine {
-            if !rmax.is_finite() || rmax <= 0.0 {
-                return Err(SearchError::invalid_parameter(format!(
-                    "push rmax must be positive and finite, got {rmax}"
-                )));
+        match c.engine {
+            DiffusionEngine::Push { rmax, threads } => {
+                if !rmax.is_finite() || rmax <= 0.0 {
+                    return Err(SearchError::invalid_parameter(format!(
+                        "push rmax must be positive and finite, got {rmax}"
+                    )));
+                }
+                if threads == 0 {
+                    return Err(SearchError::invalid_parameter(
+                        "push threads must be positive",
+                    ));
+                }
             }
-            if threads == 0 {
-                return Err(SearchError::invalid_parameter(
-                    "push threads must be positive",
-                ));
+            DiffusionEngine::Dense { threads } => {
+                if threads == 0 {
+                    return Err(SearchError::invalid_parameter(
+                        "dense threads must be positive",
+                    ));
+                }
             }
+            DiffusionEngine::Sharded { shards, threads } => {
+                if shards == 0 {
+                    return Err(SearchError::invalid_parameter(
+                        "shard count must be positive",
+                    ));
+                }
+                if threads == 0 {
+                    return Err(SearchError::invalid_parameter(
+                        "sharded threads must be positive",
+                    ));
+                }
+            }
+            DiffusionEngine::Auto | DiffusionEngine::PerSource | DiffusionEngine::Gossip => {}
         }
         Ok(self.config)
     }
@@ -363,6 +420,16 @@ mod tests {
         })
         .is_err());
         assert!(with_engine(DiffusionEngine::push(4)).is_ok());
+    }
+
+    #[test]
+    fn builder_validates_dense_and_sharded_knobs() {
+        let with_engine = |engine| SchemeConfig::builder().engine(engine).build();
+        assert!(with_engine(DiffusionEngine::dense(0)).is_err());
+        assert!(with_engine(DiffusionEngine::dense(4)).is_ok());
+        assert!(with_engine(DiffusionEngine::sharded(0, 2)).is_err());
+        assert!(with_engine(DiffusionEngine::sharded(2, 0)).is_err());
+        assert!(with_engine(DiffusionEngine::sharded(4, 2)).is_ok());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! document indexes that serve local retrieval. The result answers queries
 //! through [`SearchNetwork::query`] (§IV-C).
 
-use gdsearch_diffusion::{gossip, per_source, power, push, Signal};
+use gdsearch_diffusion::{gossip, per_source, power, push, sharded, Signal};
 use gdsearch_embed::{similarity, Corpus, Embedding};
 use gdsearch_graph::{Graph, NodeId};
 use rand::Rng;
@@ -14,6 +14,20 @@ use rand::Rng;
 use crate::personalization;
 use crate::walk::{self, WalkOutcome};
 use crate::{DiffusionEngine, DocId, Placement, SchemeConfig, SearchError};
+
+/// Unwraps an iterative diffusion outcome, turning budget exhaustion into
+/// [`SearchError::Diffusion`].
+fn require_converged(out: power::DiffusionResult) -> Result<Signal, SearchError> {
+    if !out.converged {
+        return Err(SearchError::Diffusion(
+            gdsearch_diffusion::DiffusionError::NotConverged {
+                iterations: out.iterations,
+                residual: out.residual,
+            },
+        ));
+    }
+    Ok(out.signal)
+}
 
 /// A fully prepared diffusion-search network: graph + placed documents +
 /// diffused node embeddings.
@@ -88,15 +102,29 @@ impl<'g> SearchNetwork<'g> {
         let embeddings = match config.engine() {
             DiffusionEngine::Auto => per_source::auto_diffuse(graph, dim, &rows, &ppr)?,
             DiffusionEngine::PerSource => per_source::diffuse_sparse(graph, dim, &rows, &ppr)?,
-            DiffusionEngine::Dense => {
+            DiffusionEngine::Dense { threads } => {
                 let e0 = Signal::from_sparse_rows(n, dim, &rows)?;
-                power::diffuse_converged(graph, &e0, &ppr)?
+                require_converged(power::diffuse_threaded(graph, &e0, &ppr, threads)?)?
             }
             DiffusionEngine::Push { rmax, threads } => {
                 let push_cfg = push::PushConfig::new(ppr)
                     .with_rmax(rmax)?
                     .with_threads(threads)?;
                 push::diffuse_sparse(graph, dim, &rows, &push_cfg)?
+            }
+            DiffusionEngine::Sharded { shards, threads } => {
+                let scfg = sharded::ShardedConfig::new(ppr)
+                    .with_shards(shards)?
+                    .with_threads(threads)?;
+                // Same sparse/dense crossover as Auto: column-wise push for
+                // genuinely sparse personalizations, partitioned power
+                // sweep otherwise.
+                if rows.len() < dim / 4 {
+                    sharded::diffuse_sparse(graph, dim, &rows, &scfg)?
+                } else {
+                    let e0 = Signal::from_sparse_rows(n, dim, &rows)?;
+                    require_converged(sharded::diffuse(graph, &e0, &scfg)?)?
+                }
             }
             DiffusionEngine::Gossip => {
                 let e0 = Signal::from_sparse_rows(n, dim, &rows)?;
@@ -267,11 +295,12 @@ mod tests {
                 .unwrap();
             SearchNetwork::build(&g, &c, &p, &cfg, &mut rng(seed)).unwrap()
         };
-        let dense = build(DiffusionEngine::Dense, 7);
+        let dense = build(DiffusionEngine::dense(1), 7);
         let per_source = build(DiffusionEngine::PerSource, 8);
         let auto = build(DiffusionEngine::Auto, 9);
         let gossip = build(DiffusionEngine::Gossip, 10);
         let push = build(DiffusionEngine::push(2), 11);
+        let sharded = build(DiffusionEngine::sharded(3, 2), 12);
         assert!(
             dense
                 .embeddings()
@@ -284,6 +313,17 @@ mod tests {
             dense.embeddings().max_abs_diff(push.embeddings()).unwrap() < 1e-3,
             "push engine diverged"
         );
+        assert!(
+            dense
+                .embeddings()
+                .max_abs_diff(sharded.embeddings())
+                .unwrap()
+                < 1e-3,
+            "sharded engine diverged"
+        );
+        // The dense sweep is bitwise thread-count independent end to end.
+        let dense4 = build(DiffusionEngine::dense(4), 13);
+        assert_eq!(dense.embeddings(), dense4.embeddings());
         assert!(
             dense
                 .embeddings()

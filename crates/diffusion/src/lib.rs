@@ -27,7 +27,13 @@
 //!   arXiv:1608.06054): work proportional to the pushed mass instead of
 //!   `O(iters · E)`, certified to the same L∞ tolerance, batched across
 //!   sources on a [`workpool`] of scoped threads with bit-for-bit
-//!   thread-count determinism.
+//!   thread-count determinism;
+//! * [`sharded`] — the power sweep and a round-scheduled forward push on
+//!   *partitioned* state (one
+//!   [`ShardedGraph`](gdsearch_graph::ShardedGraph) node range per shard,
+//!   only halo columns / cross-shard residual mass exchanged between
+//!   steps), bit-for-bit identical for every `(shards, threads)`
+//!   combination — the in-process rehearsal of a multi-machine deployment.
 //!
 //! All engines interpret [`PprConfig::tolerance`] the same way — an
 //! additive L∞ accuracy target on the fixed point; the normative statement
@@ -61,6 +67,7 @@
 
 mod config;
 pub mod convergence;
+mod degrees;
 mod error;
 pub mod exact;
 pub mod filter;
@@ -68,6 +75,7 @@ pub mod gossip;
 pub mod per_source;
 pub mod power;
 pub mod push;
+pub mod sharded;
 mod signal;
 pub mod threaded;
 pub mod workpool;

@@ -20,7 +20,7 @@ use gdsearch_graph::sparse::{transition_matrix, CsrMatrix};
 use gdsearch_graph::{Graph, NodeId};
 
 use crate::convergence::Convergence;
-use crate::{power, push, DiffusionError, PprConfig, Signal};
+use crate::{power, push, sharded, workpool, DiffusionError, PprConfig, Signal};
 
 /// Computes the single-source PPR vector `h_s`: entry `u` is the weight
 /// with which source `s`'s personalization reaches node `u`.
@@ -98,11 +98,14 @@ pub fn ppr_vector_with_matrix(
 }
 
 /// Diffuses a sparse personalization — `(source node, embedding)` pairs —
-/// by per-source decomposition.
+/// by per-source decomposition, with the per-source columns computed over
+/// [`crate::workpool`] on all available cores.
 ///
 /// Equivalent (to tolerance) to dense power iteration on the corresponding
 /// sparse [`Signal`], but costs `O(|sources| · iters · E)` scalar work
-/// instead of `O(iters · E · dim)`.
+/// instead of `O(iters · E · dim)`. The output is identical for every
+/// worker count (see [`diffuse_sparse_threaded`]), so defaulting to the
+/// machine's parallelism is safe.
 ///
 /// # Errors
 ///
@@ -115,30 +118,57 @@ pub fn diffuse_sparse(
     sources: &[(NodeId, Embedding)],
     config: &PprConfig,
 ) -> Result<Signal, DiffusionError> {
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(sources.len().max(1));
+    diffuse_sparse_threaded(graph, dim, sources, config, threads)
+}
+
+/// [`diffuse_sparse`] with an explicit worker count.
+///
+/// Each column `h_s` is a pure function of `(matrix, s, config)`, columns
+/// are computed in waves of `threads` over the order-preserving
+/// [`crate::workpool::map_batched`], and the rank-1 accumulation happens on
+/// the calling thread in source order — so the output is **bit-for-bit
+/// identical for every thread count** (and identical to the historical
+/// sequential loop). Waves bound peak memory at `threads` dense columns.
+///
+/// # Errors
+///
+/// As [`diffuse_sparse`].
+pub fn diffuse_sparse_threaded(
+    graph: &Graph,
+    dim: usize,
+    sources: &[(NodeId, Embedding)],
+    config: &PprConfig,
+    threads: usize,
+) -> Result<Signal, DiffusionError> {
     let n = graph.num_nodes();
-    let matrix = transition_matrix(graph, config.normalization());
-    let mut out = Signal::zeros(n, dim);
     for (node, emb) in sources {
-        if emb.dim() != dim {
+        if emb.dim() != dim || node.index() >= n {
             return Err(DiffusionError::ShapeMismatch {
                 expected: (n, dim),
                 got: (node.index(), emb.dim()),
             });
         }
-        if node.index() >= n {
-            return Err(DiffusionError::ShapeMismatch {
-                expected: (n, dim),
-                got: (node.index(), dim),
-            });
-        }
-        let h = ppr_vector_with_matrix(&matrix, *node, config)?;
-        for (u, weight) in h.iter().enumerate() {
-            if *weight == 0.0 {
-                continue;
-            }
-            let row = out.row_mut(u);
-            for (r, e) in row.iter_mut().zip(emb.as_slice()) {
-                *r += weight * e;
+    }
+    let threads = threads.max(1);
+    let matrix = transition_matrix(graph, config.normalization());
+    let mut out = Signal::zeros(n, dim);
+    for wave in sources.chunks(threads) {
+        let columns = workpool::map_batched(wave, threads, |(node, _)| {
+            ppr_vector_with_matrix(&matrix, *node, config)
+        });
+        for ((_, emb), h) in wave.iter().zip(columns) {
+            let h = h?;
+            for (u, weight) in h.iter().enumerate() {
+                if *weight == 0.0 {
+                    continue;
+                }
+                let row = out.row_mut(u);
+                for (r, e) in row.iter_mut().zip(emb.as_slice()) {
+                    *r += weight * e;
+                }
             }
         }
     }
@@ -162,38 +192,68 @@ pub fn diffuse_sparse(
 ///   is large (`N ≥` [`push::AUTO_PUSH_MIN_NODES`]) *and* the
 ///   personalization is genuinely sparse (`|sources| · 16 ≤ N`); the
 ///   batched driver then uses all available cores (the result is
-///   identical for every thread count).
+///   identical for every thread count);
+/// * **monolithic vs. sharded** — at
+///   [`sharded::AUTO_SHARD_MIN_NODES`] and above, both regimes route
+///   through the [`crate::sharded`] engines instead, so adjacency and
+///   signal state are partitioned by node range rather than held as one
+///   block. The sharded engines are bit-for-bit identical for every
+///   `(shards, threads)` combination (and the sharded sweep is identical
+///   to [`power::diffuse`] itself), so the machine-dependent defaults
+///   cannot leak into the output.
 ///
 /// # Errors
 ///
-/// As [`diffuse_sparse`] / [`push::diffuse_sparse`] / [`power::diffuse`].
+/// As [`diffuse_sparse`] / [`push::diffuse_sparse`] /
+/// [`sharded::diffuse_sparse`] / [`power::diffuse`].
 pub fn auto_diffuse(
     graph: &Graph,
     dim: usize,
     sources: &[(NodeId, Embedding)],
     config: &PprConfig,
 ) -> Result<Signal, DiffusionError> {
+    let n = graph.num_nodes();
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if n >= sharded::AUTO_SHARD_MIN_NODES {
+        // At this scale the monolithic engines' single adjacency array and
+        // dense scratch become the bottleneck: partition the state. At
+        // least two shards so the partition is real even on one core.
+        let scfg = sharded::ShardedConfig::new(*config)
+            .with_shards(threads.max(2))?
+            .with_threads(threads)?;
+        // Same sparse/dense crossover as below: per-column push only in
+        // the genuinely sparse regime, one partitioned sweep otherwise.
+        if sources.len() < dim / 4 {
+            return sharded::diffuse_sparse(graph, dim, sources, &scfg);
+        }
+        let e0 = Signal::from_sparse_rows(n, dim, sources)?;
+        let out = sharded::diffuse(graph, &e0, &scfg)?;
+        return out_converged(out);
+    }
     if sources.len() < dim / 4 {
-        let n = graph.num_nodes();
         if n >= push::AUTO_PUSH_MIN_NODES && sources.len().saturating_mul(16) <= n {
-            let threads = std::thread::available_parallelism()
-                .map_or(1, std::num::NonZeroUsize::get)
-                .min(sources.len().max(1));
+            let threads = threads.min(sources.len().max(1));
             let push_cfg = push::PushConfig::new(*config).with_threads(threads)?;
             return push::diffuse_sparse(graph, dim, sources, &push_cfg);
         }
         diffuse_sparse(graph, dim, sources, config)
     } else {
-        let e0 = Signal::from_sparse_rows(graph.num_nodes(), dim, sources)?;
+        let e0 = Signal::from_sparse_rows(n, dim, sources)?;
         let out = power::diffuse(graph, &e0, config)?;
-        if !out.converged {
-            return Err(DiffusionError::NotConverged {
-                iterations: out.iterations,
-                residual: out.residual,
-            });
-        }
-        Ok(out.signal)
+        out_converged(out)
     }
+}
+
+/// Unwraps a [`power::DiffusionResult`], turning budget exhaustion into
+/// [`DiffusionError::NotConverged`].
+fn out_converged(out: power::DiffusionResult) -> Result<Signal, DiffusionError> {
+    if !out.converged {
+        return Err(DiffusionError::NotConverged {
+            iterations: out.iterations,
+            residual: out.residual,
+        });
+    }
+    Ok(out.signal)
 }
 
 #[cfg(test)]
@@ -290,6 +350,57 @@ mod tests {
         let auto = auto_diffuse(&g, dim, &sources, &cfg).unwrap();
         let sweep = diffuse_sparse(&g, dim, &sources, &cfg).unwrap();
         assert!(auto.max_abs_diff(&sweep).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn threaded_columns_are_bitwise_identical() {
+        let g = generators::social_circles_like_scaled(80, &mut seeded(11)).unwrap();
+        let cfg = PprConfig::new(0.4).unwrap().with_tolerance(1e-7).unwrap();
+        let dim = 3;
+        let mut rng = seeded(12);
+        let sources: Vec<(NodeId, Embedding)> = (0..6)
+            .map(|_| {
+                (
+                    NodeId::new(rng.random_range(0..80)),
+                    Embedding::new((0..dim).map(|_| rng.random::<f32>()).collect()),
+                )
+            })
+            .collect();
+        let reference = diffuse_sparse_threaded(&g, dim, &sources, &cfg, 1).unwrap();
+        for threads in [2usize, 3, 8] {
+            let out = diffuse_sparse_threaded(&g, dim, &sources, &cfg, threads).unwrap();
+            assert_eq!(out, reference, "{threads} workers drifted bitwise");
+        }
+        // The parallel default is the same function.
+        assert_eq!(diffuse_sparse(&g, dim, &sources, &cfg).unwrap(), reference);
+    }
+
+    #[test]
+    fn auto_routes_through_sharded_engines_at_scale() {
+        // At AUTO_SHARD_MIN_NODES the Auto policy must hand sparse
+        // personalizations to the sharded push — whose output is bitwise
+        // independent of the (machine-dependent) shard/thread defaults, so
+        // it must equal an explicitly configured sharded run.
+        let n = sharded::AUTO_SHARD_MIN_NODES as u32;
+        let g = generators::ring(n).unwrap();
+        let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-5).unwrap();
+        // Sparse regime (1 source < dim/4): the sharded push path.
+        let dim = 8;
+        let sources = vec![(
+            NodeId::new(7),
+            Embedding::new((0..dim).map(|k| 1.0 + k as f32).collect()),
+        )];
+        let auto = auto_diffuse(&g, dim, &sources, &cfg).unwrap();
+        let scfg = sharded::ShardedConfig::new(cfg).with_shards(3).unwrap();
+        let explicit = sharded::diffuse_sparse(&g, dim, &sources, &scfg).unwrap();
+        assert_eq!(auto, explicit);
+        // Dense regime (1 source >= dim/4 for dim 2): the partitioned
+        // sweep, which is bitwise identical to the monolithic one.
+        let sources = vec![(NodeId::new(7), Embedding::new(vec![1.0, 2.0]))];
+        let auto = auto_diffuse(&g, 2, &sources, &cfg).unwrap();
+        let e0 = Signal::from_sparse_rows(n as usize, 2, &sources).unwrap();
+        let dense = power::diffuse(&g, &e0, &cfg).unwrap().signal;
+        assert_eq!(auto, dense);
     }
 
     #[test]

@@ -58,6 +58,7 @@ use gdsearch_graph::sparse::Normalization;
 use gdsearch_graph::{Graph, NodeId};
 
 use crate::convergence::Convergence;
+use crate::degrees::DegreeTables;
 use crate::{workpool, DiffusionError, PprConfig, Signal};
 
 /// Node count above which [`crate::per_source::auto_diffuse`] prefers the
@@ -177,68 +178,29 @@ pub struct PushResult {
     pub final_rmax: f32,
 }
 
-/// Degree-derived scalars shared by every column pushed over one graph.
+/// The graph plus its degree tables — everything a column push reads.
+///
+/// The degree scalars and the certified residual bound live in
+/// [`crate::degrees::DegreeTables`], shared with the sharded push engine
+/// so the bound formulas exist exactly once.
 struct PushContext<'g> {
     graph: &'g Graph,
-    norm: Normalization,
-    /// `1/deg(u)` (0 for isolated nodes; only used along edges).
-    inv_deg: Vec<f32>,
-    /// `1/sqrt(deg(u))` (1 for isolated nodes, the safe bound convention).
-    inv_sqrt_deg: Vec<f32>,
-    /// `max(deg(u), 1)` — the frontier threshold scale.
-    deg_scale: Vec<f32>,
-    /// `max(max_u deg(u), 1)`.
-    max_deg: f32,
+    tables: DegreeTables,
 }
 
 impl<'g> PushContext<'g> {
     fn new(graph: &'g Graph, norm: Normalization) -> Self {
-        let n = graph.num_nodes();
-        let mut inv_deg = vec![0.0f32; n];
-        let mut inv_sqrt_deg = vec![1.0f32; n];
-        let mut deg_scale = vec![1.0f32; n];
-        let mut max_deg = 1usize;
-        for u in graph.node_ids() {
-            let deg = graph.degree(u);
-            if deg > 0 {
-                inv_deg[u.index()] = 1.0 / deg as f32;
-                inv_sqrt_deg[u.index()] = 1.0 / (deg as f32).sqrt();
-                deg_scale[u.index()] = deg as f32;
-                max_deg = max_deg.max(deg);
-            }
-        }
         PushContext {
             graph,
-            norm,
-            inv_deg,
-            inv_sqrt_deg,
-            deg_scale,
-            max_deg: max_deg as f32,
+            tables: DegreeTables::from_graph(graph, norm),
         }
     }
 
     /// Rigorous bound on `‖M r‖∞`, the L∞ distance between the current
     /// estimate and the fixed point (derivations in the module docs).
     fn residual_bound(&self, residual: &[f32]) -> f32 {
-        match self.norm {
-            Normalization::ColumnStochastic => {
-                let mut sum = 0.0f32;
-                let mut theta = 0.0f32;
-                for (r, scale) in residual.iter().zip(&self.deg_scale) {
-                    sum += r;
-                    theta = theta.max(r / scale);
-                }
-                sum.min(self.max_deg * theta)
-            }
-            Normalization::RowStochastic => residual.iter().fold(0.0f32, |m, &r| m.max(r)),
-            Normalization::Symmetric => {
-                let scaled_max = residual
-                    .iter()
-                    .zip(&self.inv_sqrt_deg)
-                    .fold(0.0f32, |m, (&r, &i)| m.max(r * i));
-                self.max_deg.sqrt() * scaled_max
-            }
-        }
+        self.tables
+            .residual_bound(residual.iter().copied().enumerate())
     }
 }
 
@@ -272,7 +234,7 @@ fn push_column(
             let ui = u as usize;
             in_queue[ui] = false;
             let ru = residual[ui];
-            if ru <= rmax * ctx.deg_scale[ui] {
+            if ru <= rmax * ctx.tables.deg_scale[ui] {
                 continue;
             }
             if pushes >= budget {
@@ -291,14 +253,14 @@ fn push_column(
             // Forward the remaining mass along column u of A. The column's
             // nonzeros are exactly u's neighbors (the graph is undirected).
             let neighbors = ctx.graph.neighbor_slice(NodeId::new(u));
-            match ctx.norm {
+            match ctx.tables.norm {
                 Normalization::ColumnStochastic => {
                     // A[v][u] = 1/deg(u), uniform over neighbors.
-                    let w = spread * ctx.inv_deg[ui];
+                    let w = spread * ctx.tables.inv_deg[ui];
                     for v in neighbors {
                         let vi = v.index();
                         residual[vi] += w;
-                        if !in_queue[vi] && residual[vi] > rmax * ctx.deg_scale[vi] {
+                        if !in_queue[vi] && residual[vi] > rmax * ctx.tables.deg_scale[vi] {
                             in_queue[vi] = true;
                             queue.push_back(v.as_u32());
                         }
@@ -308,8 +270,8 @@ fn push_column(
                     // A[v][u] = 1/deg(v).
                     for v in neighbors {
                         let vi = v.index();
-                        residual[vi] += spread * ctx.inv_deg[vi];
-                        if !in_queue[vi] && residual[vi] > rmax * ctx.deg_scale[vi] {
+                        residual[vi] += spread * ctx.tables.inv_deg[vi];
+                        if !in_queue[vi] && residual[vi] > rmax * ctx.tables.deg_scale[vi] {
                             in_queue[vi] = true;
                             queue.push_back(v.as_u32());
                         }
@@ -317,11 +279,11 @@ fn push_column(
                 }
                 Normalization::Symmetric => {
                     // A[v][u] = 1/(sqrt(deg(u)) sqrt(deg(v))).
-                    let w = spread * ctx.inv_sqrt_deg[ui];
+                    let w = spread * ctx.tables.inv_sqrt_deg[ui];
                     for v in neighbors {
                         let vi = v.index();
-                        residual[vi] += w * ctx.inv_sqrt_deg[vi];
-                        if !in_queue[vi] && residual[vi] > rmax * ctx.deg_scale[vi] {
+                        residual[vi] += w * ctx.tables.inv_sqrt_deg[vi];
+                        if !in_queue[vi] && residual[vi] > rmax * ctx.tables.deg_scale[vi] {
                             in_queue[vi] = true;
                             queue.push_back(v.as_u32());
                         }
@@ -339,7 +301,7 @@ fn push_column(
         // Not yet: halve the granularity and rebuild the frontier.
         rmax *= 0.5;
         for (ui, r) in residual.iter().enumerate() {
-            if !in_queue[ui] && *r > rmax * ctx.deg_scale[ui] {
+            if !in_queue[ui] && *r > rmax * ctx.tables.deg_scale[ui] {
                 in_queue[ui] = true;
                 queue.push_back(ui as u32);
             }

@@ -268,3 +268,124 @@ proptest! {
         prop_assert_eq!(a, b, "same seed must reproduce the gossip run exactly");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sharded power sweep is bit-for-bit identical to the monolithic
+    /// dense engine on ring/ER/BA graphs for every `(shards, threads)`
+    /// combination — signal, iteration count and residual included.
+    #[test]
+    fn sharded_power_is_bitwise_identical_to_dense(
+        g in arb_push_graph(),
+        alpha in 0.1f32..1.0,
+        dim in 1usize..4,
+        signal_seed in 0u64..1000,
+    ) {
+        use gdsearch_diffusion::sharded::{self, ShardedConfig};
+
+        let n = g.num_nodes();
+        let mut rng = StdRng::seed_from_u64(signal_seed);
+        let mut e0 = Signal::zeros(n, dim);
+        for u in 0..n {
+            for d in 0..dim {
+                e0.row_mut(u)[d] = rng.random::<f32>();
+            }
+        }
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
+        let reference = power::diffuse(&g, &e0, &cfg).unwrap();
+        for shards in [1usize, 2, 7] {
+            for threads in [1usize, 4] {
+                let scfg = ShardedConfig::new(cfg)
+                    .with_shards(shards)
+                    .unwrap()
+                    .with_threads(threads)
+                    .unwrap();
+                let out = sharded::diffuse(&g, &e0, &scfg).unwrap();
+                prop_assert_eq!(
+                    out.signal.as_slice(),
+                    reference.signal.as_slice(),
+                    "{} shards x {} threads drifted from the dense sweep",
+                    shards,
+                    threads
+                );
+                prop_assert_eq!(out.iterations, reference.iterations);
+                prop_assert_eq!(out.residual.to_bits(), reference.residual.to_bits());
+                prop_assert_eq!(out.converged, reference.converged);
+            }
+        }
+    }
+
+    /// The sharded push column is bit-for-bit identical to its unsharded
+    /// counterpart (the single-shard, single-thread instance) on ring/ER/BA
+    /// graphs for every `(shards, threads)` combination, and agrees with
+    /// the scalar sweep engine to the shared accuracy contract.
+    #[test]
+    fn sharded_push_is_bitwise_shard_invariant(
+        g in arb_push_graph(),
+        alpha in 0.1f32..1.0,
+        src in 0usize..36,
+    ) {
+        use gdsearch_diffusion::sharded::{self, ShardedConfig};
+
+        let n = g.num_nodes();
+        let source = NodeId::new((src % n) as u32);
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
+        let unsharded = ShardedConfig::new(cfg);
+        let reference = sharded::ppr_vector(&g, source, &unsharded).unwrap();
+        for shards in [2usize, 7] {
+            for threads in [1usize, 4] {
+                let scfg = ShardedConfig::new(cfg)
+                    .with_shards(shards)
+                    .unwrap()
+                    .with_threads(threads)
+                    .unwrap();
+                let out = sharded::ppr_vector(&g, source, &scfg).unwrap();
+                prop_assert_eq!(
+                    &out,
+                    &reference,
+                    "{} shards x {} threads drifted from the unsharded push",
+                    shards,
+                    threads
+                );
+            }
+        }
+        let sweep = per_source::ppr_vector(&g, source, &cfg).unwrap();
+        for u in 0..n {
+            prop_assert!(
+                (reference[u] - sweep[u]).abs() < 1e-4,
+                "node {} disagrees with the sweep engine",
+                u
+            );
+        }
+    }
+
+    /// Uneven partitions (`n % shards != 0`) and all-single-node shards
+    /// leave both sharded engines bitwise unchanged.
+    #[test]
+    fn uneven_and_singleton_partitions_change_nothing(
+        n in 3u32..24,
+        alpha in 0.2f32..0.9,
+        extra in 0u32..20,
+        seed in 0u64..500,
+    ) {
+        use gdsearch_diffusion::sharded::{self, ShardedConfig};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(n, extra, &mut rng).unwrap();
+        let n = g.num_nodes();
+        let cfg = PprConfig::new(alpha).unwrap().with_tolerance(1e-6).unwrap();
+        let e0 = one_hot(n, 1);
+        let dense = power::diffuse(&g, &e0, &cfg).unwrap();
+        let push_ref = sharded::ppr_vector(&g, NodeId::new(1), &ShardedConfig::new(cfg)).unwrap();
+        // n - 1 shards never divides n evenly for n >= 3; n shards makes
+        // every shard a single node.
+        for shards in [n - 1, n] {
+            let scfg = ShardedConfig::new(cfg).with_shards(shards).unwrap();
+            let out = sharded::diffuse(&g, &e0, &scfg).unwrap();
+            prop_assert_eq!(out.signal.as_slice(), dense.signal.as_slice());
+            let h = sharded::ppr_vector(&g, NodeId::new(1), &scfg).unwrap();
+            prop_assert_eq!(&h, &push_ref, "{} shards drifted", shards);
+        }
+    }
+}

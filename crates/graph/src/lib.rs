@@ -15,6 +15,9 @@
 //!   and degree statistics;
 //! * [`sparse`] — a minimal CSR `f32` sparse matrix and the normalized
 //!   transition matrices that drive Personalized PageRank diffusion;
+//! * [`sharded`] — the node-range partitioned view of a graph
+//!   ([`ShardedGraph`]): per-shard CSR rows plus halo indexes of
+//!   cross-shard edges, the substrate for diffusion on partitioned state;
 //! * [`io`] — whitespace edge-list reading/writing compatible with the SNAP
 //!   `facebook_combined.txt` format.
 //!
@@ -45,8 +48,10 @@ pub mod generators;
 mod graph;
 pub mod io;
 mod node;
+pub mod sharded;
 pub mod sparse;
 
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder, Neighbors};
 pub use node::NodeId;
+pub use sharded::{GraphShard, ShardedGraph};

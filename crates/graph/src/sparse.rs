@@ -55,12 +55,21 @@ impl CsrMatrix {
     ///
     /// # Errors
     ///
-    /// Returns [`GraphError::InvalidParameter`] if an index is out of range.
+    /// Returns [`GraphError::InvalidParameter`] if an index is out of range
+    /// or either dimension exceeds the `u32` index space (row and column
+    /// indices are stored as `u32`; larger matrices must be sharded — see
+    /// [`crate::sharded`]).
     pub fn from_triplets(
         n_rows: usize,
         n_cols: usize,
         triplets: &[(u32, u32, f32)],
     ) -> Result<Self, GraphError> {
+        if n_rows > u32::MAX as usize || n_cols > u32::MAX as usize {
+            return Err(GraphError::invalid_parameter(format!(
+                "matrix dimensions {n_rows}x{n_cols} exceed the u32 index space \
+                 of the CSR column storage"
+            )));
+        }
         for &(r, c, _) in triplets {
             if r as usize >= n_rows || c as usize >= n_cols {
                 return Err(GraphError::invalid_parameter(format!(
@@ -308,6 +317,22 @@ mod tests {
     fn from_triplets_rejects_out_of_range() {
         assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
         assert!(CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn from_triplets_rejects_dimensions_beyond_u32() {
+        // Columns are stored as u32: dimensions past that index space used
+        // to truncate silently instead of erroring.
+        let too_big = u32::MAX as usize + 1;
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, too_big, &[]),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            CsrMatrix::from_triplets(too_big, 2, &[]),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        assert!(CsrMatrix::from_triplets(2, u32::MAX as usize, &[]).is_ok());
     }
 
     #[test]

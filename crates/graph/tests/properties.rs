@@ -149,3 +149,45 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Any shard count partitions an arbitrary graph into contiguous
+    /// covering ranges whose accessors agree with the monolithic CSR, with
+    /// halos that are exactly the sorted non-local endpoints.
+    #[test]
+    fn sharding_preserves_the_graph(g in arb_graph(), shards in 1usize..12) {
+        use gdsearch_graph::ShardedGraph;
+
+        let sg = ShardedGraph::from_graph(&g, shards).unwrap();
+        prop_assert_eq!(sg.num_nodes(), g.num_nodes());
+        prop_assert_eq!(sg.num_edges(), g.num_edges());
+        prop_assert!(sg.num_shards() <= shards);
+        let mut next = 0u32;
+        for shard in sg.shards() {
+            prop_assert_eq!(shard.start(), next);
+            next = shard.end();
+        }
+        prop_assert_eq!(next as usize, g.num_nodes());
+        for u in g.node_ids() {
+            prop_assert_eq!(sg.degree(u), g.degree(u));
+            prop_assert_eq!(sg.neighbor_slice(u), g.neighbor_slice(u));
+            prop_assert!(sg.shard(sg.owner_of(u)).contains(u));
+        }
+        for shard in sg.shards() {
+            let mut expected: Vec<NodeId> = (0..shard.num_local_nodes())
+                .flat_map(|l| shard.local_neighbor_slice(l).iter().copied())
+                .filter(|v| !shard.contains(*v))
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(shard.halo(), expected.as_slice());
+            // The slot map is strictly monotone over local ∪ halo.
+            let mut ids: Vec<NodeId> = shard.halo().to_vec();
+            ids.extend((shard.start()..shard.end()).map(NodeId::new));
+            ids.sort_unstable();
+            for (slot, id) in ids.iter().enumerate() {
+                prop_assert_eq!(shard.slot_of(*id), Some(slot));
+            }
+        }
+    }
+}

@@ -168,10 +168,11 @@ fn all_engines_yield_equivalent_search_outcomes() {
 
     let mut paths = Vec::new();
     for engine in [
-        DiffusionEngine::Dense,
+        DiffusionEngine::dense(2),
         DiffusionEngine::PerSource,
         DiffusionEngine::Auto,
         DiffusionEngine::push(2),
+        DiffusionEngine::sharded(3, 2),
     ] {
         let cfg = SchemeConfig::builder()
             .engine(engine)
@@ -187,6 +188,7 @@ fn all_engines_yield_equivalent_search_outcomes() {
     assert_eq!(paths[0], paths[1], "dense vs per-source walks diverged");
     assert_eq!(paths[0], paths[2], "dense vs auto walks diverged");
     assert_eq!(paths[0], paths[3], "dense vs push walks diverged");
+    assert_eq!(paths[0], paths[4], "dense vs sharded walks diverged");
 }
 
 #[test]
