@@ -34,10 +34,7 @@ fn sparse_sources(n: u32, count: usize, dim: usize) -> Vec<(NodeId, Embedding)> 
 }
 
 fn bench_single_source_engines(c: &mut Criterion) {
-    let cfg = PprConfig::new(0.5)
-        .unwrap()
-        .with_tolerance(1e-5)
-        .unwrap();
+    let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-5).unwrap();
     let mut group = c.benchmark_group("single_source_engines");
     for n in [1_000u32, 10_000] {
         let graph = ba_graph(n);
@@ -65,10 +62,7 @@ fn bench_push_batch_threads(c: &mut Criterion) {
     let graph = ba_graph(10_000);
     let dim = 16;
     let sources = sparse_sources(10_000, 32, dim);
-    let cfg = PprConfig::new(0.5)
-        .unwrap()
-        .with_tolerance(1e-5)
-        .unwrap();
+    let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-5).unwrap();
     let mut group = c.benchmark_group("push_batch_threads");
     for threads in [1usize, 2, 4] {
         let push_cfg = PushConfig::new(cfg).with_threads(threads).unwrap();
@@ -76,14 +70,16 @@ fn bench_push_batch_threads(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &push_cfg,
             |b, push_cfg| {
-                b.iter(|| {
-                    push::diffuse_sparse(black_box(&graph), dim, &sources, push_cfg).unwrap()
-                })
+                b.iter(|| push::diffuse_sparse(black_box(&graph), dim, &sources, push_cfg).unwrap())
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_single_source_engines, bench_push_batch_threads);
+criterion_group!(
+    benches,
+    bench_single_source_engines,
+    bench_push_batch_threads
+);
 criterion_main!(benches);

@@ -54,17 +54,15 @@ fn main() {
     let seed: u64 = args.get_or("seed", 2022);
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let graph: Graph = generators::barabasi_albert(nodes, 5, &mut rng)
-        .expect("valid generator parameters");
+    let graph: Graph =
+        generators::barabasi_albert(nodes, 5, &mut rng).expect("valid generator parameters");
     let cfg = PprConfig::new(alpha)
         .unwrap()
         .with_tolerance(tolerance)
         .unwrap();
     // Reference at 100× tighter tolerance: deviations below `tolerance`
     // from it certify engine interchangeability.
-    let tight = cfg
-        .with_tolerance((tolerance * 1e-2).max(1e-7))
-        .unwrap();
+    let tight = cfg.with_tolerance((tolerance * 1e-2).max(1e-7)).unwrap();
     println!(
         "# Ablation: diffusion engines — N = {nodes} (Barabási–Albert m=5, {} edges), \
          alpha = {alpha}, tolerance = {tolerance:.0e}",
@@ -96,8 +94,9 @@ fn main() {
         max_err(&power_col),
         &format!("{} sweeps", power_out.iterations),
     );
-    let (scalar_ms, scalar_out) =
-        timed(repeats, || per_source::ppr_vector(&graph, source, &cfg).unwrap());
+    let (scalar_ms, scalar_out) = timed(repeats, || {
+        per_source::ppr_vector(&graph, source, &cfg).unwrap()
+    });
     print_row(
         "per-source (scalar sweeps)",
         scalar_ms,
@@ -141,10 +140,7 @@ fn main() {
         "power (dense)",
         bpower_ms,
         bpower_ms,
-        bpower_out
-            .signal
-            .max_abs_diff(&batch_reference)
-            .unwrap(),
+        bpower_out.signal.max_abs_diff(&batch_reference).unwrap(),
         &format!("{} sweeps", bpower_out.iterations),
     );
     let (bpowern_ms, bpowern_out) = timed(repeats, || {
@@ -154,13 +150,14 @@ fn main() {
         &format!("power ×{threads} threads"),
         bpowern_ms,
         bpower_ms,
-        bpowern_out
-            .signal
-            .max_abs_diff(&batch_reference)
-            .unwrap(),
+        bpowern_out.signal.max_abs_diff(&batch_reference).unwrap(),
         &format!(
             "identical to ×1: {}",
-            if bpowern_out.signal == bpower_out.signal { "yes" } else { "NO" }
+            if bpowern_out.signal == bpower_out.signal {
+                "yes"
+            } else {
+                "NO"
+            }
         ),
     );
     let (bscalar_ms, bscalar_out) = timed(repeats, || {
@@ -194,7 +191,11 @@ fn main() {
         bpushn_out.max_abs_diff(&batch_reference).unwrap(),
         &format!(
             "identical to ×1: {}",
-            if bpushn_out == bpush1_out { "yes" } else { "NO" }
+            if bpushn_out == bpush1_out {
+                "yes"
+            } else {
+                "NO"
+            }
         ),
     );
 }

@@ -13,7 +13,7 @@
 //! entire graph and trivially win on accuracy while losing by orders of
 //! magnitude on bandwidth — exactly the trade-off the paper motivates.
 
-use gdsearch::{PolicyKind, Placement, SchemeConfig};
+use gdsearch::{Placement, PolicyKind, SchemeConfig};
 use gdsearch_bench::{uniform_query_sweep, workbench_from_args, Args};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

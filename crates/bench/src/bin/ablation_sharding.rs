@@ -19,20 +19,12 @@
 //! `total_csr_bytes / shards + halo_bytes` or any sharded result drifts
 //! from the unsharded reference — so CI can run it as a smoke test.
 
-use std::time::Instant;
-
-use gdsearch_bench::Args;
+use gdsearch_bench::{timed, Args};
 use gdsearch_diffusion::sharded::{self, ShardedConfig};
 use gdsearch_diffusion::{power, PprConfig, Signal};
 use gdsearch_graph::{generators, Graph, NodeId, ShardedGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn timed<T>(mut f: impl FnMut() -> T) -> (f64, T) {
-    let t0 = Instant::now();
-    let value = f();
-    (t0.elapsed().as_secs_f64() * 1e3, value)
-}
 
 fn kb(bytes: usize) -> f64 {
     bytes as f64 / 1024.0
@@ -123,8 +115,7 @@ fn run_family(name: &str, graph: &Graph, args: &Args) -> bool {
             sharded::diffuse_partitioned(&sharded_graph, &e0, &scfg).expect("sharded power")
         });
         let (push_ms, push_out) = timed(|| {
-            sharded::ppr_vector_partitioned(&sharded_graph, source, &scfg)
-                .expect("sharded push")
+            sharded::ppr_vector_partitioned(&sharded_graph, source, &scfg).expect("sharded push")
         });
         let power_bitwise = power_out.signal.as_slice() == dense_ref.signal.as_slice();
         let push_bitwise = match &push_ref {
@@ -160,9 +151,8 @@ fn main() {
     let mut ok = true;
     if family == "both" || family == "ba" {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (gen_ms, graph) = timed(|| {
-            generators::barabasi_albert(nodes, 5, &mut rng).expect("valid BA parameters")
-        });
+        let (gen_ms, graph) =
+            timed(|| generators::barabasi_albert(nodes, 5, &mut rng).expect("valid BA parameters"));
         println!("\n(BA generation: {gen_ms:.0} ms)");
         ok &= run_family("Barabási–Albert m=5", &graph, &args);
     }

@@ -181,10 +181,8 @@ fn main() {
     }
 
     println!("\n## Transport accounting\n");
-    let labeled: Vec<(&str, &NetStats)> = rows
-        .iter()
-        .map(|r| (r.label.as_str(), &r.stats))
-        .collect();
+    let labeled: Vec<(&str, &NetStats)> =
+        rows.iter().map(|r| (r.label.as_str(), &r.stats)).collect();
     print!("{}", report::transport_markdown(&labeled));
 
     println!("\n## Search outcome\n");

@@ -46,9 +46,7 @@ fn main() {
         workbench.corpus.dim(),
         workbench.queries.len()
     );
-    println!(
-        "# iterations = {iterations}, ttl = {ttl}, alphas = {alphas:?}, seed = {seed}\n"
-    );
+    println!("# iterations = {iterations}, ttl = {ttl}, alphas = {alphas:?}, seed = {seed}\n");
 
     let base = SchemeConfig::builder()
         .ttl(ttl)

@@ -116,6 +116,14 @@ pub fn workbench_from_args(args: &Args, min_vocab: usize) -> Result<Workbench, S
     }
 }
 
+/// Runs `f` once and returns `(elapsed milliseconds, result)` — the
+/// stopwatch the ablation binaries share.
+pub fn timed<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let t0 = std::time::Instant::now();
+    let value = f();
+    (t0.elapsed().as_secs_f64() * 1e3, value)
+}
+
 /// Writes `content` to `--csv PATH` when the flag is present; reports the
 /// destination on stdout.
 pub fn maybe_write_csv(args: &Args, content: &str) {

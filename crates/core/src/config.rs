@@ -61,6 +61,79 @@ pub enum DiffusionEngine {
         /// Worker threads the shards are scheduled over (≥ 1).
         threads: usize,
     },
+    /// The sharded engines with every shard on its own simulated machine:
+    /// halo columns and cross-shard residual mass travel as wire frames
+    /// over bounded, bandwidth-limited reactor links (`gdsearch-dist`),
+    /// with round barriers and retransmission of lost frames. Output is
+    /// bit-for-bit identical to [`DiffusionEngine::Sharded`] for every
+    /// `(shards, threads)` and every `transport` that lets frames
+    /// eventually arrive — the interconnect changes cost, never results.
+    Distributed {
+        /// Number of node-range shards / simulated machines (≥ 1; clamped
+        /// to the node count).
+        shards: usize,
+        /// Worker threads per sweep step (≥ 1).
+        threads: usize,
+        /// The simulated interconnect between shard machines.
+        transport: TransportProfile,
+    },
+}
+
+/// A serializable description of the interconnect between shard machines,
+/// converted to the simulator's
+/// [`TransportConfig`](gdsearch_sim::TransportConfig) when a
+/// [`DiffusionEngine::Distributed`] network is built.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransportProfile {
+    /// Link bandwidth in bytes per simulator tick (must be positive).
+    pub bytes_per_tick: u64,
+    /// Bounded per-link send-queue depth, in messages (must be positive).
+    pub queue_capacity: usize,
+    /// Independent per-frame loss probability in `[0, 1)` (lost frames are
+    /// retransmitted at the next round barrier).
+    pub loss_probability: f64,
+    /// Seed of the transport's loss randomness.
+    pub seed: u64,
+}
+
+impl Default for TransportProfile {
+    /// An ample interconnect: 1 MiB/tick links, deep queues, no loss.
+    fn default() -> Self {
+        TransportProfile {
+            bytes_per_tick: 1024 * 1024,
+            queue_capacity: 4096,
+            loss_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl TransportProfile {
+    /// An ample lossless interconnect (the default).
+    #[must_use]
+    pub fn ample() -> Self {
+        TransportProfile::default()
+    }
+
+    /// An ample interconnect with the given bandwidth in bytes per tick.
+    #[must_use]
+    pub fn with_bandwidth(mut self, bytes_per_tick: u64) -> Self {
+        self.bytes_per_tick = bytes_per_tick;
+        self
+    }
+
+    /// The equivalent simulator configuration.
+    pub(crate) fn to_transport_config(self) -> Result<gdsearch_sim::TransportConfig, SearchError> {
+        let invalid = |e: gdsearch_sim::SimError| SearchError::invalid_parameter(e.to_string());
+        Ok(gdsearch_sim::TransportConfig::default()
+            .with_bandwidth(self.bytes_per_tick)
+            .map_err(invalid)?
+            .with_queue_capacity(self.queue_capacity)
+            .map_err(invalid)?
+            .with_loss_probability(self.loss_probability)
+            .map_err(invalid)?
+            .with_seed(self.seed))
+    }
 }
 
 impl DiffusionEngine {
@@ -84,6 +157,17 @@ impl DiffusionEngine {
     #[must_use]
     pub fn sharded(shards: usize, threads: usize) -> Self {
         DiffusionEngine::Sharded { shards, threads }
+    }
+
+    /// The distributed engine with the given partition and worker counts
+    /// over an ample lossless interconnect.
+    #[must_use]
+    pub fn distributed(shards: usize, threads: usize) -> Self {
+        DiffusionEngine::Distributed {
+            shards,
+            threads,
+            transport: TransportProfile::default(),
+        }
     }
 }
 
@@ -297,6 +381,33 @@ impl SchemeConfigBuilder {
                     ));
                 }
             }
+            DiffusionEngine::Distributed {
+                shards,
+                threads,
+                transport,
+            } => {
+                if shards == 0 {
+                    return Err(SearchError::invalid_parameter(
+                        "shard count must be positive",
+                    ));
+                }
+                if threads == 0 {
+                    return Err(SearchError::invalid_parameter(
+                        "distributed threads must be positive",
+                    ));
+                }
+                if !(0.0..1.0).contains(&transport.loss_probability) {
+                    return Err(SearchError::invalid_parameter(format!(
+                        "distributed loss probability must lie in [0, 1) so frames can \
+                         eventually arrive, got {}",
+                        transport.loss_probability
+                    )));
+                }
+                // Bandwidth/queue bounds are validated by the simulator's
+                // builders; surface violations at build time, not inside
+                // the diffusion run.
+                transport.to_transport_config()?;
+            }
             DiffusionEngine::Auto | DiffusionEngine::PerSource | DiffusionEngine::Gossip => {}
         }
         Ok(self.config)
@@ -430,6 +541,44 @@ mod tests {
         assert!(with_engine(DiffusionEngine::sharded(0, 2)).is_err());
         assert!(with_engine(DiffusionEngine::sharded(2, 0)).is_err());
         assert!(with_engine(DiffusionEngine::sharded(4, 2)).is_ok());
+    }
+
+    #[test]
+    fn builder_validates_distributed_knobs() {
+        let with_engine = |engine| SchemeConfig::builder().engine(engine).build();
+        assert!(with_engine(DiffusionEngine::distributed(0, 2)).is_err());
+        assert!(with_engine(DiffusionEngine::distributed(2, 0)).is_err());
+        assert!(with_engine(DiffusionEngine::distributed(4, 2)).is_ok());
+        let with_transport = |transport| {
+            with_engine(DiffusionEngine::Distributed {
+                shards: 2,
+                threads: 1,
+                transport,
+            })
+        };
+        assert!(with_transport(TransportProfile::default().with_bandwidth(0)).is_err());
+        assert!(with_transport(TransportProfile {
+            queue_capacity: 0,
+            ..TransportProfile::default()
+        })
+        .is_err());
+        assert!(with_transport(TransportProfile {
+            loss_probability: 1.0,
+            ..TransportProfile::default()
+        })
+        .is_err());
+        assert!(with_transport(TransportProfile {
+            loss_probability: f64::NAN,
+            ..TransportProfile::default()
+        })
+        .is_err());
+        assert!(with_transport(TransportProfile {
+            loss_probability: 0.2,
+            seed: 7,
+            ..TransportProfile::default()
+        })
+        .is_ok());
+        assert!(with_transport(TransportProfile::ample().with_bandwidth(1024)).is_ok());
     }
 
     #[test]

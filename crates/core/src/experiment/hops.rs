@@ -117,13 +117,8 @@ pub fn run<R: Rng + ?Sized>(
                 .copied(),
         );
         let placement = Placement::uniform(&workbench.graph, &words, rng)?;
-        let network = SearchNetwork::build(
-            &workbench.graph,
-            &workbench.corpus,
-            &placement,
-            base,
-            rng,
-        )?;
+        let network =
+            SearchNetwork::build(&workbench.graph, &workbench.corpus, &placement, base, rng)?;
         let query_embedding = workbench.corpus.embedding(pair.query);
         for _ in 0..config.queries_per_iteration {
             let start = gdsearch_graph::NodeId::new(rng.random_range(0..n));

@@ -26,11 +26,7 @@ pub fn accuracy_markdown(result: &AccuracyResult) -> String {
     }
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "{rule}");
-    let distances = result
-        .series
-        .first()
-        .map(|s| s.accuracy.len())
-        .unwrap_or(0);
+    let distances = result.series.first().map(|s| s.accuracy.len()).unwrap_or(0);
     for d in 0..distances {
         let mut row = format!("| {d} |");
         for s in &result.series {

@@ -123,8 +123,7 @@ const SCORE_TIE_RESOLUTION: f32 = 1e-4;
 /// which carry engine-dependent float noise; exact scores (integer
 /// degrees) go through [`top_by`] instead.
 fn top_by_quantized<F: Fn(NodeId) -> f32>(ctx: &ForwardContext<'_>, score: F) -> Vec<NodeId> {
-    let scored: Vec<(f32, NodeId)> =
-        ctx.candidates.iter().map(|&c| (score(c), c)).collect();
+    let scored: Vec<(f32, NodeId)> = ctx.candidates.iter().map(|&c| (score(c), c)).collect();
     let scale = scored.iter().map(|(s, _)| s.abs()).fold(0.0f32, f32::max);
     let quantum = (scale * SCORE_TIE_RESOLUTION).max(f32::MIN_POSITIVE);
     rank_and_take(
@@ -317,15 +316,13 @@ mod tests {
         };
         // epsilon = 0 -> always greedy.
         for seed in 0..10 {
-            let picks =
-                select_next_hops(PolicyKind::Hybrid { epsilon: 0.0 }, &ctx, &mut rng(seed));
+            let picks = select_next_hops(PolicyKind::Hybrid { epsilon: 0.0 }, &ctx, &mut rng(seed));
             assert_eq!(picks, vec![NodeId::new(3)]);
         }
         // epsilon = 1 -> random: must deviate from greedy at least once.
         let mut deviated = false;
         for seed in 0..20 {
-            let picks =
-                select_next_hops(PolicyKind::Hybrid { epsilon: 1.0 }, &ctx, &mut rng(seed));
+            let picks = select_next_hops(PolicyKind::Hybrid { epsilon: 1.0 }, &ctx, &mut rng(seed));
             if picks != vec![NodeId::new(3)] {
                 deviated = true;
             }

@@ -74,7 +74,7 @@ pub mod protocol;
 mod scheme;
 pub mod walk;
 
-pub use config::{DiffusionEngine, SchemeConfig, VisitedMemory};
+pub use config::{DiffusionEngine, SchemeConfig, TransportProfile, VisitedMemory};
 pub use error::SearchError;
 pub use forwarding::PolicyKind;
 pub use personalization::Aggregation;

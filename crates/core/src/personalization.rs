@@ -110,12 +110,7 @@ pub fn personalization_rows(
     let mut rows = Vec::with_capacity(docs_at.len());
     for (node, docs) in docs_at {
         graph.check_node(*node).map_err(SearchError::from)?;
-        let vector = aggregate(
-            docs.iter().copied(),
-            dim,
-            aggregation,
-            graph.degree(*node),
-        )?;
+        let vector = aggregate(docs.iter().copied(), dim, aggregation, graph.degree(*node))?;
         rows.push((*node, vector));
     }
     Ok(rows)
@@ -142,10 +137,7 @@ mod tests {
         let q = Embedding::new(vec![0.5, -1.0, 0.25]);
         let agg = aggregate(ds.iter(), 3, Aggregation::Sum, 0).unwrap();
         let lhs = similarity::dot(&q, &agg).unwrap();
-        let rhs: f32 = ds
-            .iter()
-            .map(|d| similarity::dot(&q, d).unwrap())
-            .sum();
+        let rhs: f32 = ds.iter().map(|d| similarity::dot(&q, d).unwrap()).sum();
         assert!((lhs - rhs).abs() < 1e-6);
     }
 
@@ -166,7 +158,18 @@ mod tests {
         let hub = aggregate(docs().iter(), 3, Aggregation::DegreeScaled, 9).unwrap();
         let leaf = aggregate(docs().iter(), 3, Aggregation::DegreeScaled, 0).unwrap();
         assert!(hub.norm() < leaf.norm());
-        assert!((leaf.norm() - docs().iter().fold(Embedding::zeros(3), |mut a, d| { a.add_in_place(d).unwrap(); a }).norm()).abs() < 1e-6);
+        assert!(
+            (leaf.norm()
+                - docs()
+                    .iter()
+                    .fold(Embedding::zeros(3), |mut a, d| {
+                        a.add_in_place(d).unwrap();
+                        a
+                    })
+                    .norm())
+            .abs()
+                < 1e-6
+        );
     }
 
     #[test]
@@ -193,21 +196,10 @@ mod tests {
         let g = generators::ring(4).unwrap();
         let ds = docs();
         let refs: Vec<&Embedding> = ds.iter().collect();
-        let ok = personalization_rows(
-            &g,
-            3,
-            &[(NodeId::new(1), refs.clone())],
-            Aggregation::Sum,
-        )
-        .unwrap();
+        let ok = personalization_rows(&g, 3, &[(NodeId::new(1), refs.clone())], Aggregation::Sum)
+            .unwrap();
         assert_eq!(ok.len(), 1);
         assert_eq!(ok[0].0, NodeId::new(1));
-        assert!(personalization_rows(
-            &g,
-            3,
-            &[(NodeId::new(7), refs)],
-            Aggregation::Sum
-        )
-        .is_err());
+        assert!(personalization_rows(&g, 3, &[(NodeId::new(7), refs)], Aggregation::Sum).is_err());
     }
 }

@@ -245,8 +245,7 @@ mod tests {
             .dim(16)
             .generate(&mut rng(4))
             .unwrap();
-        let p =
-            Placement::topic_correlated(&g, &corpus, &words(30), 0.0, 2, &mut rng(5)).unwrap();
+        let p = Placement::topic_correlated(&g, &corpus, &words(30), 0.0, 2, &mut rng(5)).unwrap();
         assert_eq!(p.len(), 30);
     }
 
@@ -278,11 +277,8 @@ mod tests {
                     .map(|(j, w)| {
                         (
                             j,
-                            similarity::cosine(
-                                corpus.embedding(ws[i]),
-                                corpus.embedding(*w),
-                            )
-                            .unwrap(),
+                            similarity::cosine(corpus.embedding(ws[i]), corpus.embedding(*w))
+                                .unwrap(),
                         )
                     })
                     .max_by(|a, b| a.1.total_cmp(&b.1))
@@ -313,15 +309,10 @@ mod tests {
             .generate(&mut rng(8))
             .unwrap();
         assert!(Placement::topic_correlated(&g, &corpus, &words(5), 1.5, 2, &mut rng(9)).is_err());
-        assert!(Placement::topic_correlated(
-            &g,
-            &corpus,
-            &[WordId::new(99)],
-            0.5,
-            2,
-            &mut rng(9)
-        )
-        .is_err());
+        assert!(
+            Placement::topic_correlated(&g, &corpus, &[WordId::new(99)], 0.5, 2, &mut rng(9))
+                .is_err()
+        );
     }
 
     #[test]

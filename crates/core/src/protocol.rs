@@ -231,8 +231,11 @@ impl NodeHandler<SearchMessage> for SearchNode {
                             .filter(|v| !used.contains(v))
                             .collect();
                         // Footnote 9: never waste the forwarding chance.
-                        let candidates =
-                            if fresh.is_empty() { neighbors.to_vec() } else { fresh };
+                        let candidates = if fresh.is_empty() {
+                            neighbors.to_vec()
+                        } else {
+                            fresh
+                        };
                         // Fanout applies at the querying node only (hop 0);
                         // relays forward a single copy — see walk.rs.
                         let effective_fanout = if hop == 0 { self.fanout } else { 1 };
@@ -417,10 +420,7 @@ impl ProtocolNetwork {
     /// # Errors
     ///
     /// Propagates simulator construction failures.
-    pub fn build(
-        network: &SearchNetwork<'_>,
-        backend: SimBackend,
-    ) -> Result<Self, SearchError> {
+    pub fn build(network: &SearchNetwork<'_>, backend: SimBackend) -> Result<Self, SearchError> {
         Ok(match backend {
             SimBackend::Instant => {
                 ProtocolNetwork::Instant(build_protocol_network(network, NetworkConfig::default())?)
@@ -610,9 +610,15 @@ mod tests {
         let mut r = rng(1);
         let g = generators::social_circles_like_scaled(60, &mut r).unwrap();
         let c = corpus(2);
-        let queries =
-            querygen::generate(&c, QueryGenConfig { num_queries: 3, min_cosine: 0.6 }, &mut r)
-                .unwrap();
+        let queries = querygen::generate(
+            &c,
+            QueryGenConfig {
+                num_queries: 3,
+                min_cosine: 0.6,
+            },
+            &mut r,
+        )
+        .unwrap();
         assert!(!queries.is_empty());
         let pair = queries.pairs()[0];
         let mut words = vec![pair.gold];
@@ -658,7 +664,11 @@ mod tests {
         )
         .unwrap();
         let completed = run_and_collect(&mut net, origin, 10_000).unwrap();
-        assert_eq!(completed.len(), 1, "origin must receive the backtracked response");
+        assert_eq!(
+            completed.len(),
+            1,
+            "origin must receive the backtracked response"
+        );
         // 5 forwards out + 5 responses back at 0.1s each, plus instant
         // injection: total virtual time 1.0s.
         assert!((net.now().as_secs() - 1.0).abs() < 1e-9);
@@ -708,9 +718,7 @@ mod tests {
         let p = Placement::uniform(&g, &words, &mut r).unwrap();
         let cfg = SchemeConfig::builder().ttl(4).build().unwrap();
         let scheme = SearchNetwork::build(&g, &c, &p, &cfg, &mut r).unwrap();
-        let sim_cfg = NetworkConfig::default()
-            .with_loss_probability(1.0)
-            .unwrap();
+        let sim_cfg = NetworkConfig::default().with_loss_probability(1.0).unwrap();
         let mut net = build_protocol_network(&scheme, sim_cfg).unwrap();
         let origin = NodeId::new(0);
         issue_query(
@@ -785,11 +793,15 @@ mod tests {
             .unwrap()
             .with_queue_capacity(3)
             .unwrap();
-        let mut net =
-            ProtocolNetwork::build(&scheme, SimBackend::Bounded(transport)).unwrap();
+        let mut net = ProtocolNetwork::build(&scheme, SimBackend::Bounded(transport)).unwrap();
         let origin = NodeId::new(0);
-        net.issue_query(origin, 1, c.embedding(gdsearch_embed::WordId::new(5)).clone(), 4)
-            .unwrap();
+        net.issue_query(
+            origin,
+            1,
+            c.embedding(gdsearch_embed::WordId::new(5)).clone(),
+            4,
+        )
+        .unwrap();
         net.run_to_completion(1_000_000).unwrap();
         let stats = net.stats();
         assert!(

@@ -126,6 +126,25 @@ impl<'g> SearchNetwork<'g> {
                     require_converged(sharded::diffuse(graph, &e0, &scfg)?)?
                 }
             }
+            DiffusionEngine::Distributed {
+                shards,
+                threads,
+                transport,
+            } => {
+                let scfg = sharded::ShardedConfig::new(ppr)
+                    .with_shards(shards)?
+                    .with_threads(threads)?;
+                let dcfg = gdsearch_dist::DistConfig::new(scfg)
+                    .with_transport(transport.to_transport_config()?);
+                // Same sparse/dense crossover as the sharded engine; halo
+                // columns / residual mass move over simulated links.
+                if rows.len() < dim / 4 {
+                    gdsearch_dist::diffuse_sparse(graph, dim, &rows, &dcfg)?.0
+                } else {
+                    let e0 = Signal::from_sparse_rows(n, dim, &rows)?;
+                    require_converged(gdsearch_dist::diffuse(graph, &e0, &dcfg)?.0)?
+                }
+            }
             DiffusionEngine::Gossip => {
                 let e0 = Signal::from_sparse_rows(n, dim, &rows)?;
                 let out = gossip::diffuse(graph, &e0, &gossip::GossipConfig::new(ppr), rng)?;
@@ -271,8 +290,7 @@ mod tests {
         let c = corpus(1);
         let words: Vec<WordId> = (0..10).map(WordId::new).collect();
         let p = Placement::uniform(&g, &words, &mut rng(2)).unwrap();
-        let net =
-            SearchNetwork::build(&g, &c, &p, &SchemeConfig::default(), &mut rng(3)).unwrap();
+        let net = SearchNetwork::build(&g, &c, &p, &SchemeConfig::default(), &mut rng(3)).unwrap();
         assert_eq!(net.num_docs(), 10);
         let total: usize = g.node_ids().map(|u| net.docs_at(u).len()).sum();
         assert_eq!(total, 10);
@@ -324,6 +342,19 @@ mod tests {
         // The dense sweep is bitwise thread-count independent end to end.
         let dense4 = build(DiffusionEngine::dense(4), 13);
         assert_eq!(dense.embeddings(), dense4.embeddings());
+        // The distributed engine reproduces the in-process sharded result
+        // bit for bit, whatever the interconnect bandwidth.
+        let distributed = build(DiffusionEngine::distributed(3, 2), 14);
+        assert_eq!(sharded.embeddings(), distributed.embeddings());
+        let narrow = build(
+            DiffusionEngine::Distributed {
+                shards: 3,
+                threads: 2,
+                transport: crate::TransportProfile::default().with_bandwidth(2048),
+            },
+            15,
+        );
+        assert_eq!(sharded.embeddings(), narrow.embeddings());
         assert!(
             dense
                 .embeddings()
@@ -340,16 +371,13 @@ mod tests {
         let c = corpus(11);
         let words = vec![WordId::new(0)];
         let p = Placement::uniform(&g, &words, &mut rng(12)).unwrap();
-        let net =
-            SearchNetwork::build(&g, &c, &p, &SchemeConfig::default(), &mut rng(13)).unwrap();
+        let net = SearchNetwork::build(&g, &c, &p, &SchemeConfig::default(), &mut rng(13)).unwrap();
         // The host's diffused embedding must score the document's own query
         // highest among all nodes.
         let q = c.embedding(WordId::new(0));
         let scores: Vec<f32> = g
             .node_ids()
-            .map(|u| {
-                similarity::dot(q, &net.node_embedding(u)).unwrap()
-            })
+            .map(|u| similarity::dot(q, &net.node_embedding(u)).unwrap())
             .collect();
         let best = scores
             .iter()
@@ -418,10 +446,7 @@ mod tests {
         let big = corpus(17);
         let words = vec![WordId::new((big.len() - 1) as u32)];
         let p = Placement::uniform(&g, &words, &mut rng(18)).unwrap();
-        let small = Corpus::from_embeddings(
-            c.embeddings()[..50].to_vec(),
-        )
-        .unwrap();
+        let small = Corpus::from_embeddings(c.embeddings()[..50].to_vec()).unwrap();
         assert!(
             SearchNetwork::build(&g, &small, &p, &SchemeConfig::default(), &mut rng(19)).is_err()
         );

@@ -275,7 +275,13 @@ mod tests {
         let p = Placement::uniform(&g, &words, &mut rng(6)).unwrap();
         let cfg = SchemeConfig::builder().ttl(7).build().unwrap();
         let net = network_on(&g, &c, &p, &cfg, 7);
-        let out = run(&net, c.embedding(WordId::new(3)), NodeId::new(0), &mut rng(8)).unwrap();
+        let out = run(
+            &net,
+            c.embedding(WordId::new(3)),
+            NodeId::new(0),
+            &mut rng(8),
+        )
+        .unwrap();
         assert!(out.hops <= 7, "single walk spends at most TTL forwards");
         assert!(out.path.len() <= 8);
     }
@@ -292,7 +298,11 @@ mod tests {
         let start = NodeId::new((host.as_u32() + 1) % 5);
         let net = network_on(&g, &c, &p, &SchemeConfig::default(), 11);
         let out = run(&net, c.embedding(WordId::new(0)), start, &mut rng(12)).unwrap();
-        assert_eq!(out.hop_of(0), Some(1), "gold one hop away must be hit first");
+        assert_eq!(
+            out.hop_of(0),
+            Some(1),
+            "gold one hop away must be hit first"
+        );
     }
 
     #[test]
@@ -307,7 +317,13 @@ mod tests {
             .build()
             .unwrap();
         let net = network_on(&g, &c, &p, &cfg, 15);
-        let out = run(&net, c.embedding(WordId::new(1)), NodeId::new(0), &mut rng(16)).unwrap();
+        let out = run(
+            &net,
+            c.embedding(WordId::new(1)),
+            NodeId::new(0),
+            &mut rng(16),
+        )
+        .unwrap();
         // Ring ball of radius 3 around node 0 = 7 nodes.
         assert_eq!(out.unique_nodes, 7);
     }
@@ -318,13 +334,15 @@ mod tests {
         let c = corpus(17);
         let words = vec![WordId::new(0)];
         let p = Placement::uniform(&g, &words, &mut rng(18)).unwrap();
-        let cfg = SchemeConfig::builder()
-            .fanout(2)
-            .ttl(2)
-            .build()
-            .unwrap();
+        let cfg = SchemeConfig::builder().fanout(2).ttl(2).build().unwrap();
         let net = network_on(&g, &c, &p, &cfg, 19);
-        let out = run(&net, c.embedding(WordId::new(2)), NodeId::new(0), &mut rng(20)).unwrap();
+        let out = run(
+            &net,
+            c.embedding(WordId::new(2)),
+            NodeId::new(0),
+            &mut rng(20),
+        )
+        .unwrap();
         // The origin spawns 2 walks; each walk spends at most TTL forwards.
         assert!(out.hops > 2, "fanout 2 must spend more than a single walk");
         assert!(out.hops <= 2 * 2);
@@ -343,7 +361,13 @@ mod tests {
             .build()
             .unwrap();
         let net = network_on(&g, &c, &p, &cfg, 23);
-        let out = run(&net, c.embedding(WordId::new(1)), NodeId::new(0), &mut rng(24)).unwrap();
+        let out = run(
+            &net,
+            c.embedding(WordId::new(1)),
+            NodeId::new(0),
+            &mut rng(24),
+        )
+        .unwrap();
         // On a ring with full TTL and in-message memory, the walk cannot
         // revisit: it sweeps 10 distinct nodes.
         assert_eq!(out.unique_nodes, 10);
@@ -363,7 +387,13 @@ mod tests {
             .build()
             .unwrap();
         let net = network_on(&g, &c, &p, &cfg, 27);
-        let out = run(&net, c.embedding(WordId::new(1)), NodeId::new(0), &mut rng(28)).unwrap();
+        let out = run(
+            &net,
+            c.embedding(WordId::new(1)),
+            NodeId::new(0),
+            &mut rng(28),
+        )
+        .unwrap();
         assert_eq!(out.unique_nodes, 8, "walk must sweep the whole path");
     }
 
@@ -374,7 +404,13 @@ mod tests {
         let words = vec![WordId::new(0)];
         let p = Placement::uniform(&g, &words, &mut rng(30)).unwrap();
         let net = network_on(&g, &c, &p, &SchemeConfig::default(), 31);
-        assert!(run(&net, c.embedding(WordId::new(1)), NodeId::new(99), &mut rng(32)).is_err());
+        assert!(run(
+            &net,
+            c.embedding(WordId::new(1)),
+            NodeId::new(99),
+            &mut rng(32)
+        )
+        .is_err());
         assert!(run(&net, &Embedding::zeros(3), NodeId::new(0), &mut rng(33)).is_err());
     }
 
@@ -386,7 +422,13 @@ mod tests {
         let p = Placement::uniform(&g, &words, &mut rng(35)).unwrap();
         let cfg = SchemeConfig::builder().top_k(5).ttl(10).build().unwrap();
         let net = network_on(&g, &c, &p, &cfg, 36);
-        let out = run(&net, c.embedding(WordId::new(50)), NodeId::new(0), &mut rng(37)).unwrap();
+        let out = run(
+            &net,
+            c.embedding(WordId::new(50)),
+            NodeId::new(0),
+            &mut rng(37),
+        )
+        .unwrap();
         assert!(out.results.len() <= 5);
         for w in out.results.windows(2) {
             assert!(w[0].score >= w[1].score);

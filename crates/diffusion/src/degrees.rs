@@ -92,12 +92,10 @@ impl DegreeTables {
                 }
                 sum.min(self.max_deg * theta)
             }
-            Normalization::RowStochastic => {
-                residuals.fold(0.0f32, |m, (_, r)| m.max(r))
-            }
+            Normalization::RowStochastic => residuals.fold(0.0f32, |m, (_, r)| m.max(r)),
             Normalization::Symmetric => {
-                let scaled_max = residuals
-                    .fold(0.0f32, |m, (u, r)| m.max(r * self.inv_sqrt_deg[u]));
+                let scaled_max =
+                    residuals.fold(0.0f32, |m, (u, r)| m.max(r * self.inv_sqrt_deg[u]));
                 self.max_deg.sqrt() * scaled_max
             }
         }

@@ -35,11 +35,28 @@ pub enum DiffusionError {
     Graph(GraphError),
     /// Propagated embedding-substrate error.
     Embed(EmbedError),
+    /// A [`ShardExchange`](crate::exchange::ShardExchange) implementation
+    /// failed to move boundary data between shards (transport failure,
+    /// malformed frame, exhausted retransmission budget, …).
+    Exchange {
+        /// Human-readable description of the transport failure.
+        reason: String,
+    },
 }
 
 impl DiffusionError {
     pub(crate) fn invalid_parameter(reason: impl Into<String>) -> Self {
         DiffusionError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+
+    /// Constructs an [`DiffusionError::Exchange`] error — public so
+    /// out-of-crate [`ShardExchange`](crate::exchange::ShardExchange)
+    /// implementations (e.g. transport-backed ones) can report failures.
+    #[must_use]
+    pub fn exchange(reason: impl Into<String>) -> Self {
+        DiffusionError::Exchange {
             reason: reason.into(),
         }
     }
@@ -65,6 +82,9 @@ impl fmt::Display for DiffusionError {
             ),
             DiffusionError::Graph(e) => write!(f, "graph error: {e}"),
             DiffusionError::Embed(e) => write!(f, "embedding error: {e}"),
+            DiffusionError::Exchange { reason } => {
+                write!(f, "shard exchange failed: {reason}")
+            }
         }
     }
 }
@@ -107,6 +127,8 @@ mod tests {
             residual: 0.5,
         };
         assert!(e.to_string().contains("100 iterations"));
+        let e = DiffusionError::exchange("frame lost");
+        assert_eq!(e.to_string(), "shard exchange failed: frame lost");
     }
 
     #[test]

@@ -71,11 +71,7 @@ pub fn diffuse(graph: &Graph, e0: &Signal, config: &PprConfig) -> Result<Signal,
     // Gaussian elimination with partial pivoting on [M | B].
     for col in 0..n {
         let pivot_row = (col..n)
-            .max_by(|&r1, &r2| {
-                m[r1 * n + col]
-                    .abs()
-                    .total_cmp(&m[r2 * n + col].abs())
-            })
+            .max_by(|&r1, &r2| m[r1 * n + col].abs().total_cmp(&m[r2 * n + col].abs()))
             .expect("non-empty range");
         if m[pivot_row * n + col].abs() < 1e-12 {
             return Err(DiffusionError::invalid_parameter(
@@ -145,10 +141,7 @@ mod tests {
             let e0 = one_hot(40, 7);
             let truth = diffuse(&g, &e0, &cfg).unwrap();
             let approx = power::diffuse(&g, &e0, &cfg).unwrap().signal;
-            assert!(
-                truth.max_abs_diff(&approx).unwrap() < 1e-5,
-                "alpha {alpha}"
-            );
+            assert!(truth.max_abs_diff(&approx).unwrap() < 1e-5, "alpha {alpha}");
         }
     }
 

@@ -267,14 +267,10 @@ mod tests {
         let e0 = one_hot(16, 5);
         let cfg = PprConfig::new(0.5).unwrap().with_tolerance(1e-8).unwrap();
         let exact = PprFilter::new(cfg).apply(&g, &e0).unwrap();
-        let truncated = PolynomialFilter::ppr_truncation(
-            0.5,
-            60,
-            Normalization::ColumnStochastic,
-        )
-        .unwrap()
-        .apply(&g, &e0)
-        .unwrap();
+        let truncated = PolynomialFilter::ppr_truncation(0.5, 60, Normalization::ColumnStochastic)
+            .unwrap()
+            .apply(&g, &e0)
+            .unwrap();
         assert!(
             exact.max_abs_diff(&truncated).unwrap() < 1e-4,
             "60-term truncation should match the fixed point"
@@ -316,7 +312,10 @@ mod tests {
         let out = filter.apply(&g, &e0).unwrap();
         let values: Vec<f32> = (0..9).map(|u| out.row(u)[0]).collect();
         for w in values.windows(2) {
-            assert!(w[0] >= w[1] - 1e-6, "heat mass decays along a path: {values:?}");
+            assert!(
+                w[0] >= w[1] - 1e-6,
+                "heat mass decays along a path: {values:?}"
+            );
         }
         assert_eq!(filter.name(), "heat-kernel");
         assert_eq!(filter.t(), 1.0);
@@ -335,12 +334,8 @@ mod tests {
         assert!(HeatKernelFilter::new(0.0, 5, Normalization::Symmetric).is_err());
         assert!(HeatKernelFilter::new(1.0, 0, Normalization::Symmetric).is_err());
         assert!(PolynomialFilter::new(vec![], Normalization::Symmetric).is_err());
-        assert!(
-            PolynomialFilter::new(vec![f32::NAN], Normalization::Symmetric).is_err()
-        );
-        assert!(
-            PolynomialFilter::ppr_truncation(0.0, 5, Normalization::Symmetric).is_err()
-        );
+        assert!(PolynomialFilter::new(vec![f32::NAN], Normalization::Symmetric).is_err());
+        assert!(PolynomialFilter::ppr_truncation(0.0, 5, Normalization::Symmetric).is_err());
     }
 
     #[test]
@@ -364,8 +359,7 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let g = generators::ring(5).unwrap();
-        let filter =
-            PolynomialFilter::new(vec![1.0], Normalization::ColumnStochastic).unwrap();
+        let filter = PolynomialFilter::new(vec![1.0], Normalization::ColumnStochastic).unwrap();
         assert!(filter.apply(&g, &Signal::zeros(6, 1)).is_err());
     }
 }

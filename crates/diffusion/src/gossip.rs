@@ -292,10 +292,7 @@ pub fn diffuse<R: Rng + ?Sized>(
                         Event::Deliver { to, from, value } => {
                             let slot = slot_of(*to, *from);
                             let stored = &received[slot * dim..(slot + 1) * dim];
-                            value
-                                .iter()
-                                .zip(stored)
-                                .any(|(v, s)| (v - s).abs() >= tol)
+                            value.iter().zip(stored).any(|(v, s)| (v - s).abs() >= tol)
                         }
                         Event::Activate(_) => false,
                     });

@@ -34,6 +34,10 @@
 //!   only halo columns / cross-shard residual mass exchanged between
 //!   steps), bit-for-bit identical for every `(shards, threads)`
 //!   combination — the in-process rehearsal of a multi-machine deployment.
+//!   Boundary movement is abstracted behind [`exchange::ShardExchange`],
+//!   so the same canonical schedule runs over shared memory
+//!   ([`exchange::InProcessExchange`]) or over simulated transport links
+//!   (the `gdsearch-dist` crate) with identical results.
 //!
 //! All engines interpret [`PprConfig::tolerance`] the same way — an
 //! additive L∞ accuracy target on the fixed point; the normative statement
@@ -70,6 +74,7 @@ pub mod convergence;
 mod degrees;
 mod error;
 pub mod exact;
+pub mod exchange;
 pub mod filter;
 pub mod gossip;
 pub mod per_source;

@@ -408,13 +408,7 @@ mod tests {
         let g = generators::ring(5).unwrap();
         let cfg = PprConfig::default();
         assert!(ppr_vector(&g, NodeId::new(9), &cfg).is_err());
-        assert!(diffuse_sparse(
-            &g,
-            2,
-            &[(NodeId::new(9), Embedding::zeros(2))],
-            &cfg
-        )
-        .is_err());
+        assert!(diffuse_sparse(&g, 2, &[(NodeId::new(9), Embedding::zeros(2))], &cfg).is_err());
     }
 
     #[test]

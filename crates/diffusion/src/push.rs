@@ -475,12 +475,7 @@ mod tests {
     }
 
     fn push_cfg(alpha: f32, tol: f32) -> PushConfig {
-        PushConfig::new(
-            PprConfig::new(alpha)
-                .unwrap()
-                .with_tolerance(tol)
-                .unwrap(),
-        )
+        PushConfig::new(PprConfig::new(alpha).unwrap().with_tolerance(tol).unwrap())
     }
 
     #[test]
@@ -606,7 +601,11 @@ mod tests {
         let cfg = push_cfg(1.0, 1e-6);
         let out = ppr_vector_detailed(&g, NodeId::new(2), &cfg).unwrap();
         assert!((out.values[2] - 1.0).abs() < 1e-6);
-        assert!(out.values.iter().enumerate().all(|(u, &v)| u == 2 || v == 0.0));
+        assert!(out
+            .values
+            .iter()
+            .enumerate()
+            .all(|(u, &v)| u == 2 || v == 0.0));
         assert_eq!(out.pushes, 1);
     }
 

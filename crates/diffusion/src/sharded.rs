@@ -15,6 +15,14 @@
 //! the state partition while `threads` bounds the physical parallelism —
 //! the two knobs are independent and neither affects the output.
 //!
+//! Boundary movement itself goes through the [`ShardExchange`] trait:
+//! the default
+//! entry points use the shared-memory [`crate::exchange::InProcessExchange`],
+//! while the `*_with_exchange` variants accept any interconnect (the
+//! `gdsearch-dist` crate supplies one backed by simulated bandwidth-limited
+//! links). The canonical schedule below is interconnect-independent, so
+//! every conforming exchange yields bit-for-bit identical results.
+//!
 //! # Determinism
 //!
 //! **Power.** The sharded sweep is *bit-for-bit identical to
@@ -77,8 +85,11 @@ use gdsearch_graph::{Graph, GraphShard, NodeId, ShardedGraph};
 
 use crate::convergence::Convergence;
 use crate::degrees::DegreeTables;
+use crate::exchange::{InProcessExchange, ShardExchange};
 use crate::power::DiffusionResult;
 use crate::{workpool, DiffusionError, PprConfig, Signal};
+
+pub use crate::exchange::Outbox;
 
 /// Node count at or above which [`crate::per_source::auto_diffuse`] routes
 /// through the sharded engines, so diffusion state is partitioned instead
@@ -140,9 +151,7 @@ impl ShardedConfig {
     /// Returns [`DiffusionError::InvalidParameter`] if `shards == 0`.
     pub fn with_shards(mut self, shards: usize) -> Result<Self, DiffusionError> {
         if shards == 0 {
-            return Err(DiffusionError::invalid_parameter(
-                "shards must be positive",
-            ));
+            return Err(DiffusionError::invalid_parameter("shards must be positive"));
         }
         self.shards = shards;
         Ok(self)
@@ -209,19 +218,15 @@ impl ShardedConfig {
 // Sharded power sweep
 // ---------------------------------------------------------------------------
 
-/// Per-shard state of the sharded power sweep.
+/// Per-shard compute state of the sharded power sweep. The gather plan
+/// lives in the [`ShardExchange`] implementation ([`crate::exchange`]);
+/// this is only what the local row sweep needs.
 struct PowerShard {
-    /// This shard's index (for locating its own block in `currents`).
+    /// This shard's index (for locating its own blocks in `currents` and
+    /// the exchanged inputs).
     index: usize,
     /// The shard's transition rows, columns remapped to slots.
     matrix: CsrMatrix,
-    /// `(slot, owner shard, owner-local row)` per halo entry — the gather
-    /// plan for the halo-column exchange.
-    gather: Vec<(usize, usize, usize)>,
-    /// Slot of the first local row.
-    local_slot_base: usize,
-    /// Gathered input in slot layout (`slot_count × dim`).
-    input: Vec<f32>,
     /// Next iterate of the local block (`local_n × dim`).
     next: Vec<f32>,
     /// Local block of `E0`.
@@ -246,9 +251,7 @@ fn shard_transition(sharded: &ShardedGraph, s: usize, norm: Normalization) -> Cs
             let value = match norm {
                 Normalization::ColumnStochastic => 1.0 / deg_v as f32,
                 Normalization::RowStochastic => 1.0 / deg_u as f32,
-                Normalization::Symmetric => {
-                    1.0 / ((deg_u as f32).sqrt() * (deg_v as f32).sqrt())
-                }
+                Normalization::Symmetric => 1.0 / ((deg_u as f32).sqrt() * (deg_v as f32).sqrt()),
             };
             let slot = shard
                 .slot_of(v)
@@ -290,6 +293,26 @@ pub fn diffuse_partitioned(
     e0: &Signal,
     config: &ShardedConfig,
 ) -> Result<DiffusionResult, DiffusionError> {
+    let mut exchange = InProcessExchange::new(sharded, config.threads);
+    diffuse_with_exchange(sharded, e0, config, &mut exchange)
+}
+
+/// [`diffuse_partitioned`] with an explicit boundary interconnect: halo
+/// columns move through `exchange` instead of the default shared-memory
+/// copies. Any implementation honouring the [`crate::exchange`] contract
+/// (e.g. the transport-backed one in `gdsearch-dist`) yields bit-for-bit
+/// the same result as [`crate::power::diffuse`].
+///
+/// # Errors
+///
+/// As [`diffuse`], plus any [`DiffusionError::Exchange`] the interconnect
+/// reports.
+pub fn diffuse_with_exchange<E: ShardExchange>(
+    sharded: &ShardedGraph,
+    e0: &Signal,
+    config: &ShardedConfig,
+    exchange: &mut E,
+) -> Result<DiffusionResult, DiffusionError> {
     let n = sharded.num_nodes();
     if e0.num_nodes() != n {
         return Err(DiffusionError::ShapeMismatch {
@@ -319,50 +342,37 @@ pub fn diffuse_partitioned(
     let norm = config.ppr.normalization();
     let alpha = config.ppr.alpha();
     let threads = config.threads.max(1);
-    // Partition the signal: shard-local current blocks plus per-shard
-    // sweep scratch.
+    // Partition the signal: shard-local current blocks, exchanged
+    // slot-layout inputs, and per-shard sweep scratch.
     let mut currents: Vec<Vec<f32>> = Vec::with_capacity(sharded.num_shards());
+    let mut inputs: Vec<Vec<f32>> = Vec::with_capacity(sharded.num_shards());
     let mut scratch: Vec<PowerShard> = Vec::with_capacity(sharded.num_shards());
     for (s, shard) in sharded.shards().iter().enumerate() {
         let start = shard.start() as usize * dim;
         let len = shard.num_local_nodes() * dim;
         let block = e0.as_slice()[start..start + len].to_vec();
-        let gather = shard
-            .halo()
-            .iter()
-            .enumerate()
-            .map(|(i, h)| {
-                let owner = sharded.owner_of(*h);
-                let owner_local = (h.as_u32() - sharded.shard(owner).start()) as usize;
-                (shard.halo_slot(i), owner, owner_local)
-            })
-            .collect();
         scratch.push(PowerShard {
             index: s,
             matrix: shard_transition(sharded, s, norm),
-            gather,
-            local_slot_base: shard.halo_split(),
-            input: vec![0.0f32; shard.slot_count() * dim],
             next: vec![0.0f32; len],
             origin: block.clone(),
         });
+        inputs.push(vec![0.0f32; shard.slot_count() * dim]);
         currents.push(block);
     }
     let mut conv = Convergence::new();
     while conv.iters < config.ppr.max_iterations() {
-        // One sweep: gather halo columns, multiply local rows, blend with
-        // the teleport term — per shard, scheduled over the workpool.
+        // One sweep: exchange halo columns (plus the free local copy),
+        // then multiply local rows and blend with the teleport term — per
+        // shard, scheduled over the workpool.
+        exchange.exchange_halos(dim, &currents, &mut inputs)?;
         let max_delta = {
             let cur = &currents;
+            let ins = &inputs;
             let deltas = workpool::map_batched_mut(&mut scratch, threads, |sh| {
-                let base = sh.local_slot_base * dim;
                 let mine = cur[sh.index].as_slice();
-                sh.input[base..base + mine.len()].copy_from_slice(mine);
-                for &(slot, owner, owner_local) in &sh.gather {
-                    let src = &cur[owner][owner_local * dim..(owner_local + 1) * dim];
-                    sh.input[slot * dim..(slot + 1) * dim].copy_from_slice(src);
-                }
-                sh.matrix.mul_dense_rows_into(0, &sh.input, dim, &mut sh.next);
+                sh.matrix
+                    .mul_dense_rows_into(0, &ins[sh.index], dim, &mut sh.next);
                 let mut local_max = 0.0f32;
                 for (j, nx) in sh.next.iter_mut().enumerate() {
                     *nx = (1.0 - alpha) * *nx + alpha * sh.origin[j];
@@ -401,22 +411,15 @@ pub fn diffuse_partitioned(
 // Sharded forward push
 // ---------------------------------------------------------------------------
 
-/// One shard's buffered outgoing residual mass: per destination shard, a
-/// list of `(destination-local row, weight)` contributions in emission
-/// order (ascending source, then ascending neighbor).
-type Outbox = Vec<Vec<(u32, f32)>>;
-
 /// The certified L∞ bound of [`crate::degrees::DegreeTables`], fed the
 /// partitioned residuals in global node order (shards ascending, local
 /// rows ascending) so the result is independent of the shard count.
-fn partitioned_bound(
-    deg: &DegreeTables,
-    shards: &[GraphShard],
-    residuals: &[Vec<f32>],
-) -> f32 {
+fn partitioned_bound(deg: &DegreeTables, shards: &[GraphShard], residuals: &[Vec<f32>]) -> f32 {
     deg.residual_bound(shards.iter().zip(residuals).flat_map(|(shard, res)| {
         let base = shard.start() as usize;
-        res.iter().enumerate().map(move |(local, &r)| (base + local, r))
+        res.iter()
+            .enumerate()
+            .map(move |(local, &r)| (base + local, r))
     }))
 }
 
@@ -426,12 +429,13 @@ fn partitioned_bound(
 /// Phase 1 (parallel over shards): each shard scans its residual block in
 /// ascending local order, pushes every node above the frontier threshold,
 /// and buffers outgoing residual mass per destination shard as
-/// `(dest-local row, weight)` pairs in emission order. Phase 2 (parallel
-/// over destination shards): each shard applies the buffered mass, source
-/// shard by source shard, one contribution at a time — ascending source
-/// order globally (the module docs' determinism argument).
+/// `(dest-local row, weight)` pairs in emission order. Phase 2 (the round
+/// barrier, [`ShardExchange::exchange_residuals`]): the buffered mass is
+/// applied to each destination, source shard by source shard, one
+/// contribution at a time — ascending source order globally (the module
+/// docs' determinism argument).
 #[allow(clippy::too_many_arguments)]
-fn push_round(
+fn push_round<E: ShardExchange>(
     sharded: &ShardedGraph,
     deg: &DegreeTables,
     alpha: f32,
@@ -440,15 +444,16 @@ fn push_round(
     residuals: &mut [Vec<f32>],
     estimates: &mut [Vec<f32>],
     outboxes: &mut [Outbox],
-) -> usize {
+    exchange: &mut E,
+) -> Result<usize, DiffusionError> {
     let round_pushes: usize = {
         let mut items: Vec<(usize, &mut Vec<f32>, &mut Vec<f32>, &mut Outbox)> = residuals
-                .iter_mut()
-                .zip(estimates.iter_mut())
-                .zip(outboxes.iter_mut())
-                .enumerate()
-                .map(|(s, ((r, e), o))| (s, r, e, o))
-                .collect();
+            .iter_mut()
+            .zip(estimates.iter_mut())
+            .zip(outboxes.iter_mut())
+            .enumerate()
+            .map(|(s, ((r, e), o))| (s, r, e, o))
+            .collect();
         workpool::map_batched_mut(&mut items, threads, |(s, residual, estimate, outbox)| {
             for dest in outbox.iter_mut() {
                 dest.clear();
@@ -504,20 +509,9 @@ fn push_round(
         .sum()
     };
     if round_pushes > 0 {
-        let boxes: &[Outbox] = outboxes;
-        let mut items: Vec<(usize, &mut Vec<f32>)> =
-            residuals.iter_mut().enumerate().collect();
-        workpool::map_batched_mut(&mut items, threads, |(dest, residual)| {
-            // Source shards in ascending order = ascending source node id
-            // (the determinism argument in the module docs).
-            for src_box in boxes {
-                for &(vl, w) in &src_box[*dest] {
-                    residual[vl as usize] += w;
-                }
-            }
-        });
+        exchange.exchange_residuals(outboxes, residuals)?;
     }
-    round_pushes
+    Ok(round_pushes)
 }
 
 /// Whether any node is above the frontier threshold at granularity `rmax`.
@@ -527,19 +521,24 @@ fn frontier_nonempty(
     rmax: f32,
     residuals: &[Vec<f32>],
 ) -> bool {
-    sharded.shards().iter().zip(residuals).any(|(shard, residual)| {
-        let base = shard.start() as usize;
-        residual
-            .iter()
-            .enumerate()
-            .any(|(local, &r)| r > rmax * deg.deg_scale[base + local])
-    })
+    sharded
+        .shards()
+        .iter()
+        .zip(residuals)
+        .any(|(shard, residual)| {
+            let base = shard.start() as usize;
+            residual
+                .iter()
+                .enumerate()
+                .any(|(local, &r)| r > rmax * deg.deg_scale[base + local])
+        })
 }
 
 /// Computes one push column on partitioned state, leaving the estimates in
 /// `estimates` (per-shard blocks). Pure in its inputs — the determinism
 /// contract of the module docs.
-fn push_column_partitioned(
+#[allow(clippy::too_many_arguments)]
+fn push_column_partitioned<E: ShardExchange>(
     sharded: &ShardedGraph,
     deg: &DegreeTables,
     source: u32,
@@ -547,6 +546,7 @@ fn push_column_partitioned(
     residuals: &mut [Vec<f32>],
     estimates: &mut [Vec<f32>],
     outboxes: &mut [Outbox],
+    exchange: &mut E,
 ) -> Result<(), DiffusionError> {
     let n = sharded.num_nodes();
     let alpha = config.ppr.alpha();
@@ -578,8 +578,8 @@ fn push_column_partitioned(
                 break;
             }
             let round = push_round(
-                sharded, deg, alpha, rmax, threads, residuals, estimates, outboxes,
-            );
+                sharded, deg, alpha, rmax, threads, residuals, estimates, outboxes, exchange,
+            )?;
             if round == 0 {
                 break;
             }
@@ -647,6 +647,25 @@ pub fn ppr_vector_partitioned(
     source: NodeId,
     config: &ShardedConfig,
 ) -> Result<Vec<f32>, DiffusionError> {
+    let mut exchange = InProcessExchange::new(sharded, config.threads);
+    ppr_vector_with_exchange(sharded, source, config, &mut exchange)
+}
+
+/// [`ppr_vector_partitioned`] with an explicit boundary interconnect:
+/// cross-shard residual mass moves through `exchange` at every round
+/// barrier. Bit-for-bit identical to the in-process result for any
+/// implementation honouring the [`crate::exchange`] contract.
+///
+/// # Errors
+///
+/// As [`ppr_vector`], plus any [`DiffusionError::Exchange`] the
+/// interconnect reports.
+pub fn ppr_vector_with_exchange<E: ShardExchange>(
+    sharded: &ShardedGraph,
+    source: NodeId,
+    config: &ShardedConfig,
+    exchange: &mut E,
+) -> Result<Vec<f32>, DiffusionError> {
     let n = sharded.num_nodes();
     if source.index() >= n {
         return Err(DiffusionError::invalid_parameter(format!(
@@ -663,6 +682,7 @@ pub fn ppr_vector_partitioned(
         &mut residuals,
         &mut estimates,
         &mut outboxes,
+        exchange,
     )?;
     let mut out = Vec::with_capacity(n);
     for block in &estimates {
@@ -719,6 +739,25 @@ pub fn diffuse_sparse_partitioned(
     sources: &[(NodeId, Embedding)],
     config: &ShardedConfig,
 ) -> Result<Signal, DiffusionError> {
+    let mut exchange = InProcessExchange::new(sharded, config.threads);
+    diffuse_sparse_with_exchange(sharded, dim, sources, config, &mut exchange)
+}
+
+/// [`diffuse_sparse_partitioned`] with an explicit boundary interconnect
+/// (see [`ppr_vector_with_exchange`]); all columns reuse the same
+/// exchange, so transport statistics accumulate across the batch.
+///
+/// # Errors
+///
+/// As [`diffuse_sparse`], plus any [`DiffusionError::Exchange`] the
+/// interconnect reports.
+pub fn diffuse_sparse_with_exchange<E: ShardExchange>(
+    sharded: &ShardedGraph,
+    dim: usize,
+    sources: &[(NodeId, Embedding)],
+    config: &ShardedConfig,
+    exchange: &mut E,
+) -> Result<Signal, DiffusionError> {
     let n = sharded.num_nodes();
     let mut out = Signal::zeros(n, dim);
     // Group repeated source nodes (diffusion is linear); BTreeMap keeps
@@ -754,6 +793,7 @@ pub fn diffuse_sparse_partitioned(
             &mut residuals,
             &mut estimates,
             &mut outboxes,
+            exchange,
         )?;
         // Rank-1 accumulation in ascending node order (shards ascending,
         // local rows ascending): deterministic.
@@ -786,12 +826,7 @@ mod tests {
     }
 
     fn cfg(alpha: f32, tol: f32) -> ShardedConfig {
-        ShardedConfig::new(
-            PprConfig::new(alpha)
-                .unwrap()
-                .with_tolerance(tol)
-                .unwrap(),
-        )
+        ShardedConfig::new(PprConfig::new(alpha).unwrap().with_tolerance(tol).unwrap())
     }
 
     fn random_signal(n: usize, dim: usize, seed: u64) -> Signal {
@@ -880,12 +915,8 @@ mod tests {
         let tol = 1e-6f32;
         let scfg = cfg(0.3, tol).with_shards(4).unwrap();
         let h = ppr_vector(&g, NodeId::new(7), &scfg).unwrap();
-        let fifo = push::ppr_vector(
-            &g,
-            NodeId::new(7),
-            &push::PushConfig::new(*scfg.ppr()),
-        )
-        .unwrap();
+        let fifo =
+            push::ppr_vector(&g, NodeId::new(7), &push::PushConfig::new(*scfg.ppr())).unwrap();
         let sweep = per_source::ppr_vector(&g, NodeId::new(7), scfg.ppr()).unwrap();
         // Engine pairs agree to the shared accuracy contract (the same
         // slack the push-vs-sweep tests in `crate::push` use).
@@ -912,13 +943,8 @@ mod tests {
             .collect();
         let scfg = cfg(0.5, 1e-6).with_shards(3).unwrap();
         let out = diffuse_sparse(&g, dim, &sources, &scfg).unwrap();
-        let fifo = push::diffuse_sparse(
-            &g,
-            dim,
-            &sources,
-            &push::PushConfig::new(*scfg.ppr()),
-        )
-        .unwrap();
+        let fifo =
+            push::diffuse_sparse(&g, dim, &sources, &push::PushConfig::new(*scfg.ppr())).unwrap();
         assert!(out.max_abs_diff(&fifo).unwrap() < 1e-4);
         // And shard/thread invariance of the batched driver.
         for shards in [1usize, 7] {
@@ -984,7 +1010,9 @@ mod tests {
     #[test]
     fn zero_dim_and_empty_sources_degenerate_cleanly() {
         let g = generators::ring(5).unwrap();
-        let scfg = ShardedConfig::new(PprConfig::default()).with_shards(2).unwrap();
+        let scfg = ShardedConfig::new(PprConfig::default())
+            .with_shards(2)
+            .unwrap();
         let out = diffuse(&g, &Signal::zeros(5, 0), &scfg).unwrap();
         assert!(out.converged);
         assert_eq!(out.iterations, 1);

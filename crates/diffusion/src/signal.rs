@@ -252,11 +252,10 @@ mod tests {
 
     #[test]
     fn from_rows_rejects_ragged() {
-        assert!(Signal::from_rows(&[
-            Embedding::new(vec![1.0]),
-            Embedding::new(vec![1.0, 2.0]),
-        ])
-        .is_err());
+        assert!(
+            Signal::from_rows(&[Embedding::new(vec![1.0]), Embedding::new(vec![1.0, 2.0]),])
+                .is_err()
+        );
     }
 
     #[test]
@@ -273,12 +272,7 @@ mod tests {
         assert_eq!(s.row(0), &[0.0, 0.0]);
         assert_eq!(s.row(1), &[1.0, 1.0]);
         assert_eq!(s.row(4), &[2.0, 0.0]);
-        assert!(Signal::from_sparse_rows(
-            2,
-            2,
-            &[(NodeId::new(5), Embedding::zeros(2))]
-        )
-        .is_err());
+        assert!(Signal::from_sparse_rows(2, 2, &[(NodeId::new(5), Embedding::zeros(2))]).is_err());
     }
 
     #[test]

@@ -98,9 +98,7 @@ pub fn diffuse(
 
     // One RwLock per node row: workers read neighbors' live values and
     // write their own rows; cross-row staleness is the asynchrony.
-    let rows: Vec<RwLock<Vec<f32>>> = (0..n)
-        .map(|u| RwLock::new(e0.row(u).to_vec()))
-        .collect();
+    let rows: Vec<RwLock<Vec<f32>>> = (0..n).map(|u| RwLock::new(e0.row(u).to_vec())).collect();
     // Last-pass residual of each worker, observed by all workers to decide
     // joint termination.
     let residuals: Vec<RwLock<f32>> = (0..num_threads)

@@ -1,0 +1,659 @@
+//! The transport-backed [`ShardExchange`]: shards as reactor nodes.
+//!
+//! [`TransportExchange`] places every shard of a [`ShardedGraph`] on its
+//! own node of a [`Reactor`] whose overlay is the *shard peer graph*
+//! ([`ShardedGraph::peers_of`](gdsearch_graph::ShardedGraph::peers_of)):
+//! one bounded, bandwidth-limited duplex link per pair of shards that
+//! share boundary data. Each call to
+//! [`exchange_halos`](ShardExchange::exchange_halos) /
+//! [`exchange_residuals`](ShardExchange::exchange_residuals) is one
+//! **epoch**: a synchronous round barrier in which every peer pair
+//! exchanges exactly one epoch-tagged [`ShardFrame`] per direction.
+//!
+//! # Barrier protocol
+//!
+//! 1. The driver serializes each shard's outgoing boundary data into
+//!    frames, stages them on the shard's endpoint handler, and injects a
+//!    [`ShardFrame::Kick`] (injections model node-local work and bypass
+//!    the links, so only real frames consume bandwidth).
+//! 2. Kicked endpoints transmit their staged frames; the reactor runs
+//!    until every queue drains. Frames serialize over the links at the
+//!    configured bytes/tick, so a fat halo frame on a thin link costs
+//!    many ticks — the quantity `ablation_distributed` measures.
+//! 3. The driver collects deliveries. If any expected `(src, dst)` frame
+//!    is missing — random loss, a link drop, or a peer that was down —
+//!    the owning endpoints are re-kicked and retransmit *only* the
+//!    missing frames. The epoch completes when every frame has arrived;
+//!    a bounded number of retransmission rounds guards against wedging.
+//!
+//! # Why results are identical to the in-process exchange
+//!
+//! Frames carry IEEE-754 bytes verbatim, so values survive the wire
+//! bit-for-bit; and the driver applies deliveries in the canonical order
+//! of the [`ExchangePlan`] — halo values land in their plan slots,
+//! residual mass merges in ascending source-shard order — regardless of
+//! the order the transport delivered them in. Bandwidth, queueing, loss
+//! and retransmission therefore affect *when* an epoch completes and how
+//! many bytes it costs, never *what* the engines compute: the module-level
+//! contract of [`gdsearch_diffusion::exchange`].
+
+use std::collections::BTreeSet;
+
+use gdsearch_diffusion::exchange::{ExchangePlan, Outbox, ShardExchange};
+use gdsearch_diffusion::DiffusionError;
+use gdsearch_graph::{Graph, NodeId, ShardedGraph};
+use gdsearch_sim::{NetStats, NodeApi, NodeHandler, Reactor, SimError};
+
+use crate::frames::ShardFrame;
+use crate::DistConfig;
+
+/// Cumulative transport statistics of one [`TransportExchange`].
+///
+/// `frames`/`frame_bytes` are the driver's own ledger (every staged
+/// transmission, retransmissions included, priced by
+/// [`WireMessage::wire_size`](gdsearch_sim::WireMessage::wire_size));
+/// `net` is the reactor's independent accounting of the same traffic.
+/// [`ExchangeStats::verify_byte_accounting`] cross-checks the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExchangeStats {
+    /// Completed exchange epochs (round barriers).
+    pub epochs: u64,
+    /// Epochs that moved halo columns (power iterations).
+    pub halo_epochs: u64,
+    /// Epochs that moved residual mass (push round barriers).
+    pub residual_epochs: u64,
+    /// Frames the shard endpoints handed to the link fabric,
+    /// retransmissions included (the sum of the per-endpoint meters).
+    pub frames: u64,
+    /// Wire bytes of those frames.
+    pub frame_bytes: u64,
+    /// Frame retransmissions requested by the barrier after loss or drops
+    /// (a request to a machine that is still down re-sends nothing and is
+    /// simply re-requested next round).
+    pub retransmitted_frames: u64,
+    /// Barrier rounds that needed a retransmission.
+    pub retransmit_rounds: u64,
+    /// Reactor ticks spent (virtual time; link bandwidth is per tick).
+    pub ticks: u64,
+    /// The reactor's own transport accounting.
+    pub net: NetStats,
+}
+
+impl ExchangeStats {
+    /// Cross-checks the driver's frame ledger against the reactor's
+    /// independent byte accounting: every frame the driver staged must
+    /// appear in [`NetStats::sent`]/[`NetStats::bytes_sent`] with exactly
+    /// its [`wire_size`](gdsearch_sim::WireMessage::wire_size) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::Exchange`] describing the first
+    /// mismatching counter.
+    pub fn verify_byte_accounting(&self) -> Result<(), DiffusionError> {
+        if self.frames != self.net.sent {
+            return Err(DiffusionError::exchange(format!(
+                "frame ledger disagrees with transport: staged {} frames, link fabric saw {}",
+                self.frames, self.net.sent
+            )));
+        }
+        if self.frame_bytes != self.net.bytes_sent {
+            return Err(DiffusionError::exchange(format!(
+                "byte ledger disagrees with transport: staged {} B, link fabric saw {} B",
+                self.frame_bytes, self.net.bytes_sent
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One shard's protocol endpoint on the reactor: transmits its staged
+/// frames when kicked, buffers every delivered frame for the driver, and
+/// meters its own outgoing traffic (the ledger
+/// [`ExchangeStats::verify_byte_accounting`] cross-checks against the
+/// link fabric — a kick that never reaches a churned-down endpoint sends
+/// nothing, and the meter must agree).
+#[derive(Debug, Default)]
+struct ShardEndpoint {
+    /// Frames staged for the current epoch, with their destinations.
+    staged: Vec<(NodeId, ShardFrame)>,
+    /// Which staged frames still need (re)transmission.
+    pending: Vec<bool>,
+    /// Deliveries awaiting driver collection: `(source shard, frame)`.
+    received: Vec<(usize, ShardFrame)>,
+    /// Frames this endpoint handed to the link fabric.
+    sent_frames: u64,
+    /// Their wire bytes, priced by [`gdsearch_sim::WireMessage::wire_size`].
+    sent_bytes: u64,
+}
+
+impl NodeHandler<ShardFrame> for ShardEndpoint {
+    fn handle(&mut self, from: Option<NodeId>, msg: ShardFrame, api: &mut NodeApi<'_, ShardFrame>) {
+        use gdsearch_sim::WireMessage;
+        match msg {
+            ShardFrame::Kick { .. } => {
+                for (i, (to, frame)) in self.staged.iter().enumerate() {
+                    if self.pending[i] {
+                        self.sent_frames += 1;
+                        self.sent_bytes += frame.wire_size() as u64;
+                        api.send(*to, frame.clone());
+                    }
+                }
+                self.pending.iter_mut().for_each(|p| *p = false);
+            }
+            frame => {
+                let src = from.expect("data frames always arrive over a link");
+                self.received.push((src.index(), frame));
+            }
+        }
+    }
+}
+
+/// The transport-backed shard interconnect (see the module docs).
+///
+/// Construct one per diffusion run with [`TransportExchange::new`], pass
+/// it to the `*_with_exchange` entry points of
+/// [`gdsearch_diffusion::sharded`] (the drivers in [`crate`] do this), and
+/// read the final [`ExchangeStats`] with [`TransportExchange::finish`].
+pub struct TransportExchange {
+    plan: ExchangePlan,
+    reactor: Reactor<ShardFrame, ShardEndpoint>,
+    epoch: u64,
+    max_ticks_per_round: u64,
+    max_retransmit_rounds: u32,
+    stats: ExchangeStats,
+}
+
+impl std::fmt::Debug for TransportExchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransportExchange")
+            .field("shards", &self.plan.num_shards())
+            .field("epoch", &self.epoch)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+fn sim_err(e: SimError) -> DiffusionError {
+    DiffusionError::exchange(e.to_string())
+}
+
+impl TransportExchange {
+    /// Builds the shard overlay (one reactor node per shard, one duplex
+    /// link per peer pair) and the link fabric from `config.transport()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::Exchange`] if the reactor rejects the
+    /// overlay or the transport configuration.
+    pub fn new(sharded: &ShardedGraph, config: &DistConfig) -> Result<Self, DiffusionError> {
+        let plan = ExchangePlan::new(sharded);
+        let num_shards = plan.num_shards();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for s in 0..num_shards {
+            for &p in plan.peers(s) {
+                if p > s {
+                    edges.push((s as u32, p as u32));
+                }
+            }
+        }
+        let overlay = Graph::from_edges(num_shards as u32, edges)?;
+        let endpoints = (0..num_shards).map(|_| ShardEndpoint::default()).collect();
+        let reactor =
+            Reactor::new(overlay, endpoints, config.transport().clone()).map_err(sim_err)?;
+        Ok(TransportExchange {
+            plan,
+            reactor,
+            epoch: 0,
+            max_ticks_per_round: config.max_ticks_per_round(),
+            max_retransmit_rounds: config.max_retransmit_rounds(),
+            stats: ExchangeStats::default(),
+        })
+    }
+
+    /// The exchange schedule.
+    #[must_use]
+    pub fn plan(&self) -> &ExchangePlan {
+        &self.plan
+    }
+
+    /// Transport statistics so far: the driver's barrier counters, the
+    /// per-endpoint transmission meters, and the reactor's [`NetStats`]
+    /// snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ExchangeStats {
+        let mut stats = self.stats;
+        stats.net = *self.reactor.stats();
+        for s in 0..self.plan.num_shards() {
+            let endpoint = self
+                .reactor
+                .handler(NodeId::new(s as u32))
+                .expect("one endpoint per shard");
+            stats.frames += endpoint.sent_frames;
+            stats.frame_bytes += endpoint.sent_bytes;
+        }
+        stats
+    }
+
+    /// Finishes the run: verifies the driver's frame ledger against the
+    /// reactor's byte accounting and returns the final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::Exchange`] on any accounting mismatch —
+    /// the "bytes-on-the-wire" numbers reported by the ablation would be
+    /// untrustworthy.
+    pub fn finish(self) -> Result<ExchangeStats, DiffusionError> {
+        let stats = self.stats();
+        stats.verify_byte_accounting()?;
+        Ok(stats)
+    }
+
+    /// Runs one epoch-tagged round barrier: stages `outgoing[src]`
+    /// (`(dest, frame)` pairs), kicks the senders, drives the reactor
+    /// until every frame arrived (retransmitting lost ones), and returns
+    /// the deliveries per destination in **ascending source order**.
+    fn run_epoch(
+        &mut self,
+        outgoing: Vec<Vec<(usize, ShardFrame)>>,
+    ) -> Result<Vec<Vec<(usize, ShardFrame)>>, DiffusionError> {
+        let epoch = self.epoch;
+        let num_shards = self.plan.num_shards();
+        let mut expected: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (src, frames) in outgoing.iter().enumerate() {
+            for (dest, frame) in frames {
+                debug_assert_eq!(frame.epoch(), epoch, "frame tagged with a stale epoch");
+                if !expected.insert((src, *dest)) {
+                    return Err(DiffusionError::exchange(format!(
+                        "duplicate frame {src} -> {dest} staged in epoch {epoch}"
+                    )));
+                }
+            }
+        }
+        let mut inbox: Vec<Vec<(usize, ShardFrame)>> = vec![Vec::new(); num_shards];
+        if !expected.is_empty() {
+            for (src, frames) in outgoing.into_iter().enumerate() {
+                if frames.is_empty() {
+                    continue;
+                }
+                let endpoint = self
+                    .reactor
+                    .handler_mut(NodeId::new(src as u32))
+                    .map_err(sim_err)?;
+                endpoint.pending = vec![true; frames.len()];
+                endpoint.staged = frames
+                    .into_iter()
+                    .map(|(dest, frame)| (NodeId::new(dest as u32), frame))
+                    .collect();
+                self.reactor
+                    .inject(NodeId::new(src as u32), ShardFrame::Kick { epoch })
+                    .map_err(sim_err)?;
+            }
+            let mut rounds = 0u32;
+            loop {
+                let before = self.reactor.now_tick();
+                self.reactor
+                    .run_to_completion(self.max_ticks_per_round)
+                    .map_err(|e| {
+                        DiffusionError::exchange(format!(
+                            "epoch {epoch} exceeded the per-round tick budget: {e}"
+                        ))
+                    })?;
+                self.stats.ticks += self.reactor.now_tick() - before;
+                for (dest, slot) in inbox.iter_mut().enumerate() {
+                    let endpoint = self
+                        .reactor
+                        .handler_mut(NodeId::new(dest as u32))
+                        .map_err(sim_err)?;
+                    for (src, frame) in endpoint.received.drain(..) {
+                        if frame.epoch() != epoch {
+                            return Err(DiffusionError::exchange(format!(
+                                "epoch mismatch: expected {epoch}, frame from shard {src} \
+                                 carries {}",
+                                frame.epoch()
+                            )));
+                        }
+                        if !expected.remove(&(src, dest)) {
+                            return Err(DiffusionError::exchange(format!(
+                                "unexpected frame {src} -> {dest} in epoch {epoch}"
+                            )));
+                        }
+                        slot.push((src, frame));
+                    }
+                }
+                if expected.is_empty() {
+                    break;
+                }
+                // Some frames were lost or dropped: retransmit exactly the
+                // missing (src, dest) pairs.
+                rounds += 1;
+                if rounds > self.max_retransmit_rounds {
+                    return Err(DiffusionError::exchange(format!(
+                        "epoch {epoch}: {} frames still missing after {} retransmission \
+                         rounds",
+                        expected.len(),
+                        self.max_retransmit_rounds
+                    )));
+                }
+                self.stats.retransmit_rounds += 1;
+                let missing: Vec<(usize, usize)> = expected.iter().copied().collect();
+                let mut kick_srcs: Vec<usize> = Vec::new();
+                for &(src, dest) in &missing {
+                    let endpoint = self
+                        .reactor
+                        .handler_mut(NodeId::new(src as u32))
+                        .map_err(sim_err)?;
+                    for (i, (to, _)) in endpoint.staged.iter().enumerate() {
+                        if to.index() == dest {
+                            endpoint.pending[i] = true;
+                        }
+                    }
+                    self.stats.retransmitted_frames += 1;
+                    if kick_srcs.last() != Some(&src) {
+                        kick_srcs.push(src);
+                    }
+                }
+                for src in kick_srcs {
+                    self.reactor
+                        .inject(NodeId::new(src as u32), ShardFrame::Kick { epoch })
+                        .map_err(sim_err)?;
+                }
+            }
+        }
+        // Canonicalize: deliveries in ascending source order, independent
+        // of transport timing.
+        for slot in &mut inbox {
+            slot.sort_by_key(|(src, _)| *src);
+        }
+        self.stats.epochs += 1;
+        Ok(inbox)
+    }
+}
+
+impl ShardExchange for TransportExchange {
+    fn exchange_halos(
+        &mut self,
+        dim: usize,
+        currents: &[Vec<f32>],
+        inputs: &mut [Vec<f32>],
+    ) -> Result<(), DiffusionError> {
+        let num_shards = self.plan.num_shards();
+        // Local blocks never touch the interconnect.
+        for (s, input) in inputs.iter_mut().enumerate() {
+            self.plan.copy_local(s, dim, &currents[s], input);
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        // Serialize the requested halo rows, one frame per (owner, dest)
+        // peer pair.
+        let mut outgoing: Vec<Vec<(usize, ShardFrame)>> = vec![Vec::new(); num_shards];
+        for dest in 0..num_shards {
+            for group in self.plan.halo_groups(dest) {
+                let src = &currents[group.src];
+                let mut values = Vec::with_capacity(group.rows.len() * dim);
+                for &row in &group.rows {
+                    let row = row as usize * dim;
+                    values.extend_from_slice(&src[row..row + dim]);
+                }
+                outgoing[group.src].push((dest, ShardFrame::Halo { epoch, values }));
+            }
+        }
+        let inbox = self.run_epoch(outgoing)?;
+        self.stats.halo_epochs += 1;
+        // Scatter into the plan's slots: frames and halo groups are both
+        // in ascending source order, so they zip exactly.
+        for (dest, (input, frames)) in inputs.iter_mut().zip(&inbox).enumerate() {
+            let groups = self.plan.halo_groups(dest);
+            if frames.len() != groups.len() {
+                return Err(DiffusionError::exchange(format!(
+                    "shard {dest}: {} halo frames for {} plan groups",
+                    frames.len(),
+                    groups.len()
+                )));
+            }
+            for (group, (src, frame)) in groups.iter().zip(frames) {
+                let ShardFrame::Halo { values, .. } = frame else {
+                    return Err(DiffusionError::exchange(format!(
+                        "shard {dest}: expected a halo frame from {src}, got {frame:?}"
+                    )));
+                };
+                if *src != group.src || values.len() != group.rows.len() * dim {
+                    return Err(DiffusionError::exchange(format!(
+                        "shard {dest}: halo frame from {src} does not match the plan \
+                         group from {} ({} values for {} rows × {dim})",
+                        group.src,
+                        values.len(),
+                        group.rows.len()
+                    )));
+                }
+                for (i, &slot) in group.slots.iter().enumerate() {
+                    let slot = slot as usize * dim;
+                    input[slot..slot + dim].copy_from_slice(&values[i * dim..(i + 1) * dim]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exchange_residuals(
+        &mut self,
+        outboxes: &[Outbox],
+        residuals: &mut [Vec<f32>],
+    ) -> Result<(), DiffusionError> {
+        let num_shards = self.plan.num_shards();
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut outgoing: Vec<Vec<(usize, ShardFrame)>> = vec![Vec::new(); num_shards];
+        for (src, outbox) in outboxes.iter().enumerate() {
+            for (dest, entries) in outbox.iter().enumerate() {
+                if dest == src {
+                    continue; // self-mass is applied locally below
+                }
+                if self.plan.peers(src).binary_search(&dest).is_ok() {
+                    // Peers always exchange a frame — empty frames keep the
+                    // barrier's expectation static across rounds.
+                    outgoing[src].push((
+                        dest,
+                        ShardFrame::Residual {
+                            epoch,
+                            entries: entries.clone(),
+                        },
+                    ));
+                } else if !entries.is_empty() {
+                    return Err(DiffusionError::exchange(format!(
+                        "shard {src} buffered residual mass for non-peer {dest}"
+                    )));
+                }
+            }
+        }
+        let inbox = self.run_epoch(outgoing)?;
+        self.stats.residual_epochs += 1;
+        // Merge in canonical ascending source order, the local self-box
+        // taking its own position in the sequence.
+        for (dest, (residual, frames)) in residuals.iter_mut().zip(&inbox).enumerate() {
+            let mut frames = frames.iter().peekable();
+            for src in 0..num_shards {
+                if src == dest {
+                    ExchangePlan::apply_residuals(&outboxes[dest][dest], residual);
+                    continue;
+                }
+                if let Some((frame_src, frame)) = frames.peek() {
+                    if *frame_src == src {
+                        let ShardFrame::Residual { entries, .. } = frame else {
+                            return Err(DiffusionError::exchange(format!(
+                                "shard {dest}: expected a residual frame from {src}, \
+                                 got {frame:?}"
+                            )));
+                        };
+                        ExchangePlan::apply_residuals(entries, residual);
+                        frames.next();
+                    }
+                }
+            }
+            if frames.next().is_some() {
+                return Err(DiffusionError::exchange(format!(
+                    "shard {dest}: leftover residual frames after the merge"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdsearch_diffusion::exchange::InProcessExchange;
+    use gdsearch_diffusion::{sharded, PprConfig};
+    use gdsearch_graph::generators;
+    use gdsearch_sim::TransportConfig;
+
+    fn sharded_cfg(shards: usize) -> sharded::ShardedConfig {
+        sharded::ShardedConfig::new(PprConfig::new(0.5).unwrap().with_tolerance(1e-6).unwrap())
+            .with_shards(shards)
+            .unwrap()
+    }
+
+    #[test]
+    fn halo_exchange_matches_in_process_bitwise() {
+        let g = generators::social_circles_like_scaled(60, &mut {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(5)
+        })
+        .unwrap();
+        let sg = ShardedGraph::from_graph(&g, 4).unwrap();
+        let dim = 3;
+        let currents: Vec<Vec<f32>> = sg
+            .shards()
+            .iter()
+            .map(|shard| {
+                (0..shard.num_local_nodes() * dim)
+                    .map(|j| (shard.start() as usize * dim + j) as f32 * 0.5)
+                    .collect()
+            })
+            .collect();
+        let blank: Vec<Vec<f32>> = sg
+            .shards()
+            .iter()
+            .map(|shard| vec![0.0; shard.slot_count() * dim])
+            .collect();
+        let mut reference = blank.clone();
+        InProcessExchange::new(&sg, 2)
+            .exchange_halos(dim, &currents, &mut reference)
+            .unwrap();
+        let config = DistConfig::new(sharded_cfg(4));
+        let mut ex = TransportExchange::new(&sg, &config).unwrap();
+        let mut inputs = blank;
+        ex.exchange_halos(dim, &currents, &mut inputs).unwrap();
+        assert_eq!(inputs, reference);
+        let stats = ex.finish().unwrap();
+        assert_eq!(stats.epochs, 1);
+        assert_eq!(stats.halo_epochs, 1);
+        assert!(stats.frames > 0);
+        assert_eq!(stats.retransmitted_frames, 0);
+    }
+
+    #[test]
+    fn residual_exchange_matches_in_process_bitwise() {
+        let g = generators::ring(12).unwrap();
+        let sg = ShardedGraph::from_graph(&g, 3).unwrap();
+        let mut outboxes: Vec<Outbox> = vec![vec![Vec::new(); 3]; 3];
+        // Ring shards: peers are the adjacent ranges (and 0-2 wrap).
+        outboxes[0][1] = vec![(0, 0.5), (0, 0.25)];
+        outboxes[1][2] = vec![(1, 0.75)];
+        outboxes[2][0] = vec![(3, 1.5)];
+        outboxes[1][1] = vec![(2, 2.0)];
+        let fresh = || -> Vec<Vec<f32>> {
+            sg.shards()
+                .iter()
+                .map(|s| vec![0.0; s.num_local_nodes()])
+                .collect()
+        };
+        let mut reference = fresh();
+        InProcessExchange::new(&sg, 1)
+            .exchange_residuals(&outboxes, &mut reference)
+            .unwrap();
+        let config = DistConfig::new(sharded_cfg(3));
+        let mut ex = TransportExchange::new(&sg, &config).unwrap();
+        let mut residuals = fresh();
+        ex.exchange_residuals(&outboxes, &mut residuals).unwrap();
+        assert_eq!(residuals, reference);
+        ex.finish().unwrap();
+    }
+
+    #[test]
+    fn lost_frames_are_retransmitted_to_the_same_values() {
+        let g = generators::ring(16).unwrap();
+        let sg = ShardedGraph::from_graph(&g, 4).unwrap();
+        let dim = 2;
+        let currents: Vec<Vec<f32>> = sg
+            .shards()
+            .iter()
+            .map(|shard| vec![1.25; shard.num_local_nodes() * dim])
+            .collect();
+        let fresh: Vec<Vec<f32>> = sg
+            .shards()
+            .iter()
+            .map(|shard| vec![0.0; shard.slot_count() * dim])
+            .collect();
+        let mut reference = fresh.clone();
+        InProcessExchange::new(&sg, 1)
+            .exchange_halos(dim, &currents, &mut reference)
+            .unwrap();
+        let lossy = TransportConfig::default()
+            .with_loss_probability(0.4)
+            .unwrap()
+            .with_seed(11);
+        let config = DistConfig::new(sharded_cfg(4)).with_transport(lossy);
+        let mut ex = TransportExchange::new(&sg, &config).unwrap();
+        for _ in 0..12 {
+            let mut inputs = fresh.clone();
+            ex.exchange_halos(dim, &currents, &mut inputs).unwrap();
+            assert_eq!(inputs, reference);
+        }
+        let stats = ex.finish().unwrap();
+        assert!(
+            stats.retransmitted_frames > 0,
+            "40% loss over 12 epochs must trigger retransmission"
+        );
+    }
+
+    #[test]
+    fn single_shard_needs_no_wire() {
+        let g = generators::ring(8).unwrap();
+        let sg = ShardedGraph::from_graph(&g, 1).unwrap();
+        let config = DistConfig::new(sharded_cfg(1));
+        let mut ex = TransportExchange::new(&sg, &config).unwrap();
+        let currents = vec![vec![2.0f32; 8]];
+        let mut inputs = vec![vec![0.0f32; 8]];
+        ex.exchange_halos(1, &currents, &mut inputs).unwrap();
+        assert_eq!(inputs[0], currents[0]);
+        let stats = ex.finish().unwrap();
+        assert_eq!(stats.frames, 0);
+        assert_eq!(stats.net.bytes_sent, 0);
+    }
+
+    #[test]
+    fn retransmission_budget_is_enforced() {
+        let g = generators::ring(8).unwrap();
+        let sg = ShardedGraph::from_graph(&g, 2).unwrap();
+        let always_lossy = TransportConfig::default()
+            .with_loss_probability(1.0)
+            .unwrap();
+        let config = DistConfig::new(sharded_cfg(2))
+            .with_transport(always_lossy)
+            .with_max_retransmit_rounds(3);
+        let mut ex = TransportExchange::new(&sg, &config).unwrap();
+        let currents: Vec<Vec<f32>> = sg
+            .shards()
+            .iter()
+            .map(|s| vec![1.0; s.num_local_nodes()])
+            .collect();
+        let mut inputs: Vec<Vec<f32>> = sg
+            .shards()
+            .iter()
+            .map(|s| vec![0.0; s.slot_count()])
+            .collect();
+        let err = ex.exchange_halos(1, &currents, &mut inputs).unwrap_err();
+        assert!(matches!(err, DiffusionError::Exchange { .. }), "{err}");
+    }
+}

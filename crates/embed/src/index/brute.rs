@@ -119,9 +119,7 @@ mod tests {
     #[test]
     fn returns_sorted_top_k() {
         let idx = sample();
-        let hits = idx
-            .search(&Embedding::new(vec![1.0, 0.5, 0.0]), 3)
-            .unwrap();
+        let hits = idx.search(&Embedding::new(vec![1.0, 0.5, 0.0]), 3).unwrap();
         assert_eq!(hits.len(), 3);
         assert_eq!(hits[0].id, 3); // the diagonal vector wins on cosine
         assert!(hits[0].score >= hits[1].score);
@@ -131,7 +129,9 @@ mod tests {
     #[test]
     fn k_larger_than_collection() {
         let idx = sample();
-        let hits = idx.search(&Embedding::new(vec![1.0, 0.0, 0.0]), 10).unwrap();
+        let hits = idx
+            .search(&Embedding::new(vec![1.0, 0.0, 0.0]), 10)
+            .unwrap();
         assert_eq!(hits.len(), 4);
     }
 

@@ -183,11 +183,7 @@ impl HnswIndex {
         ((-u.ln()) * self.level_norm).floor() as usize
     }
 
-    fn insert<R: Rng + ?Sized>(
-        &mut self,
-        item: Embedding,
-        rng: &mut R,
-    ) -> Result<(), EmbedError> {
+    fn insert<R: Rng + ?Sized>(&mut self, item: Embedding, rng: &mut R) -> Result<(), EmbedError> {
         let id = self.items.len() as u32;
         let level = self.random_level(rng).min(32);
         self.items.push(item);
@@ -475,11 +471,7 @@ mod tests {
     #[test]
     fn dimension_mismatch_on_search() {
         let idx = HnswIndex::builder()
-            .build(
-                vec![Embedding::zeros(3)],
-                Similarity::Cosine,
-                &mut rng(11),
-            )
+            .build(vec![Embedding::zeros(3)], Similarity::Cosine, &mut rng(11))
             .unwrap();
         assert!(idx.search(&Embedding::zeros(2), 1).is_err());
     }

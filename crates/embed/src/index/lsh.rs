@@ -82,9 +82,7 @@ impl LshBuilder {
         rng: &mut R,
     ) -> Result<LshIndex, EmbedError> {
         if self.num_tables == 0 {
-            return Err(EmbedError::invalid_parameter(
-                "num_tables must be positive",
-            ));
+            return Err(EmbedError::invalid_parameter("num_tables must be positive"));
         }
         if self.bits == 0 || self.bits > 32 {
             return Err(EmbedError::invalid_parameter("bits must lie in 1..=32"));
@@ -119,11 +117,7 @@ struct Table {
 fn signature(planes: &[Embedding], item: &Embedding) -> u32 {
     let mut sig = 0u32;
     for (b, plane) in planes.iter().enumerate() {
-        let s: f32 = plane
-            .iter()
-            .zip(item.iter())
-            .map(|(p, x)| p * x)
-            .sum();
+        let s: f32 = plane.iter().zip(item.iter()).map(|(p, x)| p * x).sum();
         if s >= 0.0 {
             sig |= 1 << b;
         }
@@ -233,7 +227,9 @@ mod tests {
     #[test]
     fn identical_vector_is_always_found() {
         let items = clustered(1, 300);
-        let idx = LshIndex::builder().build(items.clone(), &mut rng(2)).unwrap();
+        let idx = LshIndex::builder()
+            .build(items.clone(), &mut rng(2))
+            .unwrap();
         // A vector hashes to its own bucket in every table, so self-queries
         // always succeed.
         for probe in [0usize, 50, 299] {
@@ -313,7 +309,9 @@ mod tests {
     #[test]
     fn signature_is_deterministic() {
         let items = clustered(10, 20);
-        let idx = LshIndex::builder().build(items.clone(), &mut rng(11)).unwrap();
+        let idx = LshIndex::builder()
+            .build(items.clone(), &mut rng(11))
+            .unwrap();
         let a = idx.candidates(&items[0]);
         let b = idx.candidates(&items[0]);
         assert_eq!(a, b);

@@ -273,10 +273,9 @@ mod tests {
     #[test]
     fn orthogonal_corpus_yields_no_pairs() {
         // One-hot corpus: all similarities are 0.
-        let corpus = Corpus::from_embeddings(
-            (0..8).map(|i| Embedding::one_hot(8, i)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let corpus =
+            Corpus::from_embeddings((0..8).map(|i| Embedding::one_hot(8, i)).collect::<Vec<_>>())
+                .unwrap();
         let qs = generate(
             &corpus,
             QueryGenConfig {

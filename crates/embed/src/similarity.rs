@@ -142,17 +142,17 @@ mod tests {
         let b = e(&[0.1, 0.9, -0.4]).normalized();
         let d = dot(&a, &b).unwrap();
         let c = cosine(&a, &b).unwrap();
-        assert!((d - c).abs() < 1e-6, "footnote 7: dot == cosine when normalized");
+        assert!(
+            (d - c).abs() < 1e-6,
+            "footnote 7: dot == cosine when normalized"
+        );
     }
 
     #[test]
     fn enum_scores_match_functions() {
         let a = e(&[1.0, 2.0]);
         let b = e(&[2.0, 1.0]);
-        assert_eq!(
-            Similarity::Dot.score(&a, &b).unwrap(),
-            dot(&a, &b).unwrap()
-        );
+        assert_eq!(Similarity::Dot.score(&a, &b).unwrap(), dot(&a, &b).unwrap());
         assert_eq!(
             Similarity::Cosine.score(&a, &b).unwrap(),
             cosine(&a, &b).unwrap()

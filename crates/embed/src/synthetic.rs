@@ -133,9 +133,7 @@ impl SyntheticCorpus {
             return Err(EmbedError::invalid_parameter("dim must be positive"));
         }
         if self.num_topics == 0 {
-            return Err(EmbedError::invalid_parameter(
-                "num_topics must be positive",
-            ));
+            return Err(EmbedError::invalid_parameter("num_topics must be positive"));
         }
         if self.topic_noise < 0.0 || !self.topic_noise.is_finite() {
             return Err(EmbedError::invalid_parameter(
@@ -266,7 +264,10 @@ mod tests {
         let a = random_unit_vector(128, &mut r);
         let b = random_unit_vector(128, &mut r);
         let sim = similarity::cosine(&a, &b).unwrap();
-        assert!(sim.abs() < 0.4, "random directions should be near-orthogonal");
+        assert!(
+            sim.abs() < 0.4,
+            "random directions should be near-orthogonal"
+        );
     }
 
     #[test]

@@ -169,10 +169,10 @@ fn preferential_attachment<R: Rng + ?Sized>(
     let mut repeated: Vec<u32> = Vec::new();
     let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
     let connect = |builder: &mut GraphBuilder,
-                       repeated: &mut Vec<u32>,
-                       adjacency: &mut Vec<Vec<u32>>,
-                       u: u32,
-                       v: u32|
+                   repeated: &mut Vec<u32>,
+                   adjacency: &mut Vec<Vec<u32>>,
+                   u: u32,
+                   v: u32|
      -> Result<(), GraphError> {
         builder.add_edge(u, v)?;
         repeated.push(u);

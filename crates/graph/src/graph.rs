@@ -349,7 +349,10 @@ mod tests {
     #[test]
     fn from_edges_builds_sorted_adjacency() {
         let g = triangle_with_tail();
-        assert_eq!(g.neighbor_slice(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            g.neighbor_slice(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
         assert_eq!(
             g.neighbor_slice(NodeId::new(2)),
             &[NodeId::new(0), NodeId::new(1), NodeId::new(3)]

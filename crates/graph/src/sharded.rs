@@ -108,7 +108,12 @@ impl GraphShard {
     #[inline]
     #[must_use]
     pub fn local_index(&self, u: NodeId) -> usize {
-        assert!(self.contains(u), "{u} not owned by shard {}..{}", self.start, self.end);
+        assert!(
+            self.contains(u),
+            "{u} not owned by shard {}..{}",
+            self.start,
+            self.end
+        );
         (u.as_u32() - self.start) as usize
     }
 
@@ -477,6 +482,30 @@ impl ShardedGraph {
     pub fn total_adjacency_bytes(&self) -> usize {
         self.shards.iter().map(GraphShard::adjacency_bytes).sum()
     }
+
+    /// The shards that own shard `s`'s halo nodes, ascending and
+    /// deduplicated — exactly the shards `s` exchanges boundary data with
+    /// during a diffusion sweep.
+    ///
+    /// The relation is symmetric for undirected graphs: if shard `t`'s
+    /// rows reference a node owned by `s`, then that node has a neighbor
+    /// inside `t`, so `s`'s rows reference a node owned by `t`. The peer
+    /// sets therefore define an undirected shard-overlay topology (the
+    /// links of a multi-machine deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= num_shards()`.
+    #[must_use]
+    pub fn peers_of(&self, s: usize) -> Vec<usize> {
+        let mut peers: Vec<usize> = self.shards[s]
+            .halo()
+            .iter()
+            .map(|&h| self.owner_of(h))
+            .collect();
+        peers.dedup(); // halo is sorted, so owners come in ascending runs
+        peers
+    }
 }
 
 impl fmt::Debug for ShardedGraph {
@@ -588,10 +617,10 @@ mod tests {
         for bad in [
             vec![],
             vec![0],
-            vec![0u32, 3],          // does not reach n
-            vec![1, 5],             // does not start at 0
-            vec![0, 3, 2, 5],       // decreasing
-            vec![0, 3, 3, 5],       // empty middle shard
+            vec![0u32, 3],    // does not reach n
+            vec![1, 5],       // does not start at 0
+            vec![0, 3, 2, 5], // decreasing
+            vec![0, 3, 3, 5], // empty middle shard
         ] {
             assert!(
                 ShardedGraph::from_boundaries(&g, &bad).is_err(),
@@ -663,6 +692,27 @@ mod tests {
     }
 
     #[test]
+    fn peer_sets_are_symmetric_sorted_and_exact() {
+        let g = generators::social_circles_like_scaled(80, &mut seeded(7)).unwrap();
+        let sg = ShardedGraph::from_graph(&g, 5).unwrap();
+        for s in 0..sg.num_shards() {
+            let peers = sg.peers_of(s);
+            assert!(peers.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated");
+            assert!(!peers.contains(&s), "a shard is never its own peer");
+            // Exact: t is a peer iff some halo node of s is owned by t.
+            for t in 0..sg.num_shards() {
+                let expected = sg.shard(s).halo().iter().any(|&h| sg.owner_of(h) == t);
+                assert_eq!(peers.contains(&t), expected, "peer ({s}, {t})");
+                // Symmetry.
+                assert_eq!(peers.contains(&t), sg.peers_of(t).contains(&s));
+            }
+        }
+        // A single shard has no peers.
+        let sg1 = ShardedGraph::from_graph(&g, 1).unwrap();
+        assert!(sg1.peers_of(0).is_empty());
+    }
+
+    #[test]
     fn memory_accessors_are_consistent() {
         let g = generators::grid(4, 4);
         let sg = ShardedGraph::from_graph(&g, 3).unwrap();
@@ -675,7 +725,10 @@ mod tests {
         }
         assert_eq!(
             sg.total_adjacency_bytes(),
-            sg.shards().iter().map(|s| s.adjacency_bytes()).sum::<usize>()
+            sg.shards()
+                .iter()
+                .map(|s| s.adjacency_bytes())
+                .sum::<usize>()
         );
     }
 }

@@ -306,8 +306,7 @@ mod tests {
 
     #[test]
     fn from_triplets_merges_duplicates() {
-        let m =
-            CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5), (1, 0, 4.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5), (1, 0, 4.0)]).unwrap();
         assert_eq!(m.nnz(), 2);
         let row0: Vec<_> = m.row(0).collect();
         assert_eq!(row0, vec![(1, 3.5)]);
@@ -338,8 +337,7 @@ mod tests {
     #[test]
     fn mul_vec_matches_dense() {
         // [[1, 0, 2], [0, 3, 0]]
-        let m =
-            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
         assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
         assert_eq!(m.mul_vec(&[0.0, 2.0, 5.0]), vec![10.0, 6.0]);
     }

@@ -167,7 +167,10 @@ mod tests {
         }
         // 100 B/tick covers three 30-byte messages in one tick.
         let done = drain(&mut link, 100, 0);
-        assert_eq!(done.iter().map(|c| c.msg).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            done.iter().map(|c| c.msg).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -661,8 +661,7 @@ mod tests {
     #[test]
     fn run_until_respects_deadline() {
         let g = generators::ring(4).unwrap();
-        let cfg =
-            NetworkConfig::default().with_latency(LatencyModel::constant(1.0).unwrap());
+        let cfg = NetworkConfig::default().with_latency(LatencyModel::constant(1.0).unwrap());
         let mut net = Network::new(g, counters(4), cfg).unwrap();
         net.inject(NodeId::new(0), Hop(10)).unwrap();
         let processed = net.run_until(SimTime::new(2.5).unwrap());

@@ -28,10 +28,7 @@ impl<T> PartialOrd for Entry<T> {
 
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
     }
 }
 

@@ -552,7 +552,10 @@ mod tests {
         net.inject(NodeId::new(0), Hop(1)).unwrap();
         let ticks = net.run_to_completion(100).unwrap();
         assert_eq!(net.handler(NodeId::new(1)).unwrap().received, 1);
-        assert!(ticks >= 4, "4-byte message over 1 B/tick took {ticks} ticks");
+        assert!(
+            ticks >= 4,
+            "4-byte message over 1 B/tick took {ticks} ticks"
+        );
     }
 
     #[test]
@@ -643,8 +646,7 @@ mod tests {
             }
         }
         let g = generators::path(3);
-        let mut net =
-            Reactor::new(g, vec![Wild, Wild, Wild], TransportConfig::default()).unwrap();
+        let mut net = Reactor::new(g, vec![Wild, Wild, Wild], TransportConfig::default()).unwrap();
         net.inject(NodeId::new(0), Hop(0)).unwrap();
         net.run_to_completion(100).unwrap();
         assert_eq!(net.stats().dropped_no_route, 1);
@@ -734,10 +736,8 @@ mod tests {
     #[test]
     fn thread_counts_agree_bit_for_bit() {
         let run = |threads: usize| {
-            let g = generators::social_circles_like_scaled(40, &mut {
-                StdRng::seed_from_u64(11)
-            })
-            .unwrap();
+            let g = generators::social_circles_like_scaled(40, &mut { StdRng::seed_from_u64(11) })
+                .unwrap();
             let cfg = TransportConfig::default()
                 .with_bandwidth(8)
                 .unwrap()

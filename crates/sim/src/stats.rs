@@ -64,8 +64,7 @@ impl NetStats {
     /// bypass the link fabric and messages dropped before enqueueing
     /// never wait, so neither belongs in the average.
     pub fn mean_queue_delay_ticks(&self) -> f64 {
-        let transported =
-            self.sent - self.lost - self.dropped_backpressure - self.dropped_no_route;
+        let transported = self.sent - self.lost - self.dropped_backpressure - self.dropped_no_route;
         if transported == 0 {
             0.0
         } else {

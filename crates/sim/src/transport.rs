@@ -242,7 +242,8 @@ impl<M> Transport<M> {
 
     /// Per-link statistics of `from → to`, if the edge exists.
     pub(crate) fn link_stats(&self, graph: &Graph, from: NodeId, to: NodeId) -> Option<&LinkStats> {
-        self.link_id(graph, from, to).map(|id| self.links[id].stats())
+        self.link_id(graph, from, to)
+            .map(|id| self.links[id].stats())
     }
 
     /// Folds queue-related link statistics into aggregate [`NetStats`].
@@ -267,7 +268,9 @@ mod tests {
         assert!(TransportConfig::default().with_bandwidth(0).is_err());
         assert!(TransportConfig::default().with_queue_capacity(0).is_err());
         assert!(TransportConfig::default().with_threads(0).is_err());
-        assert!(TransportConfig::default().with_loss_probability(1.5).is_err());
+        assert!(TransportConfig::default()
+            .with_loss_probability(1.5)
+            .is_err());
         assert!(TransportConfig::default()
             .with_loss_probability(f64::NAN)
             .is_err());

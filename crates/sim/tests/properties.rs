@@ -8,8 +8,8 @@ use gdsearch_graph::{generators, NodeId};
 use gdsearch_sim::churn::ChurnSchedule;
 use gdsearch_sim::trace::Trace;
 use gdsearch_sim::{
-    LatencyModel, NetStats, Network, NetworkConfig, NodeApi, NodeHandler, Reactor,
-    TransportConfig, WireMessage,
+    LatencyModel, NetStats, Network, NetworkConfig, NodeApi, NodeHandler, Reactor, TransportConfig,
+    WireMessage,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

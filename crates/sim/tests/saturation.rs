@@ -5,7 +5,9 @@
 
 use gdsearch_graph::{generators, NodeId};
 use gdsearch_sim::churn::{ChurnEvent, ChurnKind, ChurnSchedule};
-use gdsearch_sim::{NodeApi, NodeHandler, Reactor, SimError, SimTime, TransportConfig, WireMessage};
+use gdsearch_sim::{
+    NodeApi, NodeHandler, Reactor, SimError, SimTime, TransportConfig, WireMessage,
+};
 
 /// A fixed-size payload message.
 #[derive(Clone, Debug)]
@@ -95,7 +97,8 @@ fn blind_senders_drop_where_adaptive_senders_wait() {
         .unwrap()
         .with_queue_capacity(4)
         .unwrap();
-    let mut blind = Reactor::new(g.clone(), vec![Source { burst: 20 }, sink()], cfg.clone()).unwrap();
+    let mut blind =
+        Reactor::new(g.clone(), vec![Source { burst: 20 }, sink()], cfg.clone()).unwrap();
     blind.inject(NodeId::new(0), Chunk).unwrap();
     blind.run_to_completion(10_000).unwrap();
     assert_eq!(blind.stats().dropped_backpressure, 16);
@@ -142,7 +145,10 @@ fn blind_senders_drop_where_adaptive_senders_wait() {
     }
     let mut adaptive = Reactor::new(
         g,
-        vec![Either::Sender(Adaptive { remaining: 20 }), Either::Sink(Echo)],
+        vec![
+            Either::Sender(Adaptive { remaining: 20 }),
+            Either::Sink(Echo),
+        ],
         cfg,
     )
     .unwrap();

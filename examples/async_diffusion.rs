@@ -10,9 +10,9 @@
 use gdsearch_diffusion::gossip::{self, GossipConfig};
 use gdsearch_diffusion::push::{self, PushConfig};
 use gdsearch_diffusion::{power, threaded, PprConfig, Signal};
-use gdsearch_graph::NodeId;
 use gdsearch_embed::synthetic::SyntheticCorpus;
 use gdsearch_graph::generators;
+use gdsearch_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,9 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let word = rng.random_range(0..100u32);
             (
                 NodeId::new(node),
-                corpus
-                    .embedding(gdsearch_embed::WordId::new(word))
-                    .clone(),
+                corpus.embedding(gdsearch_embed::WordId::new(word)).clone(),
             )
         })
         .collect();

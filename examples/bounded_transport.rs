@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut words = vec![pair.gold];
     words.extend(queries.irrelevant().iter().copied().take(19));
     let placement = Placement::uniform(&graph, &words, &mut rng)?;
-    let origins: Vec<NodeId> = (0..10).map(|_| NodeId::new(rng.random_range(0..300))).collect();
+    let origins: Vec<NodeId> = (0..10)
+        .map(|_| NodeId::new(rng.random_range(0..300)))
+        .collect();
 
     let mut rows: Vec<(String, NetStats, usize)> = Vec::new();
     for (policy, ttl, name) in [
@@ -82,8 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let labeled: Vec<(&str, &NetStats)> =
-        rows.iter().map(|(l, s, _)| (l.as_str(), s)).collect();
+    let labeled: Vec<(&str, &NetStats)> = rows.iter().map(|(l, s, _)| (l.as_str(), s)).collect();
     print!("{}", report::transport_markdown(&labeled));
     println!();
     for (label, stats, hits) in &rows {

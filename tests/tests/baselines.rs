@@ -63,9 +63,12 @@ fn flooding_message_cost_dwarfs_single_walk() {
     let query = corpus.embedding(gdsearch_embed::WordId::new(8));
     let start = NodeId::new(0);
     let run_policy = |policy: PolicyKind, ttl: u32| {
-        let cfg = SchemeConfig::builder().policy(policy).ttl(ttl).build().unwrap();
-        let net =
-            SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(7)).unwrap();
+        let cfg = SchemeConfig::builder()
+            .policy(policy)
+            .ttl(ttl)
+            .build()
+            .unwrap();
+        let net = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(7)).unwrap();
         net.query(query, start, &mut rng(8)).unwrap().hops
     };
     let flood_msgs = run_policy(PolicyKind::Flooding, 3);
@@ -101,12 +104,18 @@ fn guided_beats_blind_in_aggregate() {
             (PolicyKind::PprGreedy, &mut guided),
             (PolicyKind::RandomWalk, &mut blind),
         ] {
-            let cfg = SchemeConfig::builder().policy(policy).ttl(ttl).build().unwrap();
-            let net = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(40))
+            let cfg = SchemeConfig::builder()
+                .policy(policy)
+                .ttl(ttl)
+                .build()
                 .unwrap();
+            let net =
+                SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(40)).unwrap();
             // Three starts per placement for more samples.
             for s in [5u32, 60, 110] {
-                let out = net.query(query, NodeId::new(s), &mut rng(50 + i as u64)).unwrap();
+                let out = net
+                    .query(query, NodeId::new(s), &mut rng(50 + i as u64))
+                    .unwrap();
                 if out.contains(0) {
                     *counter += 1;
                 }
@@ -135,9 +144,10 @@ fn in_message_memory_is_at_least_as_exploratory() {
             .ttl(40)
             .build()
             .unwrap();
-        let net =
-            SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(13)).unwrap();
-        net.query(query, NodeId::new(0), &mut rng(14)).unwrap().unique_nodes
+        let net = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(13)).unwrap();
+        net.query(query, NodeId::new(0), &mut rng(14))
+            .unwrap()
+            .unique_nodes
     };
     let node_memory = run_mode(VisitedMemory::NodeMemory);
     let in_message = run_mode(VisitedMemory::InMessage);

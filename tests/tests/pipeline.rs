@@ -59,7 +59,10 @@ fn quickstart_smoke() {
         .query(corpus.embedding(pair.query), start, &mut rng)
         .unwrap();
     assert!(outcome.unique_nodes > 0);
-    assert!(outcome.hops <= 50, "a single walk spends at most TTL forwards");
+    assert!(
+        outcome.hops <= 50,
+        "a single walk spends at most TTL forwards"
+    );
     let hop = outcome
         .hop_of(0)
         .expect("quickstart's seeded walk must find the gold document");
@@ -180,8 +183,8 @@ fn all_engines_yield_equivalent_search_outcomes() {
             .tolerance(1e-7)
             .build()
             .unwrap();
-        let net = SearchNetwork::build(&wb.graph, &wb.corpus, &placement, &cfg, &mut rng(53))
-            .unwrap();
+        let net =
+            SearchNetwork::build(&wb.graph, &wb.corpus, &placement, &cfg, &mut rng(53)).unwrap();
         let outcome = net.query(query, start, &mut rng(54)).unwrap();
         paths.push(outcome.path);
     }

@@ -49,8 +49,7 @@ fn greedy_walk_and_protocol_agree_on_results() {
         words.extend(queries.irrelevant().iter().copied().take(7));
         let placement = Placement::uniform(&graph, &words, &mut rng(10 + i as u64)).unwrap();
         let cfg = SchemeConfig::builder().ttl(15).top_k(2).build().unwrap();
-        let scheme =
-            SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(20)).unwrap();
+        let scheme = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng(20)).unwrap();
         let start = NodeId::new((i as u32 * 31) % 120);
         let query = corpus.embedding(pair.query);
 

@@ -43,7 +43,14 @@ fn accounting_is_consistent_under_loss() {
     let mut net = build_protocol_network(&scheme, sim_cfg).unwrap();
     for q in 0..10u64 {
         let origin = NodeId::new((q * 9 % 100) as u32);
-        issue_query(&mut net, origin, q, corpus.embedding(WordId::new(50)).clone(), 10).unwrap();
+        issue_query(
+            &mut net,
+            origin,
+            q,
+            corpus.embedding(WordId::new(50)).clone(),
+            10,
+        )
+        .unwrap();
     }
     net.run_until(SimTime::new(1000.0).unwrap());
     let stats = net.stats();

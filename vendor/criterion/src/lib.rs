@@ -39,7 +39,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(label: &str) -> Self {
-        BenchmarkId { label: label.to_string() }
+        BenchmarkId {
+            label: label.to_string(),
+        }
     }
 }
 

@@ -55,6 +55,17 @@ pub fn case_rng(seed: u64, case: u32) -> StdRng {
     StdRng::seed_from_u64(seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
+/// Resolves the case count for one property: the `PROPTEST_CASES`
+/// environment variable overrides the per-test configuration, mirroring
+/// real proptest's behaviour so CI can crank the count up without touching
+/// source (unparsable values fall back to the configured count).
+pub fn cases_from_env(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(configured)
+}
+
 /// A recipe for generating random values of `Self::Value`.
 pub trait Strategy {
     /// The type this strategy produces.
@@ -175,26 +186,38 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_exclusive: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
         }
     }
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
-            SizeRange { lo: r.start, hi_exclusive: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
         }
     }
 
     /// Strategy producing `Vec`s whose elements come from `element` and
     /// whose length is drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Strategy returned by [`vec()`](fn@vec).
@@ -286,7 +309,7 @@ macro_rules! __proptest_items {
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
             let __seed = $crate::test_seed(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
+            for __case in 0..$crate::cases_from_env(__cfg.cases) {
                 let mut __rng = $crate::case_rng(__seed, __case);
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
                 let __run_case = move || $body;
@@ -323,6 +346,19 @@ mod tests {
         fn assume_skips(x in 0u32..10) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn env_override_parses_or_falls_back() {
+        // The env var is process-global, so exercise the parsing helper on
+        // the fallback path only (CI sets the variable for whole jobs).
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => {
+                let expected = v.trim().parse().unwrap_or(7);
+                assert_eq!(crate::cases_from_env(7), expected);
+            }
+            Err(_) => assert_eq!(crate::cases_from_env(7), 7),
         }
     }
 

@@ -230,7 +230,12 @@ pub mod rngs {
             }
             // A xoshiro state of all zeros is a fixed point; nudge it.
             if s == [0; 4] {
-                s = [0x9E3779B97F4A7C15, 0x6A09E667F3BCC909, 0xBB67AE8584CAA73B, 0x3C6EF372FE94F82B];
+                s = [
+                    0x9E3779B97F4A7C15,
+                    0x6A09E667F3BCC909,
+                    0xBB67AE8584CAA73B,
+                    0x3C6EF372FE94F82B,
+                ];
             }
             StdRng { s }
         }
