@@ -1,0 +1,490 @@
+//! A small hand-rolled Rust tokenizer.
+//!
+//! The analyzer needs just enough lexical structure to run token-pattern
+//! rules without being fooled by comments, strings, raw strings, char
+//! literals, or lifetimes — the classic failure modes of `grep`-based
+//! linting. It does **not** parse: rules work on the token stream plus a
+//! side table of comments (needed for justification markers) and a map of
+//! `#[cfg(test)]` / `#[test]` regions (needed for test-code exemptions).
+//!
+//! `syn` is deliberately not used: the build environment is offline and
+//! `vendor/` carries only the API stubs this workspace needs.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Normalized lexeme: identifiers and keywords verbatim, punctuation
+    /// as a single char, `"#str"` for any string/char literal, `"#num"`
+    /// for any numeric literal, `"#lt"` for lifetimes.
+    pub lexeme: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A comment (line or block) with the 1-based line it starts on and the
+/// 1-based line it ends on (equal for `//` comments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub start_line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// Lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Inclusive 1-based line ranges covered by `#[cfg(test)]` modules or
+    /// `#[test]` functions.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// Whether `line` falls inside a test module or `#[test]` function.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Comments whose span touches `line`.
+    pub fn comments_on(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.start_line <= line && line <= c.end_line)
+    }
+}
+
+/// Lexes `src`, returning tokens, comments, and test regions.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = line;
+            let mut text = String::new();
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                start_line: start,
+                end_line: start,
+                text,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = line;
+            let mut depth = 1;
+            let mut text = String::from("/*");
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    text.push('/');
+                    i += 1;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    text.push('*');
+                    i += 1;
+                }
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                start_line: start,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        // Raw strings / byte strings / raw identifiers: r"", r#""#, br"",
+        // b"", c"", r#ident.
+        if is_ident_start(c) {
+            // Check for string prefixes before treating as an identifier.
+            let (prefix_len, hashes_allowed) = match c {
+                'r' | 'c' => (1, true),
+                'b' if i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '\'') => (1, false),
+                'b' if i + 1 < n && chars[i + 1] == 'r' => (2, true),
+                _ => (0, false),
+            };
+            if prefix_len > 0 {
+                let mut j = i + prefix_len;
+                let mut hashes = 0usize;
+                if hashes_allowed {
+                    while j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                if j < n && chars[j] == '"' {
+                    // Raw or prefixed string: scan to closing quote + hashes.
+                    let tok_line = line;
+                    let raw = hashes_allowed && (hashes > 0 || chars[i] != 'b' || prefix_len == 2);
+                    // For r/br/c strings escapes are inert; for b"" they
+                    // behave like normal strings.
+                    let escapes = !raw || hashes == 0 && c == 'b' && prefix_len == 1;
+                    i = j + 1;
+                    loop {
+                        if i >= n {
+                            break;
+                        }
+                        let ch = chars[i];
+                        if ch == '\n' {
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if escapes && ch == '\\' {
+                            i += 2;
+                            continue;
+                        }
+                        if ch == '"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        lexeme: "#str".into(),
+                        line: tok_line,
+                    });
+                    continue;
+                }
+                if hashes > 0 && j < n && is_ident_start(chars[j]) {
+                    // Raw identifier r#ident: lex the identifier itself.
+                    let start = j;
+                    let mut k = j;
+                    while k < n && is_ident_cont(chars[k]) {
+                        k += 1;
+                    }
+                    let ident: String = chars[start..k].iter().collect();
+                    out.tokens.push(Token {
+                        lexeme: ident,
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                if i + prefix_len < n && chars[i + prefix_len] == '\'' && c == 'b' {
+                    // Byte char literal b'x'.
+                    i += prefix_len; // fall through to char-literal handling
+                    continue;
+                }
+            }
+            // Plain identifier / keyword.
+            let start = i;
+            while i < n && is_ident_cont(chars[i]) {
+                i += 1;
+            }
+            let ident: String = chars[start..i].iter().collect();
+            out.tokens.push(Token {
+                lexeme: ident,
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            i += 1;
+            while i < n {
+                let ch = chars[i];
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else if ch == '.' && i + 1 < n && chars[i + 1].is_ascii_digit() {
+                    // `1.5` but not the range `1..5`.
+                    i += 1;
+                } else if (ch == '+' || ch == '-')
+                    && matches!(chars[i - 1], 'e' | 'E')
+                    && i + 1 < n
+                    && chars[i + 1].is_ascii_digit()
+                {
+                    // Exponent sign in `1e-5`.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                lexeme: "#num".into(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote ('a, 'static); char
+            // literal otherwise ('a', '\n', '\'').
+            let next_is_ident = i + 1 < n && is_ident_cont(chars[i + 1]) && chars[i + 1] != '\\';
+            let closes = i + 2 < n && chars[i + 2] == '\'';
+            if next_is_ident && !closes {
+                let mut k = i + 1;
+                while k < n && is_ident_cont(chars[k]) {
+                    k += 1;
+                }
+                out.tokens.push(Token {
+                    lexeme: "#lt".into(),
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            // Char literal: consume to closing quote with escapes.
+            let tok_line = line;
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '\'' {
+                    i += 1;
+                    break;
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            out.tokens.push(Token {
+                lexeme: "#str".into(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Token {
+                lexeme: "#str".into(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        out.tokens.push(Token {
+            lexeme: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out.test_regions = find_test_regions(&out.tokens);
+    out
+}
+
+/// Scans the token stream for `#[cfg(test)] mod … { … }` and
+/// `#[test] fn … { … }` regions, returning inclusive line ranges.
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].lexeme != "#" {
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[ … ]` (balanced brackets). Collect its idents.
+        let Some(attr_end) = balanced(tokens, i + 1, "[", "]") else {
+            i += 1;
+            continue;
+        };
+        let attr = &tokens[i + 1..=attr_end];
+        let idents: Vec<&str> = attr.iter().map(|t| t.lexeme.as_str()).collect();
+        // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not
+        // `#[cfg(not(test))]`, which guards *non*-test code.
+        let is_test_attr = idents == ["[", "test", "]"]
+            || (idents.contains(&"cfg") && idents.contains(&"test") && !idents.contains(&"not"));
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item's body braces.
+        let mut j = attr_end + 1;
+        while j < tokens.len() && tokens[j].lexeme == "#" {
+            match balanced(tokens, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        // Scan forward to the first `{` or a terminating `;` (e.g.
+        // `#[cfg(test)] mod tests;` or a cfg'd use/statement).
+        let mut k = j;
+        let mut body_open = None;
+        while k < tokens.len() {
+            match tokens[k].lexeme.as_str() {
+                "{" => {
+                    body_open = Some(k);
+                    break;
+                }
+                ";" => break,
+                _ => k += 1,
+            }
+        }
+        if let Some(open) = body_open {
+            if let Some(close) = balanced(tokens, open, "{", "}") {
+                regions.push((tokens[i].line, tokens[close].line));
+                i = close + 1;
+                continue;
+            }
+        }
+        i = k + 1;
+    }
+    regions
+}
+
+/// Starting with the opener expected at `tokens[start]`, returns the index
+/// of the matching closer.
+fn balanced(tokens: &[Token], start: usize, open: &str, close: &str) -> Option<usize> {
+    if tokens.get(start)?.lexeme != open {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (idx, t) in tokens.iter().enumerate().skip(start) {
+        if t.lexeme == open {
+            depth += 1;
+        } else if t.lexeme == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(idx);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lexemes(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.lexeme).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            lexemes("let x = a.unwrap();"),
+            ["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]
+        );
+        assert_eq!(
+            lexemes("1.5e-3 + 0x_ff .. 7"),
+            ["#num", "+", "#num", ".", ".", "#num"]
+        );
+    }
+
+    #[test]
+    fn comments_are_trivia_not_tokens() {
+        let l = lex("a // HashMap\n/* unwrap() */ b");
+        let toks: Vec<_> = l.tokens.iter().map(|t| t.lexeme.as_str()).collect();
+        assert_eq!(toks, ["a", "b"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert_eq!(l.tokens[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ x");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].lexeme, "x");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(lexemes(r#"f("unwrap() HashMap")"#), ["f", "(", "#str", ")"]);
+        assert_eq!(lexemes("r#\"as u32 \" quote\"#;"), ["#str", ";"]);
+        assert_eq!(lexemes("b\"panic!\""), ["#str"]);
+        assert_eq!(lexemes("br#\"todo!\"#"), ["#str"]);
+    }
+
+    #[test]
+    fn multiline_and_escaped_strings_track_lines() {
+        let l = lex("\"a\\\"b\nc\" x");
+        assert_eq!(l.tokens[0].lexeme, "#str");
+        assert_eq!(l.tokens[1].lexeme, "x");
+        assert_eq!(l.tokens[1].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(lexemes("&'a str"), ["&", "#lt", "str"]);
+        assert_eq!(lexemes("'x'"), ["#str"]);
+        assert_eq!(lexemes(r"'\n'"), ["#str"]);
+        assert_eq!(lexemes("'_"), ["#lt"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(lexemes("r#type"), ["type"]);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let l = lex(src);
+        assert_eq!(l.test_regions, vec![(2, 5)]);
+        assert!(l.in_test_region(4));
+        assert!(!l.in_test_region(1));
+        assert!(!l.in_test_region(6));
+    }
+
+    #[test]
+    fn test_regions_cover_test_fns_and_stacked_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn t() {\n    x();\n}\nfn real() {}\n";
+        let l = lex(src);
+        assert_eq!(l.test_regions, vec![(1, 5)]);
+        assert!(!l.in_test_region(6));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t {\n fn f() {}\n}\n";
+        let l = lex(src);
+        assert_eq!(l.test_regions, vec![(1, 4)]);
+    }
+}

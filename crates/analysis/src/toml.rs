@@ -1,0 +1,306 @@
+//! A minimal TOML subset parser for `analysis.toml`.
+//!
+//! The offline build environment has no `toml` crate, so the manifest
+//! format is restricted to the subset this tool needs and parsed here:
+//!
+//! - `# comments`
+//! - `[table]` and `[dotted.table]` headers
+//! - `[[array-of-tables]]` headers
+//! - `key = "basic string"` (with `\\`, `\"`, `\n`, `\t` escapes)
+//! - `key = 123`, `key = true` / `false`
+//! - `key = ["string", "array"]` (single line)
+//!
+//! Anything outside the subset is a hard parse error with a line number —
+//! a malformed allowlist must fail the gate, not silently allow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Array(Vec<Value>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    /// String-array contents, if this is an array of strings.
+    pub fn as_str_array(&self) -> Option<Vec<String>> {
+        match self {
+            Value::Array(vs) => vs
+                .iter()
+                .map(|v| v.as_str().map(str::to_owned))
+                .collect::<Option<Vec<_>>>(),
+            _ => None,
+        }
+    }
+}
+
+/// One `key = value` table.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed document: named tables (dotted headers joined with `.`) and
+/// arrays of tables.
+#[derive(Debug, Default)]
+pub struct Document {
+    /// `[header]` tables, keyed by the literal header text. Top-level
+    /// keys before any header land under `""`.
+    pub tables: BTreeMap<String, Table>,
+    /// `[[header]]` tables in file order.
+    pub table_arrays: BTreeMap<String, Vec<Table>>,
+}
+
+/// Parse failure with a 1-based line number.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: u32, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses `src` into a [`Document`].
+pub fn parse(src: &str) -> Result<Document, ParseError> {
+    let mut doc = Document::default();
+    // Where `key = value` lines currently land.
+    enum Target {
+        Table(String),
+        ArrayEntry(String),
+    }
+    let mut target = Target::Table(String::new());
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let Some(name) = header.strip_suffix("]]") else {
+                return err(lineno, "unterminated [[header]]");
+            };
+            let name = name.trim().to_string();
+            if name.is_empty() {
+                return err(lineno, "empty [[header]]");
+            }
+            doc.table_arrays
+                .entry(name.clone())
+                .or_default()
+                .push(Table::new());
+            target = Target::ArrayEntry(name);
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return err(lineno, "unterminated [header]");
+            };
+            let name = name.trim().to_string();
+            if name.is_empty() {
+                return err(lineno, "empty [header]");
+            }
+            doc.tables.entry(name.clone()).or_default();
+            target = Target::Table(name);
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return err(lineno, format!("expected `key = value`, got `{line}`"));
+        };
+        let key = line[..eq].trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return err(lineno, format!("invalid key `{key}`"));
+        }
+        let value = parse_value(line[eq + 1..].trim(), lineno)?;
+        let table = match &target {
+            Target::Table(name) => doc.tables.entry(name.clone()).or_default(),
+            Target::ArrayEntry(name) => doc
+                .table_arrays
+                .get_mut(name)
+                .and_then(|v| v.last_mut())
+                .ok_or(ParseError {
+                line: lineno,
+                message: "internal: missing array entry".into(),
+            })?,
+        };
+        if table.insert(key.to_string(), value).is_some() {
+            return err(lineno, format!("duplicate key `{key}`"));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, honoring `#` inside basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: u32) -> Result<Value, ParseError> {
+    if text.starts_with('"') {
+        let (s, rest) = parse_basic_string(text, lineno)?;
+        if !rest.trim().is_empty() {
+            return err(lineno, format!("trailing content after string: `{rest}`"));
+        }
+        return Ok(Value::Str(s));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return err(lineno, "arrays must open and close on one line");
+        };
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if !rest.starts_with('"') {
+                return err(lineno, "only string arrays are supported");
+            }
+            let (s, after) = parse_basic_string(rest, lineno)?;
+            items.push(Value::Str(s));
+            rest = after.trim();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim();
+            } else if !rest.is_empty() {
+                return err(lineno, format!("expected `,` in array, got `{rest}`"));
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    err(lineno, format!("unsupported value `{text}`"))
+}
+
+/// Parses a leading `"…"` basic string, returning (content, remainder).
+fn parse_basic_string(text: &str, lineno: u32) -> Result<(String, &str), ParseError> {
+    debug_assert!(text.starts_with('"'));
+    let mut out = String::new();
+    let mut chars = text.char_indices().skip(1);
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &text[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                other => {
+                    return err(
+                        lineno,
+                        format!(
+                            "unsupported escape `\\{}`",
+                            other.map(|(_, c)| c).unwrap_or(' ')
+                        ),
+                    )
+                }
+            },
+            _ => out.push(c),
+        }
+    }
+    err(lineno, "unterminated string")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_arrays_and_scalars() {
+        let doc = parse(
+            r#"
+top = true
+[scope]
+roots = ["crates", "tests"] # trailing comment
+[rules.panic]
+enabled = false
+max = 12
+[[allow]]
+rule = "casts"
+path = "a/b.rs"
+[[allow]]
+rule = "panic"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.tables[""]["top"], Value::Bool(true));
+        assert_eq!(
+            doc.tables["scope"]["roots"].as_str_array().unwrap(),
+            vec!["crates".to_string(), "tests".to_string()]
+        );
+        assert_eq!(doc.tables["rules.panic"]["enabled"], Value::Bool(false));
+        assert_eq!(doc.tables["rules.panic"]["max"], Value::Int(12));
+        let allows = &doc.table_arrays["allow"];
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0]["rule"].as_str(), Some("casts"));
+        assert_eq!(allows[1]["rule"].as_str(), Some("panic"));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_hash() {
+        let doc = parse("s = \"a # not comment \\\" q\"\n").unwrap();
+        assert_eq!(doc.tables[""]["s"].as_str(), Some("a # not comment \" q"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = true\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("x = 1.5").is_err(), "floats are outside the subset");
+        assert!(parse("[unclosed").is_err());
+        assert!(parse("k = \"unterminated").is_err());
+        assert!(parse("k = 1\nk = 2").is_err(), "duplicate keys rejected");
+    }
+}

@@ -1,0 +1,6 @@
+//! Cast fixture (allowed): a bounded narrowing cast justified by the
+//! directory manifest's `[[allow]]` entry.
+
+pub fn allowed(index: usize) -> u32 {
+    index as u32
+}

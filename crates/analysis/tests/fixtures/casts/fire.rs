@@ -1,0 +1,5 @@
+//! Cast fixture (fire): narrowing `as` casts to the audited targets.
+
+pub fn fire(n: u64, m: i64) -> (u32, usize) {
+    (n as u32, m as usize)
+}

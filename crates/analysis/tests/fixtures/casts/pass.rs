@@ -1,0 +1,9 @@
+//! Cast fixture (pass): checked conversions, plus casts to targets the
+//! audit does not track (widening / float).
+
+pub fn pass(n: u64, k: u32) -> Option<u32> {
+    let wide = k as u64;
+    let ratio = n as f64 / wide as f64;
+    let _ = ratio;
+    u32::try_from(n).ok()
+}

@@ -1,0 +1,9 @@
+//! Determinism fixture (allowed): violates the rule, absorbed by the
+//! `[[allow]]` entry in this directory's manifest.
+
+use std::collections::HashMap;
+
+/// A private cache whose iteration order never reaches a result path.
+pub struct Cache {
+    slots: HashMap<u64, f32>,
+}

@@ -1,0 +1,14 @@
+//! Determinism fixture (fire): every construct here trips a
+//! `determinism` check. Not compiled — scanned by the analyzer only.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn fire(key: u64) -> usize {
+    let mut slots: HashMap<u64, u64> = HashMap::new();
+    slots.insert(key, 1);
+    let t0 = Instant::now();
+    let mut r = thread_rng();
+    let ambient = std::env::var("GDSEARCH_SEED");
+    slots.len()
+}

@@ -1,0 +1,16 @@
+//! Determinism fixture (pass): the same shape as `fire.rs`, written
+//! with deterministic primitives. Must produce zero diagnostics.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+pub fn pass(key: u64, seed: u64) -> usize {
+    let mut slots: BTreeMap<u64, u64> = BTreeMap::new();
+    slots.insert(key, 1);
+    // `Instant` as a plain enum variant (core::protocol's SimBackend)
+    // must not be confused with std::time::Instant.
+    let backend = SimBackend::Instant;
+    let mut r = StdRng::seed_from_u64(seed);
+    let _ = (backend, r, Duration::from_millis(1));
+    slots.len()
+}

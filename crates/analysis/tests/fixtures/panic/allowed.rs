@@ -1,0 +1,6 @@
+//! Panic fixture (allowed): an unchecked index justified by the
+//! directory manifest's `[[allow]]` entry.
+
+pub fn allowed(xs: &[u32]) -> u32 {
+    xs[0]
+}

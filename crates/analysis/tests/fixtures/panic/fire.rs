@@ -1,0 +1,11 @@
+//! Panic fixture (fire): unwrap, expect, a panic-family macro, and an
+//! unchecked slice index — four distinct `panic` checks.
+
+pub fn fire(xs: &[u32], i: usize) -> u32 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("nonempty");
+    if i >= xs.len() {
+        panic!("index {i} out of range");
+    }
+    xs[i] + head + tail
+}

@@ -1,0 +1,18 @@
+//! Panic fixture (pass): the same logic surfacing failure as `Option`,
+//! plus a `#[cfg(test)]` region proving tests are exempt.
+
+pub fn pass(xs: &[u32], i: usize) -> Option<u32> {
+    let head = xs.first()?;
+    let tail = xs.last()?;
+    Some(xs.get(i)? + head + tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(pass(&[1, 2, 3], 1).unwrap(), [1, 2, 3][1] + 4);
+    }
+}

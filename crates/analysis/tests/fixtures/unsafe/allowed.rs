@@ -1,0 +1,8 @@
+//! Unsafe fixture (allowed): `unsafe` with a `// SAFETY:` argument AND
+//! a manifest entry — both are required for the rule to pass.
+
+pub fn allowed(bytes: [u8; 4]) -> u32 {
+    // SAFETY: a 4-byte array and u32 have identical size and alignment,
+    // and u32 has no invalid bit patterns.
+    unsafe { core::mem::transmute(bytes) }
+}

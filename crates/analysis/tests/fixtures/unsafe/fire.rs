@@ -1,0 +1,6 @@
+//! Unsafe fixture (fire): `unsafe` without a `// SAFETY:` argument.
+//! This is not allowlistable — only fixable.
+
+pub fn fire(p: *const u8) -> u8 {
+    unsafe { *p }
+}

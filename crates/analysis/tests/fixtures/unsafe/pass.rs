@@ -1,0 +1,5 @@
+//! Unsafe fixture (pass): safe code only.
+
+pub fn pass(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}

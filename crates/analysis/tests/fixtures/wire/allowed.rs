@@ -1,0 +1,16 @@
+//! Wire fixture (allowed): an untested codec justified by the
+//! directory manifest's `[[allow]]` entry.
+
+pub struct Legacy {
+    pub tag: u8,
+}
+
+impl WireMessage for Legacy {
+    fn wire_size(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag);
+    }
+}

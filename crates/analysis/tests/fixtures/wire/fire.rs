@@ -1,0 +1,16 @@
+//! Wire fixture (fire): a `WireMessage` impl with no `wire_size`
+//! equality test anywhere in the module.
+
+pub struct Ping {
+    pub seq: u32,
+}
+
+impl WireMessage for Ping {
+    fn wire_size(&self) -> usize {
+        4
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+    }
+}

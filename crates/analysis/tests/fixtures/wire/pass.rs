@@ -1,0 +1,29 @@
+//! Wire fixture (pass): the same codec plus the required
+//! `wire_size`-equality test.
+
+pub struct Ping {
+    pub seq: u32,
+}
+
+impl WireMessage for Ping {
+    fn wire_size(&self) -> usize {
+        4
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_size_matches_wire_size() {
+        let msg = Ping { seq: 7 };
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert_eq!(buf.len(), msg.wire_size());
+    }
+}

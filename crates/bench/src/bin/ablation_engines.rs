@@ -12,6 +12,9 @@
 //!     --threads 4 --repeats 3
 //! ```
 
+// Harness code: wall-clock timing is the measurement itself.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use gdsearch_bench::Args;

@@ -12,6 +12,9 @@
 //! With `--graph path/to/facebook_combined.txt` the real SNAP graph is
 //! used instead of the calibrated synthetic one.
 
+// Harness code: wall-clock timing is progress reporting, not a result.
+#![allow(clippy::disallowed_methods)]
+
 use gdsearch::experiment::{accuracy, report};
 use gdsearch::SchemeConfig;
 use gdsearch_bench::{maybe_write_csv, workbench_from_args, Args};

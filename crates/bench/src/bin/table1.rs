@@ -12,6 +12,9 @@
 //! the default here is 100 × 10 = 1,000 samples so the table regenerates
 //! in minutes — pass `--iterations 500` for the full protocol.
 
+// Harness code: wall-clock timing is progress reporting, not a result.
+#![allow(clippy::disallowed_methods)]
+
 use gdsearch::experiment::{hops, report};
 use gdsearch::SchemeConfig;
 use gdsearch_bench::{maybe_write_csv, workbench_from_args, Args};

@@ -7,7 +7,7 @@
 //! implements such a distribution for the `ablation_placement` experiment:
 //! similar documents are pulled towards graph-nearby hosts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gdsearch_embed::{similarity, Corpus, WordId};
 use gdsearch_graph::algo::bfs;
@@ -158,8 +158,8 @@ impl Placement {
     }
 
     /// Groups documents by hosting node.
-    pub fn docs_by_host(&self) -> HashMap<NodeId, Vec<DocId>> {
-        let mut map: HashMap<NodeId, Vec<DocId>> = HashMap::new();
+    pub fn docs_by_host(&self) -> BTreeMap<NodeId, Vec<DocId>> {
+        let mut map: BTreeMap<NodeId, Vec<DocId>> = BTreeMap::new();
         for (doc, host) in self.hosts.iter().enumerate() {
             map.entry(*host).or_default().push(doc);
         }

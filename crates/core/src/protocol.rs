@@ -22,7 +22,7 @@
 //! deployment would add timeouts). Under loss, drive the network with
 //! [`gdsearch_sim::Network::run_until`] and read partial state.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use gdsearch_diffusion::Signal;
@@ -116,12 +116,14 @@ pub struct SearchNode {
     top_k: usize,
     /// Per-query memory of neighbors exchanged with (received-from ∪
     /// sent-to, §IV-C).
-    used: HashMap<u64, HashSet<NodeId>>,
+    /// Ordered maps/sets throughout: protocol replay must be bit-identical
+    /// across processes, and hash iteration order is seeded per process.
+    used: BTreeMap<u64, BTreeSet<NodeId>>,
     /// Response bookkeeping per received query message.
-    pending: HashMap<u64, PendingMessage>,
+    pending: BTreeMap<u64, PendingMessage>,
     /// Maps child message ids we created to the received message they
     /// continue.
-    child_to_parent: HashMap<u64, u64>,
+    child_to_parent: BTreeMap<u64, u64>,
     /// Local message counter, combined with the node id for global
     /// uniqueness.
     next_msg: u64,
@@ -160,7 +162,9 @@ impl SearchNode {
         if !done {
             return;
         }
-        let record = self.pending.remove(&msg_id).expect("checked above");
+        let Some(record) = self.pending.remove(&msg_id) else {
+            return; // unreachable: `done` implies the entry exists
+        };
         match record.from {
             Some(parent) => api.send(
                 parent,
@@ -316,9 +320,9 @@ fn make_handlers(network: &SearchNetwork<'_>) -> Vec<SearchNode> {
             policy: config.policy(),
             fanout: config.fanout(),
             top_k: config.top_k(),
-            used: HashMap::new(),
-            pending: HashMap::new(),
-            child_to_parent: HashMap::new(),
+            used: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            child_to_parent: BTreeMap::new(),
             next_msg: 0,
             completed: Vec::new(),
         })

@@ -8,7 +8,7 @@
 //! protocol over the discrete-event simulator; an integration test pins
 //! their equivalence for deterministic policies.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use gdsearch_embed::topk::TopK;
 use gdsearch_embed::Embedding;
@@ -64,8 +64,10 @@ struct Head {
     ttl: u32,
     hop: u32,
     /// Visited set carried in the message (only for
-    /// [`VisitedMemory::InMessage`]).
-    carried: Option<HashSet<NodeId>>,
+    /// [`VisitedMemory::InMessage`]). Ordered set: walk results must be
+    /// bit-identical across processes, and `HashSet`'s per-process hasher
+    /// seed is a standing hazard for that invariant (ISSUE 6).
+    carried: Option<BTreeSet<NodeId>>,
 }
 
 /// Executes a query from `start` over the prepared network.
@@ -104,11 +106,11 @@ pub fn run<R: Rng + ?Sized>(
     let in_message = config.visited_memory() == VisitedMemory::InMessage;
 
     let mut results: TopK<DocId> = TopK::new(config.top_k());
-    let mut found_at: HashMap<DocId, u32> = HashMap::new();
+    let mut found_at: BTreeMap<DocId, u32> = BTreeMap::new();
     let mut path: Vec<NodeId> = Vec::new();
-    let mut seen_nodes: HashSet<NodeId> = HashSet::new();
+    let mut seen_nodes: BTreeSet<NodeId> = BTreeSet::new();
     // Per-node "exchanged with" memory (paper: received-from ∪ sent-to).
-    let mut node_memory: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    let mut node_memory: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
     let mut forwards = 0u32;
 
     let mut frontier: VecDeque<Head> = VecDeque::new();
@@ -116,7 +118,7 @@ pub fn run<R: Rng + ?Sized>(
         at: start,
         ttl: config.ttl(),
         hop: 0,
-        carried: in_message.then(HashSet::new),
+        carried: in_message.then(BTreeSet::new),
     });
 
     while let Some(mut head) = frontier.pop_front() {
@@ -129,7 +131,7 @@ pub fn run<R: Rng + ?Sized>(
         // query's top-k. A document is recorded once, at the first hop its
         // host is visited — revisits contribute nothing new.
         for &doc in network.docs_at(u) {
-            if let std::collections::hash_map::Entry::Vacant(e) = found_at.entry(doc) {
+            if let std::collections::btree_map::Entry::Vacant(e) = found_at.entry(doc) {
                 e.insert(head.hop);
                 results.push(network.doc_score(query, doc), doc);
             }

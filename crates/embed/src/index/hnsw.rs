@@ -7,6 +7,10 @@
 //! maximizes a similarity score (dot/cosine) instead of minimizing a
 //! distance, matching the crate's scoring convention.
 
+// The visited set answers membership queries only on the search hot path;
+// iteration order never reaches a result.
+#![allow(clippy::disallowed_types)]
+
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 

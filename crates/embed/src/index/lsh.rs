@@ -6,6 +6,10 @@
 //! table. Queries gather candidates from all tables' matching buckets and
 //! re-rank them exactly.
 
+// Buckets are looked up by signature and their candidates re-ranked by
+// exact score; map iteration order never reaches a result.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 
 use rand::Rng;

@@ -1,5 +1,8 @@
 //! Property-based tests for the dense-retrieval substrate.
 
+// Test code: the hit-id set answers membership queries only.
+#![allow(clippy::disallowed_types)]
+
 use gdsearch_embed::index::{BruteForceIndex, VectorIndex};
 use gdsearch_embed::topk::TopK;
 use gdsearch_embed::{similarity, Embedding, Similarity};

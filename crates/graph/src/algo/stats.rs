@@ -32,10 +32,10 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
     let mut degrees: Vec<usize> = g.node_ids().map(|u| g.degree(u)).collect();
     degrees.sort_unstable();
     DegreeStats {
-        min: degrees[0],
-        max: *degrees.last().unwrap(),
+        min: degrees.first().copied().unwrap_or(0),
+        max: degrees.last().copied().unwrap_or(0),
         mean: g.mean_degree(),
-        median: degrees[(degrees.len() - 1) / 2],
+        median: degrees.get((degrees.len() - 1) / 2).copied().unwrap_or(0),
     }
 }
 

@@ -283,8 +283,10 @@ impl GraphBuilder {
         }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
+        let mut running = 0usize;
         for d in &degrees {
-            offsets.push(offsets.last().unwrap() + d);
+            running += d;
+            offsets.push(running);
         }
         let mut neighbors = vec![NodeId::new(0); 2 * self.edges.len()];
         let mut cursor = offsets.clone();

@@ -7,6 +7,9 @@
 //! cargo run -p gdsearch-examples --release --bin async_diffusion
 //! ```
 
+// Demo code: wall-clock timing is display output, not a result.
+#![allow(clippy::disallowed_methods)]
+
 use gdsearch_diffusion::gossip::{self, GossipConfig};
 use gdsearch_diffusion::push::{self, PushConfig};
 use gdsearch_diffusion::{power, threaded, PprConfig, Signal};

@@ -7,6 +7,8 @@
 //! per iteration — useful for coarse comparisons, without criterion's
 //! statistical machinery.
 
+// Vendored bench harness: wall-clock timing is the measurement itself.
+#![allow(clippy::disallowed_methods)]
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
