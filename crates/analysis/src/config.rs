@@ -9,8 +9,8 @@ use std::path::Path;
 
 use crate::toml::{self, Document, Table};
 
-/// The five rule identifiers, in report order.
-pub const RULE_NAMES: [&str; 5] = ["determinism", "panic", "casts", "unsafe", "wire"];
+/// The six rule identifiers, in report order.
+pub const RULE_NAMES: [&str; 6] = ["determinism", "panic", "casts", "unsafe", "wire", "obs"];
 
 /// Per-rule configuration.
 #[derive(Debug, Clone)]
@@ -93,6 +93,7 @@ pub struct Config {
     pub casts: RuleConfig,
     pub unsafe_: RuleConfig,
     pub wire: RuleConfig,
+    pub obs: RuleConfig,
     pub allows: Vec<AllowEntry>,
 }
 
@@ -117,6 +118,15 @@ const LIBRARY_CRATES: [&str; 6] = [
     "crates/core/src/",
 ];
 
+/// Crates whose *result paths* must never read instrumentation (ISSUE 7):
+/// they may thread the write-only `Sink`, but the readable observability
+/// types stay in driver code.
+const OBS_BLIND_CRATES: [&str; 3] = [
+    "crates/graph/src/",
+    "crates/diffusion/src/",
+    "crates/dist/src/",
+];
+
 impl Default for Config {
     fn default() -> Self {
         let mut casts = RuleConfig::new(&LIBRARY_CRATES, &[]);
@@ -134,6 +144,7 @@ impl Default for Config {
             casts,
             unsafe_: RuleConfig::new(&[], &[]),
             wire: RuleConfig::new(&["crates/"], &[]),
+            obs: RuleConfig::new(&OBS_BLIND_CRATES, &[]),
             allows: Vec::new(),
         }
     }
@@ -207,6 +218,7 @@ impl Config {
             "casts" => Some(&self.casts),
             "unsafe" => Some(&self.unsafe_),
             "wire" => Some(&self.wire),
+            "obs" => Some(&self.obs),
             _ => None,
         }
     }
@@ -219,6 +231,7 @@ impl Config {
             "casts" => Some(&mut self.casts),
             "unsafe" => Some(&mut self.unsafe_),
             "wire" => Some(&mut self.wire),
+            "obs" => Some(&mut self.obs),
             _ => None,
         }
     }

@@ -87,6 +87,9 @@ pub fn run_rules(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
     if cfg.wire.applies_to(ctx.rel_path) && !test_file {
         wire_discipline(ctx, out);
     }
+    if cfg.obs.applies_to(ctx.rel_path) {
+        obs_blindness(ctx, out);
+    }
 }
 
 /// Rust keywords that can legitimately precede `[` without forming an
@@ -399,6 +402,46 @@ fn wire_discipline(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Observability types a result-path crate may never name: each one can
+/// *read* recorded metrics or wall-clock spans, so its mere presence
+/// means instrumentation could feed back into a result. The write-only
+/// `Sink` is deliberately absent from this list.
+const OBS_READ_TYPES: [&str; 4] = ["MetricsRegistry", "Observer", "Profiler", "SpanTree"];
+
+/// Rule 6: observability blindness. The engine crates thread a
+/// write-only `Sink` for work accounting; the readable half of the
+/// observability API (registries, the profiler, span trees, `obs::clock`)
+/// is reserved for driver/bench code, so recording can never branch a
+/// result. Test regions are exempt (tests *should* read registries to
+/// assert on them).
+fn obs_blindness(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.lexed.tokens.iter().enumerate() {
+        if ctx.lexed.in_test_region(t.line) {
+            continue;
+        }
+        match t.lexeme.as_str() {
+            lex if OBS_READ_TYPES.contains(&lex) => out.push(ctx.diag(
+                "obs",
+                "read-type",
+                t.line,
+                format!(
+                    "{lex} in a result-path crate: instrumentation must stay write-only here; \
+                     thread a Sink and keep the readable half in driver code"
+                ),
+            )),
+            "gdsearch_obs" | "obs" if seq_at(ctx, i + 1, &[":", ":", "clock"]) => {
+                out.push(ctx.diag(
+                    "obs",
+                    "clock",
+                    t.line,
+                    "obs::clock in a result-path crate: wall-clock profiling is driver-only".into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,5 +585,31 @@ mod tests {
         // Trait declaration alone does not trigger.
         let decl = "pub trait WireMessage {\n    fn wire_size(&self) -> usize;\n}\n";
         assert!(run_on(decl, "a.rs").iter().all(|d| d.rule != "wire"));
+    }
+
+    #[test]
+    fn obs_rule_flags_readable_types_but_not_the_sink() {
+        assert!(checks("use gdsearch_obs::MetricsRegistry;")
+            .iter()
+            .any(|(_, c)| *c == "read-type"));
+        assert!(checks("fn f(obs: &mut Observer<'_>) {}")
+            .iter()
+            .any(|(_, c)| *c == "read-type"));
+        assert!(checks("let p = Profiler::new();")
+            .iter()
+            .any(|(_, c)| *c == "read-type"));
+        assert!(checks("use gdsearch_obs::clock::Span;")
+            .iter()
+            .any(|(_, c)| *c == "clock"));
+        assert!(checks("let t = obs::clock::now();")
+            .iter()
+            .any(|(_, c)| *c == "clock"));
+        // The write-only sink is the sanctioned channel.
+        assert!(checks("use gdsearch_obs::Sink;")
+            .iter()
+            .all(|(r, _)| *r != "obs"));
+        // Tests may read registries to assert on them.
+        let in_test = "#[cfg(test)]\nmod t {\n    use gdsearch_obs::MetricsRegistry;\n}\n";
+        assert!(checks(in_test).iter().all(|(r, _)| *r != "obs"));
     }
 }

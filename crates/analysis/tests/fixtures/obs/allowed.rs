@@ -1,0 +1,14 @@
+//! Obs fixture (allowed): a legacy engine that still owns a readable
+//! registry, justified by the directory manifest's `[[allow]]` entry.
+
+use gdsearch_obs::MetricsRegistry;
+
+pub struct LegacyEngine {
+    pub metrics: MetricsRegistry,
+}
+
+impl LegacyEngine {
+    pub fn sweep(&mut self) {
+        self.metrics.add("legacy.sweeps", 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Obs fixture (fire): a result path that reads instrumentation — the
+//! iteration count comes out of the registry, so recording branches the
+//! result — plus driver-only wall-clock profiling.
+
+use gdsearch_obs::clock::Profiler;
+use gdsearch_obs::MetricsRegistry;
+
+pub fn diffuse(reg: &mut MetricsRegistry) -> u64 {
+    reg.add("engine.sweeps", 1);
+    match reg.get("engine.sweeps") {
+        Some(v) => 1,
+        None => 0,
+    }
+}

@@ -1,0 +1,24 @@
+//! Obs fixture (pass): the engine threads the write-only `Sink` and its
+//! tests read a registry to assert on the recorded work — both are the
+//! sanctioned shapes.
+
+use gdsearch_obs::Sink;
+
+pub fn diffuse(n: u64, sink: &mut Sink<'_>) -> u64 {
+    sink.add("engine.sweeps", 1);
+    sink.record("engine.rows", n);
+    n * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdsearch_obs::MetricsRegistry;
+
+    #[test]
+    fn records_one_sweep() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(diffuse(3, &mut Sink::attached(&mut reg)), 6);
+        assert!(reg.get("engine.sweeps").is_some());
+    }
+}

@@ -1,15 +1,16 @@
 //! **Ablation E — diffusion engines.** Compares dense power iteration,
-//! per-source decomposition and the forward-push residual engine on the
-//! same workloads: wall-clock, work counters, and max-abs deviation from a
-//! tight-tolerance reference. This is the measurement behind the
-//! `DiffusionEngine::Auto` crossover model (push for very sparse
-//! personalizations on large graphs) and the push-vs-power speedups
-//! recorded in `CHANGES.md`.
+//! per-source decomposition, the forward-push residual engine and the
+//! sharded engines over an `engine × N × alpha` grid on the same
+//! workloads: wall-clock, deterministic work counters (sweeps, pushes,
+//! frontier peaks — recorded through `gdsearch-obs`), and max-abs
+//! deviation from a tight-tolerance reference. This is the measurement
+//! behind the `DiffusionEngine::Auto` crossover model and the
+//! `BENCH_engines.json` perf-trajectory artifact CI tracks.
 //!
 //! ```text
 //! cargo run -p gdsearch-bench --release --bin ablation_engines -- \
-//!     --nodes 10000 --dim 8 --sources 4 --alpha 0.5 --tolerance 1e-5 \
-//!     --threads 4 --repeats 3
+//!     --nodes-list 1000,10000 --alphas 0.2,0.5 --dim 8 --sources 4 \
+//!     --tolerance 1e-5 --threads 4 --repeats 3 --json BENCH_engines.json
 //! ```
 
 // Harness code: wall-clock timing is the measurement itself.
@@ -17,11 +18,14 @@
 
 use std::time::Instant;
 
-use gdsearch_bench::Args;
+use gdsearch_bench::{maybe_write_json, Args};
 use gdsearch_diffusion::push::{self, PushConfig};
+use gdsearch_diffusion::sharded::{self, ShardedConfig};
 use gdsearch_diffusion::{per_source, power, PprConfig, Signal};
 use gdsearch_embed::Embedding;
 use gdsearch_graph::{generators, Graph, NodeId};
+use gdsearch_obs::bench::{BenchReport, BenchRow};
+use gdsearch_obs::{MetricValue, MetricsRegistry, Sink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,31 +49,66 @@ fn print_row(name: &str, ms: f64, baseline_ms: f64, err: f32, extra: &str) {
     );
 }
 
-fn main() {
-    let args = Args::from_env();
-    let nodes: u32 = args.get_or("nodes", 10_000);
-    let dim: usize = args.get_or("dim", 8);
-    let num_sources: usize = args.get_or("sources", 4);
-    let alpha: f32 = args.get_or("alpha", 0.5);
-    let tolerance: f32 = args.get_or("tolerance", 1e-5);
-    let threads: usize = args.get_or("threads", 4);
-    let repeats: usize = args.get_or("repeats", 3);
-    let seed: u64 = args.get_or("seed", 2022);
+/// Reads a counter back out of a registry (0 when absent).
+fn counter(reg: &MetricsRegistry, name: &str) -> u64 {
+    match reg.get(name) {
+        Some(MetricValue::Counter(c)) => *c,
+        _ => 0,
+    }
+}
 
-    let mut rng = StdRng::seed_from_u64(seed);
+/// Knobs shared by every grid cell.
+struct Cell {
+    nodes: u32,
+    alpha: f32,
+    dim: usize,
+    num_sources: usize,
+    tolerance: f32,
+    threads: usize,
+    repeats: usize,
+    seed: u64,
+}
+
+impl Cell {
+    /// Starts a report row carrying this cell's grid coordinates.
+    fn row(&self, workload: &str, engine: &str) -> BenchRow {
+        BenchRow::new()
+            .label("workload", workload)
+            .label("engine", engine)
+            .label("nodes", self.nodes)
+            .label("alpha", self.alpha)
+    }
+}
+
+/// Runs both workloads for one `(nodes, alpha)` grid cell, printing the
+/// markdown tables and appending `gdsearch.bench.v1` rows.
+#[allow(clippy::too_many_lines)]
+fn run_cell(cell: &Cell, report: &mut BenchReport) {
+    let mut rng = StdRng::seed_from_u64(cell.seed);
     let graph: Graph =
-        generators::barabasi_albert(nodes, 5, &mut rng).expect("valid generator parameters");
-    let cfg = PprConfig::new(alpha)
+        generators::barabasi_albert(cell.nodes, 5, &mut rng).expect("valid generator parameters");
+    let cfg = PprConfig::new(cell.alpha)
         .unwrap()
-        .with_tolerance(tolerance)
+        .with_tolerance(cell.tolerance)
         .unwrap();
     // Reference at 100× tighter tolerance: deviations below `tolerance`
     // from it certify engine interchangeability.
-    let tight = cfg.with_tolerance((tolerance * 1e-2).max(1e-7)).unwrap();
+    let tight = cfg
+        .with_tolerance((cell.tolerance * 1e-2).max(1e-7))
+        .unwrap();
+    let (nodes, dim, num_sources, threads, repeats) = (
+        cell.nodes,
+        cell.dim,
+        cell.num_sources,
+        cell.threads,
+        cell.repeats,
+    );
     println!(
-        "# Ablation: diffusion engines — N = {nodes} (Barabási–Albert m=5, {} edges), \
-         alpha = {alpha}, tolerance = {tolerance:.0e}",
-        graph.num_edges()
+        "\n# Engines — N = {nodes} (Barabási–Albert m=5, {} edges), \
+         alpha = {}, tolerance = {:.0e}",
+        graph.num_edges(),
+        cell.alpha,
+        cell.tolerance
     );
 
     // ---- Workload A: single-source PPR column --------------------------
@@ -86,7 +125,13 @@ fn main() {
     println!("|---|---|---|---|---|");
     let mut e0 = Signal::zeros(nodes as usize, 1);
     e0.row_mut(source.index())[0] = 1.0;
-    let (power_ms, power_out) = timed(repeats, || power::diffuse(&graph, &e0, &cfg).unwrap());
+    let (power_ms, (power_out, power_reg)) = timed(repeats, || {
+        let mut reg = MetricsRegistry::new();
+        let out =
+            power::diffuse_threaded_observed(&graph, &e0, &cfg, 1, &mut Sink::attached(&mut reg))
+                .unwrap();
+        (out, reg)
+    });
     let power_col: Vec<f32> = (0..nodes as usize)
         .map(|u| power_out.signal.row(u)[0])
         .collect();
@@ -97,6 +142,16 @@ fn main() {
         max_err(&power_col),
         &format!("{} sweeps", power_out.iterations),
     );
+    report.push_row(
+        cell.row("single-source", "power")
+            .value("wall_ms", power_ms)
+            .value("max_err", f64::from(max_err(&power_col)))
+            .value(
+                "sweeps",
+                counter(&power_reg, "diffusion.power.sweeps") as f64,
+            )
+            .value("residual", f64::from(power_out.residual)),
+    );
     let (scalar_ms, scalar_out) = timed(repeats, || {
         per_source::ppr_vector(&graph, source, &cfg).unwrap()
     });
@@ -106,6 +161,11 @@ fn main() {
         power_ms,
         max_err(&scalar_out),
         "-",
+    );
+    report.push_row(
+        cell.row("single-source", "per-source")
+            .value("wall_ms", scalar_ms)
+            .value("max_err", f64::from(max_err(&scalar_out))),
     );
     let push_cfg = PushConfig::new(cfg);
     let (push_ms, push_out) = timed(repeats, || {
@@ -120,6 +180,14 @@ fn main() {
             "{} pushes, {} drains, bound {:.1e}",
             push_out.pushes, push_out.drains, push_out.residual_bound
         ),
+    );
+    report.push_row(
+        cell.row("single-source", "push")
+            .value("wall_ms", push_ms)
+            .value("max_err", f64::from(max_err(&push_out.values)))
+            .value("pushes", push_out.pushes as f64)
+            .value("drains", push_out.drains as f64)
+            .value("residual", f64::from(push_out.residual_bound)),
     );
 
     // ---- Workload B: sparse multi-source batch -------------------------
@@ -138,13 +206,32 @@ fn main() {
     println!("| engine | best ms | vs power | max err | work |");
     println!("|---|---|---|---|---|");
     let e0 = Signal::from_sparse_rows(nodes as usize, dim, &sources).unwrap();
-    let (bpower_ms, bpower_out) = timed(repeats, || power::diffuse(&graph, &e0, &cfg).unwrap());
+    let (bpower_ms, (bpower_out, bpower_reg)) = timed(repeats, || {
+        let mut reg = MetricsRegistry::new();
+        let out =
+            power::diffuse_threaded_observed(&graph, &e0, &cfg, 1, &mut Sink::attached(&mut reg))
+                .unwrap();
+        (out, reg)
+    });
     print_row(
         "power (dense)",
         bpower_ms,
         bpower_ms,
         bpower_out.signal.max_abs_diff(&batch_reference).unwrap(),
         &format!("{} sweeps", bpower_out.iterations),
+    );
+    report.push_row(
+        cell.row("batch", "power")
+            .value("wall_ms", bpower_ms)
+            .value(
+                "max_err",
+                f64::from(bpower_out.signal.max_abs_diff(&batch_reference).unwrap()),
+            )
+            .value(
+                "sweeps",
+                counter(&bpower_reg, "diffusion.power.sweeps") as f64,
+            )
+            .value("residual", f64::from(bpower_out.residual)),
     );
     let (bpowern_ms, bpowern_out) = timed(repeats, || {
         power::diffuse_threaded(&graph, &e0, &cfg, threads).unwrap()
@@ -163,6 +250,19 @@ fn main() {
             }
         ),
     );
+    report.push_row(
+        cell.row("batch", "power-threaded")
+            .value("wall_ms", bpowern_ms)
+            .value(
+                "max_err",
+                f64::from(bpowern_out.signal.max_abs_diff(&batch_reference).unwrap()),
+            )
+            .value(
+                "bitwise_identical",
+                f64::from(u8::from(bpowern_out.signal == bpower_out.signal)),
+            )
+            .value("residual", f64::from(bpowern_out.residual)),
+    );
     let (bscalar_ms, bscalar_out) = timed(repeats, || {
         per_source::diffuse_sparse(&graph, dim, &sources, &cfg).unwrap()
     });
@@ -173,15 +273,44 @@ fn main() {
         bscalar_out.max_abs_diff(&batch_reference).unwrap(),
         "-",
     );
-    let (bpush1_ms, bpush1_out) = timed(repeats, || {
-        push::diffuse_sparse(&graph, dim, &sources, &push_cfg).unwrap()
+    report.push_row(
+        cell.row("batch", "per-source")
+            .value("wall_ms", bscalar_ms)
+            .value(
+                "max_err",
+                f64::from(bscalar_out.max_abs_diff(&batch_reference).unwrap()),
+            ),
+    );
+    let (bpush1_ms, (bpush1_out, bpush1_reg)) = timed(repeats, || {
+        let mut reg = MetricsRegistry::new();
+        let out = push::diffuse_sparse_observed(
+            &graph,
+            dim,
+            &sources,
+            &push_cfg,
+            &mut Sink::attached(&mut reg),
+        )
+        .unwrap();
+        (out, reg)
     });
     print_row(
         "push ×1 thread",
         bpush1_ms,
         bpower_ms,
         bpush1_out.max_abs_diff(&batch_reference).unwrap(),
-        "-",
+        &format!("{} pushes", counter(&bpush1_reg, "diffusion.push.pushes")),
+    );
+    report.push_row(
+        cell.row("batch", "push")
+            .value("wall_ms", bpush1_ms)
+            .value(
+                "max_err",
+                f64::from(bpush1_out.max_abs_diff(&batch_reference).unwrap()),
+            )
+            .value(
+                "pushes",
+                counter(&bpush1_reg, "diffusion.push.pushes") as f64,
+            ),
     );
     let push_mt = push_cfg.with_threads(threads).unwrap();
     let (bpushn_ms, bpushn_out) = timed(repeats, || {
@@ -201,4 +330,101 @@ fn main() {
             }
         ),
     );
+    report.push_row(
+        cell.row("batch", "push-threaded")
+            .value("wall_ms", bpushn_ms)
+            .value(
+                "max_err",
+                f64::from(bpushn_out.max_abs_diff(&batch_reference).unwrap()),
+            )
+            .value(
+                "bitwise_identical",
+                f64::from(u8::from(bpushn_out == bpush1_out)),
+            ),
+    );
+    let scfg = ShardedConfig::new(cfg)
+        .with_shards(4)
+        .unwrap()
+        .with_threads(threads)
+        .unwrap();
+    let (bshard_ms, (bshard_out, bshard_reg)) = timed(repeats, || {
+        let mut reg = MetricsRegistry::new();
+        let out = sharded::diffuse_sparse_observed(
+            &graph,
+            dim,
+            &sources,
+            &scfg,
+            &mut Sink::attached(&mut reg),
+        )
+        .unwrap();
+        (out, reg)
+    });
+    print_row(
+        &format!("sharded push 4×{threads}"),
+        bshard_ms,
+        bpower_ms,
+        bshard_out.max_abs_diff(&batch_reference).unwrap(),
+        &format!(
+            "{} pushes, {} halo B",
+            counter(&bshard_reg, "diffusion.sharded.pushes"),
+            counter(&bshard_reg, "graph.sharded.halo_bytes"),
+        ),
+    );
+    report.push_row(
+        cell.row("batch", "sharded")
+            .value("wall_ms", bshard_ms)
+            .value(
+                "max_err",
+                f64::from(bshard_out.max_abs_diff(&batch_reference).unwrap()),
+            )
+            .value(
+                "pushes",
+                counter(&bshard_reg, "diffusion.sharded.pushes") as f64,
+            )
+            .value(
+                "halo_bytes",
+                counter(&bshard_reg, "graph.sharded.halo_bytes") as f64,
+            ),
+    );
+}
+
+fn main() {
+    let args = Args::from_env();
+    let nodes_list: Vec<u32> = args.get_list_or("nodes-list", &[args.get_or("nodes", 10_000)]);
+    let alphas: Vec<f32> = args.get_list_or("alphas", &[args.get_or("alpha", 0.5)]);
+    let dim: usize = args.get_or("dim", 8);
+    let num_sources: usize = args.get_or("sources", 4);
+    let tolerance: f32 = args.get_or("tolerance", 1e-5);
+    let threads: usize = args.get_or("threads", 4);
+    let repeats: usize = args.get_or("repeats", 3);
+    let seed: u64 = args.get_or("seed", 2022);
+
+    let mut report = BenchReport::new("ablation_engines");
+    report
+        .meta("seed", seed)
+        .meta("dim", dim)
+        .meta("sources", num_sources)
+        .meta("tolerance", tolerance)
+        .meta("threads", threads)
+        .meta("repeats", repeats)
+        .meta("nodes_list", format!("{nodes_list:?}"))
+        .meta("alphas", format!("{alphas:?}"));
+    for &nodes in &nodes_list {
+        for &alpha in &alphas {
+            run_cell(
+                &Cell {
+                    nodes,
+                    alpha,
+                    dim,
+                    num_sources,
+                    tolerance,
+                    threads,
+                    repeats,
+                    seed,
+                },
+                &mut report,
+            );
+        }
+    }
+    maybe_write_json(&args, "BENCH_engines.json", &report);
 }

@@ -138,6 +138,33 @@ pub fn maybe_write_csv(args: &Args, content: &str) {
     }
 }
 
+/// Writes `report` as `gdsearch.bench.v1` JSON to `--json PATH` when the
+/// flag is present (a bare `--json` uses `default_path`). The emitted text
+/// is validated against the schema first, so a bin can never ship a
+/// malformed artifact; reports the destination on stdout.
+pub fn maybe_write_json(
+    args: &Args,
+    default_path: &str,
+    report: &gdsearch_obs::bench::BenchReport,
+) {
+    let Some(value) = args.get("json") else {
+        return;
+    };
+    let path = if value == "true" { default_path } else { value };
+    let text = report.to_json();
+    if let Err(e) = gdsearch_obs::bench::validate(&text) {
+        eprintln!("refusing to write {path}: schema violation: {e}");
+        std::process::exit(2);
+    }
+    match std::fs::write(path, &text) {
+        Ok(()) => println!("\njson written to {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +193,25 @@ mod tests {
     fn malformed_values_fall_back() {
         let a = args("--docs banana");
         assert_eq!(a.get_or("docs", 3usize), 3);
+    }
+
+    #[test]
+    fn json_flag_writes_validated_reports() {
+        use gdsearch_obs::bench::{validate, BenchReport, BenchRow};
+        let path = std::env::temp_dir()
+            .join("gdsearch_bench_json_flag_test.json")
+            .to_string_lossy()
+            .to_string();
+        let a = Args::parse_from(["--json".to_string(), path.clone()]);
+        let mut report = BenchReport::new("test");
+        report.push_row(BenchRow::new().label("k", "v").value("x", 1.0));
+        maybe_write_json(&a, "unused.json", &report);
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate(&text).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Absent flag writes nothing.
+        maybe_write_json(&Args::default(), &path, &report);
+        assert!(!std::path::Path::new(&path).exists());
     }
 
     #[test]
@@ -213,6 +259,23 @@ impl SweepOutcome {
     /// Mean hop count of successful walks, if any.
     pub fn mean_success_hops(&self) -> Option<f64> {
         gdsearch::metrics::hop_stats(&self.success_hops).map(|s| s.mean)
+    }
+}
+
+/// Appends a [`SweepOutcome`]'s standard measurements to a report row.
+#[must_use]
+pub fn sweep_row(
+    row: gdsearch_obs::bench::BenchRow,
+    outcome: &SweepOutcome,
+) -> gdsearch_obs::bench::BenchRow {
+    let row = row
+        .value("success_rate", outcome.success_rate())
+        .value("successes", outcome.successes as f64)
+        .value("samples", outcome.samples as f64)
+        .value("mean_messages", outcome.mean_messages());
+    match outcome.mean_success_hops() {
+        Some(h) => row.value("mean_success_hops", h),
+        None => row,
     }
 }
 

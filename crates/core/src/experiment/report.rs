@@ -107,18 +107,18 @@ pub fn hops_csv(rows: &[HopCountRow]) -> String {
 
 /// Renders labeled transport statistics as a markdown table: message and
 /// byte counts, drop breakdown, and the bounded backend's queue metrics
-/// (high-water depth, mean queueing delay). This is the report format of
-/// the `ablation_transport` bandwidth experiments.
+/// (high-water depth, mean and p99 queueing delay). This is the report
+/// format of the `ablation_transport` bandwidth experiments.
 pub fn transport_markdown(rows: &[(&str, &NetStats)]) -> String {
     let mut out = String::from(
         "| configuration | sent | delivered | bytes | lost | down | \
-         backpressure | max queue | mean queue wait |\n\
-         |---|---|---|---|---|---|---|---|---|\n",
+         backpressure | max queue | mean queue wait | p99 queue wait |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n",
     );
     for (label, s) in rows {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2} | {} |",
             label,
             s.sent,
             s.delivered,
@@ -128,6 +128,7 @@ pub fn transport_markdown(rows: &[(&str, &NetStats)]) -> String {
             s.dropped_backpressure,
             s.max_queue_depth,
             s.mean_queue_delay_ticks(),
+            s.p99_queue_delay_ticks(),
         );
     }
     out
@@ -139,12 +140,13 @@ pub fn transport_markdown(rows: &[(&str, &NetStats)]) -> String {
 pub fn transport_csv(rows: &[(&str, &NetStats)]) -> String {
     let mut out = String::from(
         "configuration,sent,delivered,bytes_sent,lost,dropped_down,\
-         dropped_backpressure,dropped_no_route,max_queue_depth,queue_delay_ticks\n",
+         dropped_backpressure,dropped_no_route,max_queue_depth,queue_delay_ticks,\
+         p99_queue_delay_ticks\n",
     );
     for (label, s) in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{}",
             label,
             s.sent,
             s.delivered,
@@ -154,7 +156,8 @@ pub fn transport_csv(rows: &[(&str, &NetStats)]) -> String {
             s.dropped_backpressure,
             s.dropped_no_route,
             s.max_queue_depth,
-            s.queue_delay_ticks,
+            s.queue_delay.sum(),
+            s.p99_queue_delay_ticks(),
         );
     }
     out
@@ -238,6 +241,10 @@ mod tests {
     }
 
     fn sample_stats() -> NetStats {
+        // 92 completed transmissions, each waiting 2 ticks: sum 184,
+        // mean 2.00, p99 bound 2.
+        let mut queue_delay = gdsearch_obs::Histogram::new();
+        queue_delay.record_n(2, 92);
         NetStats {
             sent: 100,
             delivered: 90,
@@ -247,7 +254,7 @@ mod tests {
             dropped_backpressure: 3,
             dropped_no_route: 1,
             max_queue_depth: 17,
-            queue_delay_ticks: 184,
+            queue_delay,
         }
     }
 
@@ -256,7 +263,7 @@ mod tests {
         let s = sample_stats();
         let md = transport_markdown(&[("flooding @ 1 KB/s", &s)]);
         assert!(md.contains("| configuration |"));
-        assert!(md.contains("| flooding @ 1 KB/s | 100 | 90 | 12345 | 4 | 2 | 3 | 17 | 2.00 |"));
+        assert!(md.contains("| flooding @ 1 KB/s | 100 | 90 | 12345 | 4 | 2 | 3 | 17 | 2.00 | 2 |"));
     }
 
     #[test]
@@ -264,7 +271,7 @@ mod tests {
         let s = sample_stats();
         let csv = transport_csv(&[("a", &s), ("b", &s)]);
         assert!(csv.starts_with("configuration,sent,delivered"));
-        assert!(csv.contains("a,100,90,12345,4,2,3,1,17,184"));
+        assert!(csv.contains("a,100,90,12345,4,2,3,1,17,184,2"));
         assert_eq!(csv.lines().count(), 3);
     }
 }

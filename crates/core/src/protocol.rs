@@ -413,9 +413,9 @@ pub enum SimBackend {
 #[derive(Debug)]
 pub enum ProtocolNetwork {
     /// Instant-delivery event loop.
-    Instant(Network<SearchMessage, SearchNode>),
+    Instant(Box<Network<SearchMessage, SearchNode>>),
     /// Bandwidth-aware reactor.
-    Bounded(Reactor<SearchMessage, SearchNode>),
+    Bounded(Box<Reactor<SearchMessage, SearchNode>>),
 }
 
 impl ProtocolNetwork {
@@ -426,14 +426,15 @@ impl ProtocolNetwork {
     /// Propagates simulator construction failures.
     pub fn build(network: &SearchNetwork<'_>, backend: SimBackend) -> Result<Self, SearchError> {
         Ok(match backend {
-            SimBackend::Instant => {
-                ProtocolNetwork::Instant(build_protocol_network(network, NetworkConfig::default())?)
-            }
+            SimBackend::Instant => ProtocolNetwork::Instant(Box::new(build_protocol_network(
+                network,
+                NetworkConfig::default(),
+            )?)),
             SimBackend::InstantWith(cfg) => {
-                ProtocolNetwork::Instant(build_protocol_network(network, cfg)?)
+                ProtocolNetwork::Instant(Box::new(build_protocol_network(network, cfg)?))
             }
             SimBackend::Bounded(cfg) => {
-                ProtocolNetwork::Bounded(build_protocol_reactor(network, cfg)?)
+                ProtocolNetwork::Bounded(Box::new(build_protocol_reactor(network, cfg)?))
             }
         })
     }
@@ -809,7 +810,7 @@ mod tests {
         net.run_to_completion(1_000_000).unwrap();
         let stats = net.stats();
         assert!(
-            stats.queue_delay_ticks > 0 || stats.dropped_backpressure > 0,
+            stats.queue_delay.sum() > 0 || stats.dropped_backpressure > 0,
             "narrow links must queue or drop: {stats:?}"
         );
         assert!(stats.max_queue_depth > 1);

@@ -8,6 +8,7 @@
 
 use gdsearch_graph::sparse::{transition_matrix, CsrMatrix};
 use gdsearch_graph::Graph;
+use gdsearch_obs::Sink;
 
 use crate::convergence::Convergence;
 use crate::{DiffusionError, PprConfig, Signal};
@@ -101,6 +102,23 @@ pub fn diffuse_threaded(
     diffuse_with_matrix_threaded(&a, e0, config, threads)
 }
 
+/// [`diffuse_threaded`] with deterministic work instrumentation (see
+/// [`diffuse_with_matrix_observed`]).
+///
+/// # Errors
+///
+/// As [`diffuse`].
+pub fn diffuse_threaded_observed(
+    graph: &Graph,
+    e0: &Signal,
+    config: &PprConfig,
+    threads: usize,
+    sink: &mut Sink<'_>,
+) -> Result<DiffusionResult, DiffusionError> {
+    let a = transition_matrix(graph, config.normalization());
+    diffuse_with_matrix_observed(&a, e0, config, threads, sink)
+}
+
 /// [`diffuse_threaded`] over a prebuilt transition matrix.
 ///
 /// # Errors
@@ -111,6 +129,28 @@ pub fn diffuse_with_matrix_threaded(
     e0: &Signal,
     config: &PprConfig,
     threads: usize,
+) -> Result<DiffusionResult, DiffusionError> {
+    diffuse_with_matrix_observed(matrix, e0, config, threads, &mut Sink::disabled())
+}
+
+/// [`diffuse_with_matrix_threaded`] with deterministic work
+/// instrumentation: per-sweep work counters and the convergence residual
+/// curve are recorded into `sink` at the sequential fold point of every
+/// iteration, so recording never perturbs the result and registries are
+/// bit-identical across thread counts.
+///
+/// Metrics: `diffusion.power.sweeps` / `.rows_swept` (counters),
+/// `diffusion.power.residual` (float series, one sample per sweep).
+///
+/// # Errors
+///
+/// Returns [`DiffusionError::ShapeMismatch`] if shapes disagree.
+pub fn diffuse_with_matrix_observed(
+    matrix: &CsrMatrix,
+    e0: &Signal,
+    config: &PprConfig,
+    threads: usize,
+    sink: &mut Sink<'_>,
 ) -> Result<DiffusionResult, DiffusionError> {
     let n = matrix.n_rows();
     if e0.num_nodes() != n {
@@ -155,6 +195,12 @@ pub fn diffuse_with_matrix_threaded(
             deltas.into_iter().fold(0.0f32, f32::max)
         };
         std::mem::swap(&mut current, &mut next);
+        // Recording happens here, after the sequential fold, so the sink
+        // sees one sample per sweep in iteration order regardless of how
+        // many workers computed the chunks.
+        sink.add("diffusion.power.sweeps", 1);
+        sink.add("diffusion.power.rows_swept", n as u64);
+        sink.series_push_f("diffusion.power.residual", f64::from(max_delta));
         if conv.record(max_delta, config.tolerance()) {
             break;
         }

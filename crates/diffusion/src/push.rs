@@ -56,6 +56,7 @@ use std::collections::{BTreeMap, VecDeque};
 use gdsearch_embed::Embedding;
 use gdsearch_graph::sparse::Normalization;
 use gdsearch_graph::{Graph, NodeId};
+use gdsearch_obs::Sink;
 
 use crate::convergence::Convergence;
 use crate::degrees::DegreeTables;
@@ -176,6 +177,8 @@ pub struct PushResult {
     pub residual_bound: f32,
     /// The frontier granularity at which the bound was certified.
     pub final_rmax: f32,
+    /// High-water frontier queue length over the whole computation.
+    pub frontier_peak: usize,
 }
 
 /// The graph plus its degree tables — everything a column push reads.
@@ -227,10 +230,15 @@ fn push_column(
 
     let mut rmax = config.rmax;
     let mut pushes = 0usize;
+    let mut frontier_peak = queue.len();
     let mut conv = Convergence::new();
     loop {
         // Drain the frontier at the current granularity.
         while let Some(u) = queue.pop_front() {
+            // The queue only grows between pops, so observing its length
+            // at every pop (plus the popped head) captures the high-water
+            // mark exactly.
+            frontier_peak = frontier_peak.max(queue.len() + 1);
             let ui = u as usize;
             in_queue[ui] = false;
             let ru = residual[ui];
@@ -322,6 +330,7 @@ fn push_column(
         drains: conv.iters,
         residual_bound: conv.residual,
         final_rmax: rmax,
+        frontier_peak,
     };
     Ok((estimate, stats))
 }
@@ -397,6 +406,28 @@ pub fn diffuse_sparse(
     sources: &[(NodeId, Embedding)],
     config: &PushConfig,
 ) -> Result<Signal, DiffusionError> {
+    diffuse_sparse_observed(graph, dim, sources, config, &mut Sink::disabled())
+}
+
+/// [`diffuse_sparse`] with deterministic work instrumentation: per-column
+/// push counts, drains and frontier peaks are recorded into `sink` in the
+/// sequential accumulation loop (ascending source order), so recording
+/// never perturbs the result and registries are bit-identical across
+/// thread counts.
+///
+/// Metrics: `diffusion.push.columns` / `.pushes` / `.drains` (counters),
+/// `diffusion.push.column_pushes` / `.frontier_peak` (histograms).
+///
+/// # Errors
+///
+/// As [`diffuse_sparse`].
+pub fn diffuse_sparse_observed(
+    graph: &Graph,
+    dim: usize,
+    sources: &[(NodeId, Embedding)],
+    config: &PushConfig,
+    sink: &mut Sink<'_>,
+) -> Result<Signal, DiffusionError> {
     let n = graph.num_nodes();
     let mut out = Signal::zeros(n, dim);
     // Group repeated source nodes (diffusion is linear, so their
@@ -434,17 +465,25 @@ pub fn diffuse_sparse(
     // support in the worker, so peak memory tracks the diffusion's actual
     // locality rather than |sources| · N.
     let columns = workpool::map_batched(&nodes, config.threads, |&u| {
-        push_column(&ctx, u, config).map(|(estimate, _)| {
-            estimate
+        push_column(&ctx, u, config).map(|(estimate, stats)| {
+            let compressed = estimate
                 .into_iter()
                 .enumerate()
                 .filter(|&(_, w)| w != 0.0)
                 .map(|(ui, w)| (ui as u32, w))
-                .collect::<Vec<(u32, f32)>>()
+                .collect::<Vec<(u32, f32)>>();
+            (compressed, stats)
         })
     });
     for (source, column) in nodes.iter().zip(columns) {
-        let column = column?;
+        let (column, stats) = column?;
+        // Sequential, ascending source order: deterministic for every
+        // worker count.
+        sink.add("diffusion.push.columns", 1);
+        sink.add("diffusion.push.pushes", stats.pushes as u64);
+        sink.add("diffusion.push.drains", stats.drains as u64);
+        sink.record("diffusion.push.column_pushes", stats.pushes as u64);
+        sink.record("diffusion.push.frontier_peak", stats.frontier_peak as u64);
         let emb = &grouped[source];
         for (u, weight) in column {
             let row = out.row_mut(u as usize);

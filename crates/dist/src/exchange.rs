@@ -37,7 +37,7 @@
 //! many bytes it costs, never *what* the engines compute: the module-level
 //! contract of [`gdsearch_diffusion::exchange`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use gdsearch_diffusion::exchange::{ExchangePlan, Outbox, ShardExchange};
 use gdsearch_diffusion::DiffusionError;
@@ -77,6 +77,60 @@ pub struct ExchangeStats {
     pub ticks: u64,
     /// The reactor's own transport accounting.
     pub net: NetStats,
+    /// The first per-peer accounting divergence observed at an epoch
+    /// barrier (`None` when every peer's meter agreed with the link
+    /// fabric after every epoch).
+    pub first_mismatch: Option<ByteMismatch>,
+}
+
+/// The first `(peer, epoch)` at which a shard endpoint's own transmission
+/// meter disagreed with the reactor's independent per-source accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteMismatch {
+    /// The shard (reactor node) whose accounting diverged.
+    pub peer: usize,
+    /// The epoch after whose barrier the divergence was first seen.
+    pub epoch: u64,
+    /// Frames the endpoint's own meter claims it handed to the fabric.
+    pub expected_frames: u64,
+    /// Frames the reactor accounted for that source.
+    pub actual_frames: u64,
+    /// Bytes the endpoint's own meter claims.
+    pub expected_bytes: u64,
+    /// Bytes the reactor accounted for that source.
+    pub actual_bytes: u64,
+}
+
+impl std::fmt::Display for ByteMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "peer {} at epoch {}: endpoint metered {} frames / {} B, \
+             link fabric saw {} frames / {} B",
+            self.peer,
+            self.epoch,
+            self.expected_frames,
+            self.expected_bytes,
+            self.actual_frames,
+            self.actual_bytes
+        )
+    }
+}
+
+/// Cumulative per-directed-peer-pair traffic of one
+/// [`TransportExchange`], summed over every epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerLinkStats {
+    /// Source shard.
+    pub src: usize,
+    /// Destination shard.
+    pub dst: usize,
+    /// Frames staged on this directed pair, retransmissions included.
+    pub frames: u64,
+    /// Wire bytes of those frames.
+    pub bytes: u64,
+    /// Retransmissions the barrier requested on this pair.
+    pub retransmits: u64,
 }
 
 impl ExchangeStats {
@@ -88,8 +142,15 @@ impl ExchangeStats {
     /// # Errors
     ///
     /// Returns [`DiffusionError::Exchange`] describing the first
-    /// mismatching counter.
+    /// mismatching counter, including the first mismatching
+    /// `(peer, epoch, expected, actual)` tuple when the per-epoch barrier
+    /// check pinned the divergence to a specific shard.
     pub fn verify_byte_accounting(&self) -> Result<(), DiffusionError> {
+        if let Some(m) = &self.first_mismatch {
+            return Err(DiffusionError::exchange(format!(
+                "per-peer ledger disagrees with transport: first divergence at {m}"
+            )));
+        }
         if self.frames != self.net.sent {
             return Err(DiffusionError::exchange(format!(
                 "frame ledger disagrees with transport: staged {} frames, link fabric saw {}",
@@ -124,6 +185,10 @@ struct ShardEndpoint {
     sent_frames: u64,
     /// Their wire bytes, priced by [`gdsearch_sim::WireMessage::wire_size`].
     sent_bytes: u64,
+    /// Per-destination `(frames, bytes)` split of the same meter
+    /// (endpoint-local state, so updates stay deterministic under the
+    /// parallel handler phase).
+    sent_by_dest: BTreeMap<usize, (u64, u64)>,
 }
 
 impl NodeHandler<ShardFrame> for ShardEndpoint {
@@ -133,8 +198,12 @@ impl NodeHandler<ShardFrame> for ShardEndpoint {
             ShardFrame::Kick { .. } => {
                 for (i, (to, frame)) in self.staged.iter().enumerate() {
                     if self.pending[i] {
+                        let bytes = frame.wire_size() as u64;
                         self.sent_frames += 1;
-                        self.sent_bytes += frame.wire_size() as u64;
+                        self.sent_bytes += bytes;
+                        let meter = self.sent_by_dest.entry(to.index()).or_insert((0, 0));
+                        meter.0 += 1;
+                        meter.1 += bytes;
                         api.send(*to, frame.clone());
                     }
                 }
@@ -161,6 +230,8 @@ pub struct TransportExchange {
     max_ticks_per_round: u64,
     max_retransmit_rounds: u32,
     stats: ExchangeStats,
+    /// Retransmissions requested per directed `(src, dst)` peer pair.
+    retransmits_by_peer: BTreeMap<(usize, usize), u64>,
 }
 
 impl std::fmt::Debug for TransportExchange {
@@ -207,6 +278,7 @@ impl TransportExchange {
             max_ticks_per_round: config.max_ticks_per_round(),
             max_retransmit_rounds: config.max_retransmit_rounds(),
             stats: ExchangeStats::default(),
+            retransmits_by_peer: BTreeMap::new(),
         })
     }
 
@@ -348,6 +420,7 @@ impl TransportExchange {
                         }
                     }
                     self.stats.retransmitted_frames += 1;
+                    *self.retransmits_by_peer.entry((src, dest)).or_insert(0) += 1;
                     if kick_srcs.last() != Some(&src) {
                         kick_srcs.push(src);
                     }
@@ -364,8 +437,60 @@ impl TransportExchange {
         for slot in &mut inbox {
             slot.sort_by_key(|(src, _)| *src);
         }
+        // Epoch barrier cross-check: every endpoint's own transmission
+        // meter must agree with the reactor's independent per-source
+        // accounting. The first divergence is pinned to its (peer, epoch)
+        // so verify_byte_accounting can report where the ledgers split.
+        if self.stats.first_mismatch.is_none() {
+            for s in 0..num_shards {
+                let node = NodeId::new(s as u32);
+                let (actual_frames, actual_bytes) =
+                    self.reactor.sent_from(node).map_err(sim_err)?;
+                let endpoint = self.reactor.handler(node).map_err(sim_err)?;
+                if (endpoint.sent_frames, endpoint.sent_bytes) != (actual_frames, actual_bytes) {
+                    self.stats.first_mismatch = Some(ByteMismatch {
+                        peer: s,
+                        epoch,
+                        expected_frames: endpoint.sent_frames,
+                        actual_frames,
+                        expected_bytes: endpoint.sent_bytes,
+                        actual_bytes,
+                    });
+                    break;
+                }
+            }
+        }
         self.stats.epochs += 1;
         Ok(inbox)
+    }
+
+    /// Cumulative per-directed-peer traffic: one row per `(src, dst)`
+    /// pair that staged at least one frame, in ascending `(src, dst)`
+    /// order. Plain data — callers fold these into whatever metrics
+    /// system they use; the exchange itself stays free of observability
+    /// types.
+    #[must_use]
+    pub fn per_peer_stats(&self) -> Vec<PeerLinkStats> {
+        let mut rows = Vec::new();
+        for s in 0..self.plan.num_shards() {
+            let Ok(endpoint) = self.reactor.handler(NodeId::new(s as u32)) else {
+                continue;
+            };
+            for (&dst, &(frames, bytes)) in &endpoint.sent_by_dest {
+                rows.push(PeerLinkStats {
+                    src: s,
+                    dst,
+                    frames,
+                    bytes,
+                    retransmits: self
+                        .retransmits_by_peer
+                        .get(&(s, dst))
+                        .copied()
+                        .unwrap_or(0),
+                });
+            }
+        }
+        rows
     }
 }
 
@@ -615,6 +740,71 @@ mod tests {
             stats.retransmitted_frames > 0,
             "40% loss over 12 epochs must trigger retransmission"
         );
+    }
+
+    #[test]
+    fn per_peer_stats_cross_check_the_aggregate_ledger() {
+        let g = generators::ring(16).unwrap();
+        let sg = ShardedGraph::from_graph(&g, 4).unwrap();
+        let dim = 2;
+        let currents: Vec<Vec<f32>> = sg
+            .shards()
+            .iter()
+            .map(|shard| vec![0.5; shard.num_local_nodes() * dim])
+            .collect();
+        let mut inputs: Vec<Vec<f32>> = sg
+            .shards()
+            .iter()
+            .map(|shard| vec![0.0; shard.slot_count() * dim])
+            .collect();
+        let lossy = TransportConfig::default()
+            .with_loss_probability(0.3)
+            .unwrap()
+            .with_seed(7);
+        let config = DistConfig::new(sharded_cfg(4)).with_transport(lossy);
+        let mut ex = TransportExchange::new(&sg, &config).unwrap();
+        for _ in 0..6 {
+            ex.exchange_halos(dim, &currents, &mut inputs).unwrap();
+        }
+        let rows = ex.per_peer_stats();
+        assert!(!rows.is_empty());
+        // Rows are sorted by (src, dst) and sum to the aggregate meters.
+        let sorted: Vec<(usize, usize)> = rows.iter().map(|r| (r.src, r.dst)).collect();
+        let mut expected = sorted.clone();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+        let stats = ex.finish().unwrap();
+        assert_eq!(rows.iter().map(|r| r.frames).sum::<u64>(), stats.frames);
+        assert_eq!(rows.iter().map(|r| r.bytes).sum::<u64>(), stats.frame_bytes);
+        assert_eq!(
+            rows.iter().map(|r| r.retransmits).sum::<u64>(),
+            stats.retransmitted_frames
+        );
+        assert_eq!(stats.first_mismatch, None);
+    }
+
+    #[test]
+    fn mismatch_errors_cite_the_first_peer_epoch_tuple() {
+        let stats = ExchangeStats {
+            frames: 3,
+            frame_bytes: 120,
+            first_mismatch: Some(ByteMismatch {
+                peer: 2,
+                epoch: 5,
+                expected_frames: 3,
+                actual_frames: 2,
+                expected_bytes: 120,
+                actual_bytes: 80,
+            }),
+            ..ExchangeStats::default()
+        };
+        let err = stats.verify_byte_accounting().unwrap_err().to_string();
+        assert!(err.contains("peer 2"), "{err}");
+        assert!(err.contains("epoch 5"), "{err}");
+        assert!(err.contains("3 frames"), "{err}");
+        assert!(err.contains("2 frames"), "{err}");
+        assert!(err.contains("120 B"), "{err}");
+        assert!(err.contains("80 B"), "{err}");
     }
 
     #[test]

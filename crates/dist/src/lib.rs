@@ -57,7 +57,7 @@ use gdsearch_embed::Embedding;
 use gdsearch_graph::{Graph, NodeId, ShardedGraph};
 use gdsearch_sim::TransportConfig;
 
-pub use exchange::{ExchangeStats, TransportExchange};
+pub use exchange::{ByteMismatch, ExchangeStats, PeerLinkStats, TransportExchange};
 pub use frames::ShardFrame;
 
 /// Configuration of a distributed diffusion run: the sharded engine knobs

@@ -1,0 +1,330 @@
+//! The `gdsearch.bench.v1` report schema behind every `BENCH_*.json`.
+//!
+//! A report is built row by row by an `ablation_*` binary and rendered
+//! with [`BenchReport::to_json`]; [`validate`] is the machine check CI
+//! runs over the emitted artifacts (and over the `BENCH_engines.json`
+//! checked into the repo root). The schema is deliberately small and
+//! stable:
+//!
+//! ```json
+//! {
+//!   "schema": "gdsearch.bench.v1",
+//!   "bin": "ablation_engines",
+//!   "meta": {"seed": "2022"},
+//!   "rows": [
+//!     {"labels": {"engine": "push"}, "values": {"wall_ms": 1.5}}
+//!   ],
+//!   "metrics": { ... },   // optional: a registry export
+//!   "spans": [ ... ]      // optional: a span-tree export
+//! }
+//! ```
+//!
+//! `labels` values are strings; `values` values are numbers. Anything
+//! else fails [`validate`].
+
+use crate::clock::SpanTree;
+use crate::export::registry_json;
+use crate::json::{self, Value};
+use crate::registry::MetricsRegistry;
+
+/// The schema identifier every report carries.
+pub const SCHEMA: &str = "gdsearch.bench.v1";
+
+/// One measurement row: string labels identifying the configuration and
+/// numeric values measured under it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchRow {
+    labels: Vec<(String, String)>,
+    values: Vec<(String, f64)>,
+}
+
+impl BenchRow {
+    /// An empty row.
+    #[must_use]
+    pub fn new() -> Self {
+        BenchRow::default()
+    }
+
+    /// Adds a configuration label (builder style).
+    #[must_use]
+    pub fn label(mut self, key: &str, value: impl ToString) -> Self {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a measured value (builder style).
+    #[must_use]
+    pub fn value(mut self, key: &str, value: f64) -> Self {
+        self.values.push((key.to_string(), value));
+        self
+    }
+}
+
+/// A full bench report.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    bin: String,
+    meta: Vec<(String, String)>,
+    rows: Vec<BenchRow>,
+    metrics: Option<MetricsRegistry>,
+    spans: Option<SpanTree>,
+}
+
+impl BenchReport {
+    /// A report for the binary `bin`.
+    #[must_use]
+    pub fn new(bin: &str) -> Self {
+        BenchReport {
+            bin: bin.to_string(),
+            ..BenchReport::default()
+        }
+    }
+
+    /// Attaches a `meta` entry (seed, node count, CLI flags, ...).
+    pub fn meta(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.meta.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends a measurement row.
+    pub fn push_row(&mut self, row: BenchRow) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Attaches a metrics registry, exported under `"metrics"`.
+    pub fn attach_metrics(&mut self, registry: MetricsRegistry) -> &mut Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Attaches a span tree, exported under `"spans"`.
+    pub fn attach_spans(&mut self, spans: SpanTree) -> &mut Self {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// Number of rows so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the report as pretty-printed `gdsearch.bench.v1` JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+            ("bin".to_string(), Value::Str(self.bin.clone())),
+            (
+                "meta".to_string(),
+                Value::Object(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "rows".to_string(),
+                Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            Value::Object(vec![
+                                (
+                                    "labels".to_string(),
+                                    Value::Object(
+                                        row.labels
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "values".to_string(),
+                                    Value::Object(
+                                        row.values
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(reg) = &self.metrics {
+            fields.push(("metrics".to_string(), registry_json(reg)));
+        }
+        if let Some(spans) = &self.spans {
+            fields.push(("spans".to_string(), spans.to_json()));
+        }
+        Value::Object(fields).to_json_pretty()
+    }
+}
+
+/// Validates that `text` is a well-formed `gdsearch.bench.v1` report.
+///
+/// # Errors
+///
+/// Returns a one-line description of the first schema violation: not
+/// JSON, wrong/missing `schema` tag, missing `bin`/`meta`/`rows`,
+/// non-string labels or meta values, non-numeric row values, or
+/// malformed optional `metrics`/`spans` sections.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing `schema` tag")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{SCHEMA}`"));
+    }
+    let bin = doc
+        .get("bin")
+        .and_then(Value::as_str)
+        .ok_or("missing `bin`")?;
+    if bin.is_empty() {
+        return Err("`bin` must be non-empty".to_string());
+    }
+    let meta = doc
+        .get("meta")
+        .and_then(Value::as_object)
+        .ok_or("missing `meta` object")?;
+    for (k, v) in meta {
+        if v.as_str().is_none() {
+            return Err(format!("meta.{k} must be a string"));
+        }
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("missing `rows` array")?;
+    for (i, row) in rows.iter().enumerate() {
+        let labels = row
+            .get("labels")
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("rows[{i}] missing `labels` object"))?;
+        for (k, v) in labels {
+            if v.as_str().is_none() {
+                return Err(format!("rows[{i}].labels.{k} must be a string"));
+            }
+        }
+        let values = row
+            .get("values")
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("rows[{i}] missing `values` object"))?;
+        for (k, v) in values {
+            if v.as_f64().is_none() && *v != Value::Null {
+                return Err(format!("rows[{i}].values.{k} must be a number"));
+            }
+        }
+    }
+    if let Some(metrics) = doc.get("metrics") {
+        let fields = metrics.as_object().ok_or("`metrics` must be an object")?;
+        for (name, body) in fields {
+            if body.get("kind").and_then(Value::as_str).is_none() {
+                return Err(format!("metrics.{name} missing `kind`"));
+            }
+        }
+    }
+    if let Some(spans) = doc.get("spans") {
+        validate_spans(spans, "spans")?;
+    }
+    Ok(())
+}
+
+fn validate_spans(v: &Value, path: &str) -> Result<(), String> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| format!("`{path}` must be an array"))?;
+    for (i, span) in items.iter().enumerate() {
+        if span.get("name").and_then(Value::as_str).is_none() {
+            return Err(format!("{path}[{i}] missing `name`"));
+        }
+        for key in ["calls", "total_ns", "self_ns"] {
+            if span.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("{path}[{i}] missing numeric `{key}`"));
+            }
+        }
+        if let Some(children) = span.get("children") {
+            validate_spans(children, &format!("{path}[{i}].children"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Profiler;
+
+    #[test]
+    fn reports_validate_against_their_own_schema() {
+        let mut report = BenchReport::new("ablation_engines");
+        report.meta("seed", 2022).meta("nodes", 4039);
+        report.push_row(
+            BenchRow::new()
+                .label("engine", "push")
+                .label("alpha", "0.5")
+                .value("wall_ms", 12.25)
+                .value("pushes", 19000.0),
+        );
+        let mut reg = MetricsRegistry::new();
+        reg.add("diffusion.push.pushes", 19000);
+        reg.record("hops", 4);
+        report.attach_metrics(reg);
+        let mut p = Profiler::new();
+        let t = p.enter("diffusion");
+        p.exit(t);
+        report.attach_spans(p.tree());
+        let text = report.to_json();
+        validate(&text)
+            .unwrap_or_else(|e| panic!("self-emitted report must validate: {e}\n{text}"));
+        assert!(text.contains("gdsearch.bench.v1"));
+    }
+
+    #[test]
+    fn validation_rejects_schema_violations() {
+        for (bad, why) in [
+            ("{}", "missing schema"),
+            ("{\"schema\": \"other.v9\"}", "wrong schema"),
+            (
+                "{\"schema\": \"gdsearch.bench.v1\", \"bin\": \"x\", \"meta\": {}, \"rows\": [{}]}",
+                "row without labels",
+            ),
+            (
+                "{\"schema\": \"gdsearch.bench.v1\", \"bin\": \"x\", \"meta\": {}, \
+                 \"rows\": [{\"labels\": {\"a\": 1}, \"values\": {}}]}",
+                "non-string label",
+            ),
+            (
+                "{\"schema\": \"gdsearch.bench.v1\", \"bin\": \"x\", \"meta\": {}, \
+                 \"rows\": [{\"labels\": {}, \"values\": {\"v\": \"fast\"}}]}",
+                "non-numeric value",
+            ),
+            (
+                "{\"schema\": \"gdsearch.bench.v1\", \"bin\": \"\", \"meta\": {}, \"rows\": []}",
+                "empty bin",
+            ),
+            ("not json at all", "not JSON"),
+        ] {
+            assert!(validate(bad).is_err(), "must reject: {why}");
+        }
+    }
+
+    #[test]
+    fn minimal_report_is_valid() {
+        let text = BenchReport::new("smoke").to_json();
+        validate(&text).unwrap();
+    }
+}

@@ -1,0 +1,339 @@
+//! The wall-clock half of the observability layer: scoped spans
+//! aggregated into a [`SpanTree`].
+//!
+//! This module is the **only** place in the workspace that reads
+//! `std::time::Instant` (the site is allowlisted exactly once in
+//! `analysis.toml`, and clippy's `disallowed_methods` is opted out
+//! below for the same single call). Wall time is inherently
+//! non-deterministic, so nothing here may sit on a result path: only
+//! driver and bench code constructs a [`Profiler`], and the analyzer's
+//! `obs` rule fails the gate if `Profiler`/`SpanTree` (or this module's
+//! path) ever appear in the `graph`/`diffusion`/`dist` crates.
+
+// The wall clock *is* the measurement here; everywhere else in the
+// workspace the lint stands.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::{Duration, Instant};
+
+use crate::json::Value;
+
+/// Reads the wall clock — the workspace's single `Instant` site.
+fn now() -> Instant {
+    Instant::now()
+}
+
+/// Proof that a span was entered; hand it back to [`Profiler::exit`].
+///
+/// Tokens are deliberately not `Copy`: each entered span should be
+/// exited exactly once (exiting an outer span first force-closes any
+/// nested spans still open, so mismatches degrade gracefully instead of
+/// corrupting the tree).
+#[derive(Debug)]
+#[must_use = "exit the span with Profiler::exit or its time is attributed on drop of the profiler"]
+pub struct SpanToken {
+    frame: usize,
+}
+
+/// One aggregated span in a frame arena: spans with the same name under
+/// the same parent accumulate into one frame.
+#[derive(Debug)]
+struct Frame {
+    name: String,
+    children: Vec<usize>,
+    calls: u64,
+    total: Duration,
+    /// Entry timestamps of currently-open activations (a stack, so
+    /// recursive re-entry nests correctly).
+    open: Vec<Instant>,
+}
+
+/// A scoped wall-clock profiler for driver and bench code.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_obs::Profiler;
+///
+/// let mut prof = Profiler::new();
+/// let build = prof.enter("build");
+/// let diffusion = prof.enter("diffusion");
+/// prof.exit(diffusion);
+/// prof.exit(build);
+/// let tree = prof.tree();
+/// assert_eq!(tree.roots.len(), 1);
+/// assert_eq!(tree.roots[0].name, "build");
+/// assert_eq!(tree.roots[0].children[0].name, "diffusion");
+/// ```
+#[derive(Debug, Default)]
+pub struct Profiler {
+    frames: Vec<Frame>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Opens a span named `name`, nested under the innermost open span.
+    pub fn enter(&mut self, name: &str) -> SpanToken {
+        let siblings = match self.stack.last() {
+            Some(&parent) => self
+                .frames
+                .get(parent)
+                .map(|f| f.children.clone())
+                .unwrap_or_default(),
+            None => self.roots.clone(),
+        };
+        let existing = siblings
+            .into_iter()
+            .find(|&i| self.frames.get(i).is_some_and(|f| f.name == name));
+        let idx = match existing {
+            Some(i) => i,
+            None => {
+                let i = self.frames.len();
+                self.frames.push(Frame {
+                    name: name.to_string(),
+                    children: Vec::new(),
+                    calls: 0,
+                    total: Duration::ZERO,
+                    open: Vec::new(),
+                });
+                match self.stack.last() {
+                    Some(&parent) => {
+                        if let Some(f) = self.frames.get_mut(parent) {
+                            f.children.push(i);
+                        }
+                    }
+                    None => self.roots.push(i),
+                }
+                i
+            }
+        };
+        if let Some(f) = self.frames.get_mut(idx) {
+            f.calls += 1;
+            f.open.push(now());
+        }
+        self.stack.push(idx);
+        SpanToken { frame: idx }
+    }
+
+    /// Closes the span `token` refers to, force-closing any spans still
+    /// open inside it. Tokens whose span was already closed are
+    /// ignored.
+    pub fn exit(&mut self, token: SpanToken) {
+        if !self.stack.contains(&token.frame) {
+            return;
+        }
+        let at = now();
+        while let Some(idx) = self.stack.pop() {
+            if let Some(f) = self.frames.get_mut(idx) {
+                if let Some(t0) = f.open.pop() {
+                    f.total += at.saturating_duration_since(t0);
+                }
+            }
+            if idx == token.frame {
+                break;
+            }
+        }
+    }
+
+    /// Snapshots the aggregated span tree. Spans still open contribute
+    /// only their already-closed activations.
+    #[must_use]
+    pub fn tree(&self) -> SpanTree {
+        SpanTree {
+            roots: self.roots.iter().map(|&i| self.node(i)).collect(),
+        }
+    }
+
+    fn node(&self, idx: usize) -> SpanNode {
+        match self.frames.get(idx) {
+            Some(f) => SpanNode {
+                name: f.name.clone(),
+                calls: f.calls,
+                total_ns: u64::try_from(f.total.as_nanos()).unwrap_or(u64::MAX),
+                children: f.children.iter().map(|&c| self.node(c)).collect(),
+            },
+            None => SpanNode {
+                name: String::new(),
+                calls: 0,
+                total_ns: 0,
+                children: Vec::new(),
+            },
+        }
+    }
+}
+
+/// An aggregated, nested wall-clock profile.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanTree {
+    /// Top-level spans in first-entry order.
+    pub roots: Vec<SpanNode>,
+}
+
+/// One aggregated span: total (inclusive) time over all activations,
+/// with children nested beneath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name as passed to [`Profiler::enter`].
+    pub name: String,
+    /// Number of activations.
+    pub calls: u64,
+    /// Inclusive wall time over all activations, in nanoseconds.
+    pub total_ns: u64,
+    /// Nested spans in first-entry order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Exclusive (self) time: inclusive time minus the children's
+    /// inclusive time, saturating at zero.
+    #[must_use]
+    pub fn self_ns(&self) -> u64 {
+        let child: u64 = self
+            .children
+            .iter()
+            .fold(0u64, |acc, c| acc.saturating_add(c.total_ns));
+        self.total_ns.saturating_sub(child)
+    }
+}
+
+impl SpanTree {
+    /// Whether no spans were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Renders the profile as an indented markdown list with total,
+    /// self, and call columns.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        fn walk(node: &SpanNode, depth: usize, out: &mut String) {
+            let indent = "  ".repeat(depth);
+            out.push_str(&format!(
+                "{indent}- `{}` — total {:.3} ms, self {:.3} ms, {} call{}\n",
+                node.name,
+                node.total_ns as f64 / 1e6,
+                node.self_ns() as f64 / 1e6,
+                node.calls,
+                if node.calls == 1 { "" } else { "s" }
+            ));
+            for c in &node.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for r in &self.roots {
+            walk(r, 0, &mut out);
+        }
+        out
+    }
+
+    /// The profile as a JSON value (an array of span objects, children
+    /// nested), for embedding in a bench report.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        fn node_json(n: &SpanNode) -> Value {
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(n.name.clone())),
+                ("calls".to_string(), Value::UInt(n.calls)),
+                ("total_ns".to_string(), Value::UInt(n.total_ns)),
+                ("self_ns".to_string(), Value::UInt(n.self_ns())),
+                (
+                    "children".to_string(),
+                    Value::Array(n.children.iter().map(node_json).collect()),
+                ),
+            ])
+        }
+        Value::Array(self.roots.iter().map(node_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_aggregation() {
+        let mut p = Profiler::new();
+        for _ in 0..3 {
+            let outer = p.enter("outer");
+            let inner = p.enter("inner");
+            p.exit(inner);
+            p.exit(outer);
+        }
+        let other = p.enter("other");
+        p.exit(other);
+        let t = p.tree();
+        assert_eq!(t.roots.len(), 2);
+        assert_eq!(t.roots[0].name, "outer");
+        assert_eq!(t.roots[0].calls, 3);
+        assert_eq!(t.roots[0].children.len(), 1);
+        assert_eq!(t.roots[0].children[0].calls, 3);
+        assert_eq!(t.roots[1].name, "other");
+    }
+
+    #[test]
+    fn self_time_never_exceeds_total_and_children_nest_within_parent() {
+        let mut p = Profiler::new();
+        let a = p.enter("a");
+        let b = p.enter("b");
+        std::thread::sleep(Duration::from_millis(2));
+        p.exit(b);
+        p.exit(a);
+        let t = p.tree();
+        let a = &t.roots[0];
+        let b = &a.children[0];
+        assert!(a.total_ns >= b.total_ns, "child interval is contained");
+        assert_eq!(a.self_ns(), a.total_ns - b.total_ns);
+        assert!(b.total_ns >= 2_000_000, "sleep must register");
+    }
+
+    #[test]
+    fn exiting_an_outer_span_force_closes_inner_spans() {
+        let mut p = Profiler::new();
+        let outer = p.enter("outer");
+        let _leaked = p.enter("leaked");
+        p.exit(outer);
+        let t = p.tree();
+        assert_eq!(t.roots.len(), 1);
+        // The leaked inner span was closed by the outer exit: a fresh
+        // enter at top level must not nest under it.
+        let top = p.enter("top");
+        p.exit(top);
+        assert_eq!(p.tree().roots.len(), 2);
+        assert_eq!(t.roots[0].children[0].name, "leaked");
+    }
+
+    #[test]
+    fn stale_tokens_are_ignored() {
+        let mut p = Profiler::new();
+        let outer = p.enter("outer");
+        let inner = p.enter("inner");
+        p.exit(outer); // force-closes inner too
+        p.exit(inner); // stale: must be a no-op
+        assert!(p.stack.is_empty());
+        let t = p.tree();
+        assert_eq!(t.roots[0].children[0].calls, 1);
+    }
+
+    #[test]
+    fn markdown_and_json_render() {
+        let mut p = Profiler::new();
+        let a = p.enter("phase");
+        p.exit(a);
+        let t = p.tree();
+        let md = t.render_markdown();
+        assert!(md.contains("`phase`"), "{md}");
+        match t.to_json() {
+            Value::Array(spans) => assert_eq!(spans.len(), 1),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

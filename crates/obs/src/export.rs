@@ -1,0 +1,199 @@
+//! Renderers: any [`MetricsRegistry`] to markdown, CSV, or JSON.
+//!
+//! All three walk the registry in its deterministic name order, so
+//! repeated exports of the same registry are byte-identical.
+
+use crate::instruments::Histogram;
+use crate::json::Value;
+use crate::registry::{MetricValue, MetricsRegistry};
+
+/// Renders the registry as a markdown table
+/// (`name | kind | value | count | mean | p50 | p99 | max`).
+#[must_use]
+pub fn registry_markdown(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("| metric | kind | value | count | mean | p50 | p99 | max |\n");
+    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|\n");
+    for (name, value) in reg.iter() {
+        let row = match value {
+            MetricValue::Counter(c) => format!("| `{name}` | counter | {c} | | | | | |\n"),
+            MetricValue::Gauge(g) => format!("| `{name}` | gauge | {g} | | | | | |\n"),
+            MetricValue::Histogram(h) => format!(
+                "| `{name}` | histogram | | {} | {:.2} | {} | {} | {} |\n",
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max()
+            ),
+            MetricValue::Series(s) => {
+                format!("| `{name}` | series | len {} | | | | | |\n", s.len())
+            }
+            MetricValue::FloatSeries(s) => {
+                format!("| `{name}` | float-series | len {} | | | | | |\n", s.len())
+            }
+        };
+        out.push_str(&row);
+    }
+    out
+}
+
+/// Renders the registry as CSV with the header
+/// `metric,kind,value,count,sum,mean,p50,p99,max`. Series render one
+/// row per sample with the index in the `count` column.
+#[must_use]
+pub fn registry_csv(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("metric,kind,value,count,sum,mean,p50,p99,max\n");
+    for (name, value) in reg.iter() {
+        match value {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!("{name},counter,{c},,,,,,\n"));
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!("{name},gauge,{g},,,,,,\n"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "{name},histogram,,{},{},{:.6},{},{},{}\n",
+                    h.count(),
+                    h.sum(),
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max()
+                ));
+            }
+            MetricValue::Series(s) => {
+                for (i, v) in s.iter().enumerate() {
+                    out.push_str(&format!("{name},series,{v},{i},,,,,\n"));
+                }
+            }
+            MetricValue::FloatSeries(s) => {
+                for (i, v) in s.iter().enumerate() {
+                    out.push_str(&format!("{name},float-series,{v},{i},,,,,\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One histogram as a JSON object (summary plus non-empty buckets).
+#[must_use]
+pub fn histogram_json(h: &Histogram) -> Value {
+    Value::Object(vec![
+        ("count".to_string(), Value::UInt(h.count())),
+        ("sum".to_string(), Value::UInt(h.sum())),
+        ("max".to_string(), Value::UInt(h.max())),
+        ("mean".to_string(), Value::Num(h.mean())),
+        ("p50".to_string(), Value::UInt(h.quantile(0.5))),
+        ("p99".to_string(), Value::UInt(h.quantile(0.99))),
+        (
+            "buckets".to_string(),
+            Value::Array(
+                h.nonzero_buckets()
+                    .map(|(lo, hi, c)| {
+                        Value::Object(vec![
+                            ("lo".to_string(), Value::UInt(lo)),
+                            ("hi".to_string(), Value::UInt(hi)),
+                            ("count".to_string(), Value::UInt(c)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The registry as a JSON object: metric name to
+/// `{"kind": ..., "value"/"summary": ...}` objects, in name order.
+#[must_use]
+pub fn registry_json(reg: &MetricsRegistry) -> Value {
+    let mut fields = Vec::new();
+    for (name, value) in reg.iter() {
+        let body = match value {
+            MetricValue::Counter(c) => Value::Object(vec![
+                ("kind".to_string(), Value::Str("counter".to_string())),
+                ("value".to_string(), Value::UInt(*c)),
+            ]),
+            MetricValue::Gauge(g) => Value::Object(vec![
+                ("kind".to_string(), Value::Str("gauge".to_string())),
+                ("value".to_string(), Value::UInt(*g)),
+            ]),
+            MetricValue::Histogram(h) => Value::Object(vec![
+                ("kind".to_string(), Value::Str("histogram".to_string())),
+                ("summary".to_string(), histogram_json(h)),
+            ]),
+            MetricValue::Series(s) => Value::Object(vec![
+                ("kind".to_string(), Value::Str("series".to_string())),
+                (
+                    "value".to_string(),
+                    Value::Array(s.iter().map(|v| Value::UInt(*v)).collect()),
+                ),
+            ]),
+            MetricValue::FloatSeries(s) => Value::Object(vec![
+                ("kind".to_string(), Value::Str("float-series".to_string())),
+                (
+                    "value".to_string(),
+                    Value::Array(s.iter().map(|v| Value::Num(*v)).collect()),
+                ),
+            ]),
+        };
+        fields.push((name.to_string(), body));
+    }
+    Value::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.add("pushes", 120);
+        r.gauge_max("frontier.peak", 17);
+        r.record("hops", 3);
+        r.record("hops", 40);
+        r.series_push("work", 5);
+        r.series_push_f("residual", 0.125);
+        r
+    }
+
+    #[test]
+    fn markdown_lists_every_metric_in_name_order() {
+        let md = registry_markdown(&sample());
+        let frontier = md.find("frontier.peak").unwrap();
+        let hops = md.find("hops").unwrap();
+        let pushes = md.find("pushes").unwrap();
+        assert!(frontier < hops && hops < pushes, "{md}");
+        assert!(md.contains("| histogram |"));
+    }
+
+    #[test]
+    fn csv_has_stable_header_and_rows() {
+        let csv = registry_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "metric,kind,value,count,sum,mean,p50,p99,max"
+        );
+        assert!(csv.contains("pushes,counter,120"));
+        assert!(csv.contains("work,series,5,0"));
+    }
+
+    #[test]
+    fn json_export_is_parseable_and_complete() {
+        let reg = sample();
+        let v = registry_json(&reg);
+        let parsed = json::parse(&v.to_json_pretty()).unwrap();
+        assert_eq!(parsed, v);
+        let hops = parsed.get("hops").unwrap();
+        assert_eq!(hops.get("kind").and_then(Value::as_str), Some("histogram"));
+        assert_eq!(
+            hops.get("summary")
+                .and_then(|s| s.get("count"))
+                .and_then(Value::as_f64),
+            Some(2.0)
+        );
+    }
+}

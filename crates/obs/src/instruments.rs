@@ -1,0 +1,265 @@
+//! The deterministic instruments: fixed-bucket log2 histograms (and the
+//! counter/gauge semantics the [`crate::registry`] builds on them).
+//!
+//! Everything here is plain `u64` arithmetic over fixed-size state, so
+//! recording is allocation-free, branch-predictable, and — when driven
+//! from the deterministic sections of an algorithm — bit-identical
+//! across thread counts, shard counts, and transports.
+
+/// Number of buckets in a [`Histogram`]: one per possible bit length of
+/// a `u64` observation, plus a dedicated zero bucket.
+pub const NUM_BUCKETS: usize = 64;
+
+/// A fixed-bucket log2 histogram of `u64` observations.
+///
+/// Bucket `0` holds the observation `0`; bucket `i ≥ 1` holds the
+/// observations of bit length `i`, i.e. `2^(i-1) ≤ v < 2^i` — except the
+/// last bucket, which also absorbs everything of bit length 64. The
+/// bucket layout is fixed at compile time, so two histograms always
+/// merge bucket-by-bucket and [`Histogram::merge`] is commutative and
+/// associative (it is elementwise `u64` addition).
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 2, 3, 900] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.sum(), 906);
+/// assert_eq!(h.max(), 900);
+/// assert!(h.quantile(0.5) >= 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index observation `v` falls into: its bit length,
+    /// clamped to the last bucket (the zero bucket for `v == 0`).
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        let bits = u64::BITS - v.leading_zeros();
+        usize::try_from(bits)
+            .unwrap_or(NUM_BUCKETS - 1)
+            .min(NUM_BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of bucket `i` (saturating to
+    /// `u64::MAX` for the last bucket). Out-of-range indices also
+    /// report `u64::MAX`.
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= NUM_BUCKETS - 1 {
+            return u64::MAX;
+        }
+        let shift = u32::try_from(i).unwrap_or(0);
+        (1u64 << shift) - 1
+    }
+
+    /// The inclusive lower bound of bucket `i` (0 for the zero bucket).
+    #[must_use]
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        let shift = u32::try_from(i.min(NUM_BUCKETS) - 1).unwrap_or(0);
+        1u64 << shift
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical observations at once.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.max = self.max.max(v);
+        if let Some(b) = self.buckets.get_mut(Self::bucket_index(v)) {
+            *b = b.saturating_add(n);
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether the histogram has no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`q` clamped to `[0, 1]`):
+    /// the inclusive upper bound of the first bucket at which the
+    /// cumulative count reaches `ceil(q · count)`, tightened by the
+    /// recorded maximum. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*b);
+            if seen >= target {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self`: elementwise `u64` addition over the
+    /// fixed buckets (plus saturating count/sum addition and a max of
+    /// maxima) — commutative and associative, so per-worker histograms
+    /// can be folded in any deterministic order.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// The non-empty buckets as `(lower, upper, count)` triples, for
+    /// exporters.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (Self::bucket_lower_bound(i), Self::bucket_upper_bound(i), *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_bit_lengths() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // Every bucket's bounds bracket exactly its members.
+        for i in 1..NUM_BUCKETS - 1 {
+            let lo = Histogram::bucket_lower_bound(i);
+            let hi = Histogram::bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_upper_bound(i - 1) + 1, lo);
+        }
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 upper bound must cover at least half the mass but stay a
+        // power-of-two bound.
+        let p50 = h.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1023).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000, "tightened by the recorded max");
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..7 {
+            a.record(42);
+        }
+        b.record_n(42, 7);
+        assert_eq!(a, b);
+        b.record_n(9, 0);
+        assert_eq!(a, b, "zero-count records are no-ops");
+    }
+
+    #[test]
+    fn merge_is_commutative_and_preserves_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 5, 5, 900] {
+            a.record(v);
+        }
+        for v in [0u64, 2, 1 << 40] {
+            b.record(v);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), a.count() + b.count());
+        assert_eq!(ab.sum(), a.sum() + b.sum());
+    }
+}

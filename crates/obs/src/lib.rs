@@ -1,0 +1,96 @@
+//! Deterministic observability for the `gdsearch` workspace.
+//!
+//! The crate is split into two strictly separated halves:
+//!
+//! 1. **Deterministic instruments** ([`instruments`], [`registry`]):
+//!    counters, gauges, and fixed-bucket log2 [`Histogram`]s recording
+//!    *work units* — pushes performed, frontier peaks, halo bytes, frames
+//!    retransmitted, walk hops. Pure `u64` math, no clocks, no
+//!    allocation beyond the owning registry: safe inside result paths
+//!    and bit-identical across thread counts as long as recording
+//!    happens in the deterministic (sequential or commutatively merged)
+//!    sections of an algorithm. Library code receives a write-only
+//!    [`Sink`], so instrumentation *cannot* read a metric back and
+//!    branch a result on it — the analyzer's `obs` rule additionally
+//!    proves the readable/clocked types never appear in the
+//!    `graph`/`diffusion`/`dist` result paths.
+//! 2. **Wall-clock profiling** ([`clock`]): a scoped span API
+//!    ([`Profiler::enter`]/[`Profiler::exit`], nested, aggregated into a
+//!    [`SpanTree`] with self/child time). Only driver and bench code
+//!    constructs a [`Profiler`]; `std::time::Instant` is confined to
+//!    `obs::clock` and allowlisted exactly once in `analysis.toml`.
+//!
+//! [`export`] renders any [`MetricsRegistry`] as markdown, CSV, or JSON;
+//! [`mod@bench`] defines the stable `gdsearch.bench.v1` JSON schema the
+//! `ablation_*` binaries emit (`BENCH_*.json`) and the validator CI runs
+//! against the artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod clock;
+pub mod export;
+pub mod instruments;
+pub mod json;
+pub mod registry;
+
+pub use clock::{Profiler, SpanNode, SpanToken, SpanTree};
+pub use instruments::Histogram;
+pub use registry::{MetricValue, MetricsRegistry, Sink};
+
+/// Bundles the two observability halves for driver-layer code: an
+/// optional deterministic [`Sink`] and an optional wall-clock
+/// [`Profiler`]. The diffusion/graph/dist layers only ever see the
+/// [`Sink`] half; `core::scheme` and the bench harness thread an
+/// `Observer` end to end so one handle carries both.
+#[derive(Debug, Default)]
+pub struct Observer<'a> {
+    sink: Sink<'a>,
+    profiler: Option<&'a mut Profiler>,
+}
+
+impl<'a> Observer<'a> {
+    /// An observer that records nothing: every instrument call is a
+    /// no-op, every span token is `None`.
+    #[must_use]
+    pub fn disabled() -> Observer<'static> {
+        Observer {
+            sink: Sink::disabled(),
+            profiler: None,
+        }
+    }
+
+    /// An observer recording into `registry` (when `Some`) and timing
+    /// spans on `profiler` (when `Some`).
+    pub fn new(
+        registry: Option<&'a mut MetricsRegistry>,
+        profiler: Option<&'a mut Profiler>,
+    ) -> Observer<'a> {
+        Observer {
+            sink: match registry {
+                Some(reg) => Sink::attached(reg),
+                None => Sink::disabled(),
+            },
+            profiler,
+        }
+    }
+
+    /// The deterministic write-only half, for handing to library code.
+    pub fn sink(&mut self) -> &mut Sink<'a> {
+        &mut self.sink
+    }
+
+    /// Opens a wall-clock span when a profiler is attached.
+    pub fn enter(&mut self, name: &str) -> Option<SpanToken> {
+        self.profiler.as_mut().map(|p| p.enter(name))
+    }
+
+    /// Closes a span opened by [`Observer::enter`]; `None` tokens are
+    /// ignored so call sites need no branching.
+    pub fn exit(&mut self, token: Option<SpanToken>) {
+        if let (Some(p), Some(t)) = (self.profiler.as_mut(), token) {
+            p.exit(t);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Algebraic laws of metric merging. Per-worker registries are folded in
+//! whatever order the scheduler finishes them, so the fold must not care:
+//! same-kind merge has to be commutative and associative, and histogram
+//! merging has to preserve totals exactly.
+
+use gdsearch_obs::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+/// One registry write. Each kind gets its own name pool so merges never
+/// hit a kind conflict — conflict accounting is deliberately *not*
+/// associative (it keeps the first-seen kind), and the sequential
+/// recording discipline guarantees engines never mix kinds on a name.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u8, u64),
+    Gauge(u8, u64),
+    Record(u8, u64),
+    Series(u8, u64),
+    SeriesF(u8, u32),
+}
+
+fn apply(reg: &mut MetricsRegistry, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Add(i, v) => reg.add(&format!("counter.{i}"), v),
+            Op::Gauge(i, v) => reg.gauge_max(&format!("gauge.{i}"), v),
+            Op::Record(i, v) => reg.record(&format!("hist.{i}"), v),
+            Op::Series(i, v) => reg.series_push(&format!("series.{i}"), v),
+            Op::SeriesF(i, v) => reg.series_push_f(&format!("fseries.{i}"), f64::from(v)),
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..5, 0u8..3, 0u64..1 << 40).prop_map(|(kind, i, v)| match kind {
+        0 => Op::Add(i, v),
+        1 => Op::Gauge(i, v),
+        2 => Op::Record(i, v),
+        3 => Op::Series(i, v),
+        _ => Op::SeriesF(i, (v & 0xffff_ffff) as u32),
+    })
+}
+
+fn registry(ops: &[Op]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    apply(&mut reg, ops);
+    reg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn registry_merge_is_commutative(
+        a in collection::vec(op_strategy(), 0..24),
+        b in collection::vec(op_strategy(), 0..24),
+    ) {
+        let (ra, rb) = (registry(&a), registry(&b));
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb;
+        ba.merge(&ra);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn registry_merge_is_associative(
+        a in collection::vec(op_strategy(), 0..24),
+        b in collection::vec(op_strategy(), 0..24),
+        c in collection::vec(op_strategy(), 0..24),
+    ) {
+        let (ra, rb, rc) = (registry(&a), registry(&b), registry(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ra.clone();
+        left.merge(&rb);
+        left.merge(&rc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = rb;
+        bc.merge(&rc);
+        let mut right = ra;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_preserves_totals(
+        a in collection::vec((0u64..1 << 48, 1u64..100), 0..32),
+        b in collection::vec((0u64..1 << 48, 1u64..100), 0..32),
+        c in collection::vec((0u64..1 << 48, 1u64..100), 0..32),
+    ) {
+        let build = |obs: &[(u64, u64)]| {
+            let mut h = Histogram::new();
+            for &(v, n) in obs {
+                h.record_n(v, n);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let mut left = ha;
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut right = ha;
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(
+            left.count(),
+            ha.count() + hb.count() + hc.count()
+        );
+        prop_assert_eq!(left.max(), ha.max().max(hb.max()).max(hc.max()));
+    }
+}

@@ -1,0 +1,117 @@
+//! Instrumented engines must report the same numbers no matter how many
+//! workpool threads the schedule lands on: every `Sink` write happens in
+//! a sequential driver section, so registries are bit-identical across
+//! thread counts — and so are the diffusion results themselves.
+
+use gdsearch_diffusion::push::PushConfig;
+use gdsearch_diffusion::sharded::{self, ShardedConfig};
+use gdsearch_diffusion::{power, push, PprConfig, Signal};
+use gdsearch_embed::Embedding;
+use gdsearch_graph::{generators, NodeId};
+use gdsearch_obs::{MetricsRegistry, Sink};
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn power_registry_is_thread_invariant(
+        n in 16u32..64,
+        alpha in 0.2f32..0.8,
+        source in 0usize..16,
+    ) {
+        let graph = generators::ring(n).expect("ring builds");
+        let config = PprConfig::new(alpha).expect("valid alpha");
+        let mut e0 = Signal::zeros(n as usize, 2);
+        e0.row_mut(source % n as usize)[0] = 1.0;
+        e0.row_mut(source % n as usize)[1] = 0.5;
+
+        let mut runs = THREADS.iter().map(|&threads| {
+            let mut reg = MetricsRegistry::new();
+            let out = power::diffuse_threaded_observed(
+                &graph, &e0, &config, threads, &mut Sink::attached(&mut reg),
+            )
+            .expect("diffusion converges");
+            (reg, out)
+        });
+        let (first_reg, first_out) = runs.next().expect("three thread counts");
+        for (reg, out) in runs {
+            prop_assert_eq!(&reg, &first_reg);
+            prop_assert_eq!(out.signal.as_slice(), first_out.signal.as_slice());
+        }
+        prop_assert!(!first_reg.is_empty());
+        prop_assert_eq!(first_reg.kind_conflicts(), 0);
+    }
+
+    #[test]
+    fn push_registry_is_thread_invariant(
+        n in 16u32..64,
+        alpha in 0.2f32..0.8,
+        sources in collection::vec(0u32..16, 1..4),
+    ) {
+        let graph = generators::ring(n).expect("ring builds");
+        let ppr = PprConfig::new(alpha).expect("valid alpha");
+        let sources: Vec<(NodeId, Embedding)> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                (NodeId::new(s % n), Embedding::new(vec![1.0, 0.25 * i as f32]))
+            })
+            .collect();
+
+        let mut runs = THREADS.iter().map(|&threads| {
+            let config = PushConfig::new(ppr)
+                .with_threads(threads)
+                .expect("valid threads");
+            let mut reg = MetricsRegistry::new();
+            let out = push::diffuse_sparse_observed(
+                &graph, 2, &sources, &config, &mut Sink::attached(&mut reg),
+            )
+            .expect("push converges");
+            (reg, out)
+        });
+        let (first_reg, first_out) = runs.next().expect("three thread counts");
+        for (reg, out) in runs {
+            prop_assert_eq!(&reg, &first_reg);
+            prop_assert_eq!(out.as_slice(), first_out.as_slice());
+        }
+        prop_assert!(!first_reg.is_empty());
+        prop_assert_eq!(first_reg.kind_conflicts(), 0);
+    }
+
+    #[test]
+    fn sharded_registry_is_thread_invariant(
+        n in 24u32..64,
+        shards in 1usize..4,
+        alpha in 0.2f32..0.8,
+    ) {
+        let graph = generators::ring(n).expect("ring builds");
+        let ppr = PprConfig::new(alpha).expect("valid alpha");
+        let mut e0 = Signal::zeros(n as usize, 2);
+        e0.row_mut(1)[0] = 1.0;
+        e0.row_mut(n as usize / 2)[1] = 1.0;
+
+        let mut runs = THREADS.iter().map(|&threads| {
+            let config = ShardedConfig::new(ppr)
+                .with_shards(shards)
+                .expect("valid shards")
+                .with_threads(threads)
+                .expect("valid threads");
+            let mut reg = MetricsRegistry::new();
+            let out = sharded::diffuse_observed(
+                &graph, &e0, &config, &mut Sink::attached(&mut reg),
+            )
+            .expect("sharded diffusion converges");
+            (reg, out)
+        });
+        let (first_reg, first_out) = runs.next().expect("three thread counts");
+        for (reg, out) in runs {
+            prop_assert_eq!(&reg, &first_reg);
+            prop_assert_eq!(out.signal.as_slice(), first_out.signal.as_slice());
+        }
+        prop_assert!(!first_reg.is_empty());
+        prop_assert_eq!(first_reg.kind_conflicts(), 0);
+    }
+}

@@ -30,13 +30,18 @@ struct InFlight<M> {
 }
 
 /// A delivery completed by [`Link::service`] during one tick. Per-message
-/// queueing delay is folded into [`LinkStats::queue_delay_ticks`].
+/// queueing delay is folded into [`LinkStats::queue_delay_ticks`] and also
+/// carried out per message (`waited`) so the transport layer can record a
+/// full delay distribution, not just the sum.
 #[derive(Debug)]
 pub(crate) struct Completed<M> {
     /// The transported message.
     pub msg: M,
     /// Wire size in bytes.
     pub bytes: usize,
+    /// Ticks this message waited in the queue before its transmission
+    /// started.
+    pub waited: u64,
 }
 
 /// Cumulative statistics of one directed link.
@@ -123,12 +128,14 @@ impl<M> Link<M> {
             }
             budget -= head.remaining;
             let head = self.queue.pop_front().expect("front_mut saw it");
+            let waited = started - head.enqueued_at;
             self.stats.delivered += 1;
             self.stats.bytes += head.bytes as u64;
-            self.stats.queue_delay_ticks += started - head.enqueued_at;
+            self.stats.queue_delay_ticks += waited;
             out.push(Completed {
                 msg: head.msg,
                 bytes: head.bytes,
+                waited,
             });
         }
     }

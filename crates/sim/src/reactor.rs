@@ -91,6 +91,7 @@ use std::collections::BTreeSet;
 
 use gdsearch_diffusion::workpool;
 use gdsearch_graph::{Graph, NodeId};
+use gdsearch_obs::Histogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -147,6 +148,16 @@ pub struct Reactor<M, H> {
     loss_probability: f64,
     stats: NetStats,
     trace: Trace,
+    /// Activated nodes per tick (recorded in the sequential tail of every
+    /// `step`).
+    activations_per_tick: Histogram,
+    /// Handler deliveries per tick.
+    deliveries_per_tick: Histogram,
+    /// Per-source wire accounting: `(frames, bytes)` handed to the
+    /// transport by each node, updated in the sequential transport
+    /// phase. The distributed layer cross-checks its own byte
+    /// accounting against these.
+    sent_by_node: Vec<(u64, u64)>,
 }
 
 impl<M, H> Reactor<M, H>
@@ -190,6 +201,9 @@ where
             loss_probability: config.loss_probability,
             stats: NetStats::default(),
             trace: Trace::new(config.trace_capacity),
+            activations_per_tick: Histogram::new(),
+            deliveries_per_tick: Histogram::new(),
+            sent_by_node: vec![(0, 0); n],
             graph,
         })
     }
@@ -217,6 +231,37 @@ where
     /// The transport trace (empty unless enabled in the config).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Distribution of activated nodes per executed tick.
+    pub fn activations_histogram(&self) -> &Histogram {
+        &self.activations_per_tick
+    }
+
+    /// Distribution of handler deliveries per executed tick.
+    pub fn deliveries_histogram(&self) -> &Histogram {
+        &self.deliveries_per_tick
+    }
+
+    /// Distribution of post-enqueue link-queue depths (one sample per
+    /// accepted enqueue).
+    pub fn queue_depth_histogram(&self) -> &Histogram {
+        self.transport.queue_depths_histogram()
+    }
+
+    /// `(frames, bytes)` node `source` has handed to the transport so
+    /// far, including messages later lost or dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for unknown nodes.
+    pub fn sent_from(&self, source: NodeId) -> Result<(u64, u64), SimError> {
+        self.check_node(source)?;
+        Ok(self
+            .sent_by_node
+            .get(source.index())
+            .copied()
+            .unwrap_or((0, 0)))
     }
 
     /// Statistics of the directed link `from → to`, if that overlay edge
@@ -308,6 +353,7 @@ where
     pub fn step(&mut self) -> SimTime {
         let now = self.now();
         let tick = self.tick;
+        let delivered_before = self.stats.delivered;
         self.apply_churn();
 
         // ---- Handler phase (parallel over activations) ----------------
@@ -352,6 +398,7 @@ where
                 pending,
             });
         }
+        self.activations_per_tick.record(activations.len() as u64);
         let graph = &self.graph;
         let queue_capacity = self.transport.queue_capacity();
         workpool::map_batched_mut(&mut activations, self.threads, |activation| {
@@ -391,6 +438,8 @@ where
             active.insert(to.index());
         });
         self.transport.fold_stats(&mut self.stats);
+        self.deliveries_per_tick
+            .record(self.stats.delivered - delivered_before);
         self.tick += 1;
         now
     }
@@ -403,6 +452,10 @@ where
         let bytes = msg.wire_size();
         self.stats.sent += 1;
         self.stats.bytes_sent += bytes as u64;
+        if let Some(meter) = self.sent_by_node.get_mut(from.index()) {
+            meter.0 += 1;
+            meter.1 += bytes as u64;
+        }
         let now = self.now();
         self.trace.record(TraceEvent {
             time: now,
@@ -709,8 +762,16 @@ mod tests {
         net.inject(NodeId::new(0), Hop(0)).unwrap();
         net.run_to_completion(100).unwrap();
         assert_eq!(net.stats().delivered, 11);
-        assert_eq!(net.stats().queue_delay_ticks, (0..10).sum::<u64>());
+        assert_eq!(net.stats().queue_delay.sum(), (0..10).sum::<u64>());
+        assert_eq!(net.stats().queue_delay.count(), 10);
+        assert_eq!(net.stats().queue_delay.max(), 9);
         assert_eq!(net.stats().max_queue_depth, 10);
+        // Queue-depth samples: the k-th of the 10 enqueues saw depth k.
+        assert_eq!(net.queue_depth_histogram().count(), 10);
+        assert_eq!(net.queue_depth_histogram().max(), 10);
+        // Tick-phase histograms cover every executed tick.
+        assert_eq!(net.activations_histogram().count(), net.now_tick());
+        assert_eq!(net.deliveries_histogram().sum(), 11);
     }
 
     #[test]

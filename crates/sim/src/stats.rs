@@ -1,3 +1,4 @@
+use gdsearch_obs::Histogram;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate transport statistics of a simulation run.
@@ -31,9 +32,12 @@ pub struct NetStats {
     /// instant backend). Per-link values are on
     /// [`Reactor::link_stats`](crate::Reactor::link_stats).
     pub max_queue_depth: u64,
-    /// Total ticks transported messages spent queued behind other traffic
-    /// before their own transmission started (0 for the instant backend).
-    pub queue_delay_ticks: u64,
+    /// Distribution of per-message queueing delay: ticks each delivered
+    /// message spent queued behind other traffic before its own
+    /// transmission started (empty for the instant backend). The total is
+    /// [`Histogram::sum`], tail latency is
+    /// [`Histogram::quantile`]`(0.99)`.
+    pub queue_delay: Histogram,
 }
 
 impl NetStats {
@@ -59,17 +63,17 @@ impl NetStats {
     /// Mean ticks a transported message waited in its link queue before
     /// transmission started; 0.0 when nothing was transported.
     ///
-    /// The denominator is the messages that actually entered a link
-    /// (`sent` minus loss, full-queue and no-route drops) — injections
-    /// bypass the link fabric and messages dropped before enqueueing
-    /// never wait, so neither belongs in the average.
+    /// The denominator is the messages whose transmission completed —
+    /// injections bypass the link fabric and messages dropped before
+    /// enqueueing never wait, so neither belongs in the average.
     pub fn mean_queue_delay_ticks(&self) -> f64 {
-        let transported = self.sent - self.lost - self.dropped_backpressure - self.dropped_no_route;
-        if transported == 0 {
-            0.0
-        } else {
-            self.queue_delay_ticks as f64 / transported as f64
-        }
+        self.queue_delay.mean()
+    }
+
+    /// Upper bound on the 99th-percentile queueing delay, in ticks (0
+    /// when nothing was transported).
+    pub fn p99_queue_delay_ticks(&self) -> u64 {
+        self.queue_delay.quantile(0.99)
     }
 
     /// All drops combined: loss, down endpoints, full queues, missing
@@ -85,6 +89,11 @@ mod tests {
 
     #[test]
     fn ratios_with_traffic() {
+        let mut queue_delay = Histogram::new();
+        // 6 messages completed transmission; delays sum to 18.
+        for waited in [0, 1, 2, 3, 4, 8] {
+            queue_delay.record(waited);
+        }
         let s = NetStats {
             sent: 10,
             delivered: 8,
@@ -94,12 +103,13 @@ mod tests {
             dropped_backpressure: 2,
             dropped_no_route: 1,
             max_queue_depth: 5,
-            queue_delay_ticks: 18,
+            queue_delay,
         };
         assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
         assert!((s.mean_message_bytes() - 42.0).abs() < 1e-12);
-        // 18 ticks over the 10 − 1 − 2 − 1 = 6 messages that entered a link.
+        // 18 ticks over the 6 messages whose transmission completed.
         assert!((s.mean_queue_delay_ticks() - 3.0).abs() < 1e-12);
+        assert_eq!(s.p99_queue_delay_ticks(), 8);
         assert_eq!(s.dropped_total(), 5);
     }
 

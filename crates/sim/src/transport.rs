@@ -18,6 +18,7 @@
 use std::collections::BTreeSet;
 
 use gdsearch_graph::{Graph, NodeId};
+use gdsearch_obs::Histogram;
 
 use crate::churn::ChurnSchedule;
 use crate::link::{Completed, Link, LinkStats};
@@ -157,6 +158,13 @@ pub(crate) struct Transport<M> {
     busy: BTreeSet<usize>,
     bytes_per_tick: u64,
     queue_capacity: usize,
+    /// Distribution of per-message queueing delays (ticks spent waiting
+    /// behind other traffic before transmission started). Recorded in the
+    /// sequential link phase, in deterministic CSR link order.
+    queue_delay: Histogram,
+    /// Distribution of post-enqueue queue depths, sampled at every
+    /// accepted enqueue. Recorded in the sequential transport phase.
+    queue_depth: Histogram,
 }
 
 impl<M> Transport<M> {
@@ -179,6 +187,8 @@ impl<M> Transport<M> {
             busy: BTreeSet::new(),
             bytes_per_tick: config.bytes_per_tick,
             queue_capacity: config.queue_capacity,
+            queue_delay: Histogram::new(),
+            queue_depth: Histogram::new(),
         }
     }
 
@@ -205,8 +215,11 @@ impl<M> Transport<M> {
     /// Hands a message to link `id`; returns whether it was accepted
     /// (false means the bounded queue is full).
     pub(crate) fn enqueue_at(&mut self, id: usize, msg: M, bytes: usize, tick: u64) -> bool {
-        if self.links[id].enqueue(msg, bytes, tick) {
+        let link = &mut self.links[id];
+        if link.enqueue(msg, bytes, tick) {
+            let depth = link.depth() as u64;
             self.busy.insert(id);
+            self.queue_depth.record(depth);
             true
         } else {
             false
@@ -230,6 +243,7 @@ impl<M> Transport<M> {
             }
             let (from, to) = self.endpoints[id];
             for done in completed.drain(..) {
+                self.queue_delay.record(done.waited);
                 deliver(from, to, done);
             }
         }
@@ -254,7 +268,13 @@ impl<M> Transport<M> {
             .map(|l| l.stats().max_depth)
             .max()
             .unwrap_or(0);
-        stats.queue_delay_ticks = self.links.iter().map(|l| l.stats().queue_delay_ticks).sum();
+        stats.queue_delay = self.queue_delay;
+    }
+
+    /// The distribution of post-enqueue queue depths (one sample per
+    /// accepted enqueue).
+    pub(crate) fn queue_depths_histogram(&self) -> &Histogram {
+        &self.queue_depth
     }
 }
 

@@ -68,9 +68,11 @@ fn drain_time_scales_inversely_with_bandwidth() {
     // Serialization dominates: ~50, ~10, ~1 service ticks respectively.
     assert!(slow_ticks > mid_ticks && mid_ticks > fast_ticks);
     assert!(slow_ticks >= 50);
-    // Queue delay likewise shrinks with bandwidth.
-    assert!(slow.queue_delay_ticks > mid.queue_delay_ticks);
-    assert!(fast.queue_delay_ticks == 0);
+    // Queue delay likewise shrinks with bandwidth, in total and at the
+    // tail.
+    assert!(slow.queue_delay.sum() > mid.queue_delay.sum());
+    assert!(slow.p99_queue_delay_ticks() > mid.p99_queue_delay_ticks());
+    assert!(fast.queue_delay.sum() == 0);
     // The queue high-water mark is the full burst in every case (all 50
     // messages are enqueued in one activation).
     assert_eq!(slow.max_queue_depth, 50);
