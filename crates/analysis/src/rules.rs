@@ -406,14 +406,22 @@ fn wire_discipline(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 /// *read* recorded metrics or wall-clock spans, so its mere presence
 /// means instrumentation could feed back into a result. The write-only
 /// `Sink` is deliberately absent from this list.
-const OBS_READ_TYPES: [&str; 4] = ["MetricsRegistry", "Observer", "Profiler", "SpanTree"];
+const OBS_READ_TYPES: [&str; 6] = [
+    "MetricsRegistry",
+    "Observer",
+    "Profiler",
+    "SpanTree",
+    "TraceLog",
+    "WallStamper",
+];
 
 /// Rule 6: observability blindness. The engine crates thread a
 /// write-only `Sink` for work accounting; the readable half of the
-/// observability API (registries, the profiler, span trees, `obs::clock`)
-/// is reserved for driver/bench code, so recording can never branch a
-/// result. Test regions are exempt (tests *should* read registries to
-/// assert on them).
+/// observability API (registries, the profiler, span trees, the
+/// flight-recorder trace log, `obs::clock`, `obs::trace`) is reserved
+/// for driver/bench code, so recording can never branch a result. Test
+/// regions are exempt (tests *should* read registries to assert on
+/// them).
 fn obs_blindness(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     for (i, t) in ctx.lexed.tokens.iter().enumerate() {
         if ctx.lexed.in_test_region(t.line) {
@@ -436,6 +444,18 @@ fn obs_blindness(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                     t.line,
                     "obs::clock in a result-path crate: wall-clock profiling is driver-only".into(),
                 ));
+            }
+            "gdsearch_obs" | "obs" if seq_at(ctx, i + 1, &[":", ":", "trace"]) => {
+                out.push(
+                    ctx.diag(
+                        "obs",
+                        "trace",
+                        t.line,
+                        "obs::trace in a result-path crate: the flight recorder is readable \
+                     (and driver-threaded); record through the Observer at driver points"
+                            .into(),
+                    ),
+                );
             }
             _ => {}
         }
@@ -604,6 +624,20 @@ mod tests {
         assert!(checks("let t = obs::clock::now();")
             .iter()
             .any(|(_, c)| *c == "clock"));
+        assert!(checks("let mut log = TraceLog::new();")
+            .iter()
+            .any(|(_, c)| *c == "read-type"));
+        assert!(checks("let w = WallStamper::new();")
+            .iter()
+            .any(|(_, c)| *c == "read-type"));
+        assert!(checks("use gdsearch_obs::trace::TraceEvent;")
+            .iter()
+            .any(|(_, c)| *c == "trace"));
+        assert!(
+            checks("let json = obs::trace::chrome_trace_json(&log, None);")
+                .iter()
+                .any(|(_, c)| *c == "trace")
+        );
         // The write-only sink is the sanctioned channel.
         assert!(checks("use gdsearch_obs::Sink;")
             .iter()

@@ -1,8 +1,10 @@
 //! Obs fixture (fire): a result path that reads instrumentation — the
 //! iteration count comes out of the registry, so recording branches the
-//! result — plus driver-only wall-clock profiling.
+//! result — plus driver-only wall-clock profiling and the readable
+//! flight-recorder types.
 
 use gdsearch_obs::clock::Profiler;
+use gdsearch_obs::trace::TraceLog;
 use gdsearch_obs::MetricsRegistry;
 
 pub fn diffuse(reg: &mut MetricsRegistry) -> u64 {
@@ -11,4 +13,11 @@ pub fn diffuse(reg: &mut MetricsRegistry) -> u64 {
         Some(v) => 1,
         None => 0,
     }
+}
+
+pub fn traced_diffuse(log: &mut TraceLog) -> usize {
+    log.begin("engine.sweep");
+    log.end("engine.sweep");
+    // Branching on the recorded trace: exactly what rule 6 forbids.
+    log.count_phase("engine.sweep")
 }

@@ -13,6 +13,7 @@ pub fn diffuse(n: u64, sink: &mut Sink<'_>) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gdsearch_obs::trace::TraceLog;
     use gdsearch_obs::MetricsRegistry;
 
     #[test]
@@ -20,5 +21,12 @@ mod tests {
         let mut reg = MetricsRegistry::new();
         assert_eq!(diffuse(3, &mut Sink::attached(&mut reg)), 6);
         assert!(reg.get("engine.sweeps").is_some());
+    }
+
+    #[test]
+    fn tests_may_read_the_flight_recorder() {
+        let mut log = TraceLog::new();
+        log.begin("engine.sweep");
+        assert_eq!(log.len(), 1);
     }
 }

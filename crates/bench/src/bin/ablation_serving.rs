@@ -1,0 +1,341 @@
+//! **Ablation S — concurrent serving latency.** Runs the scheme's query
+//! path as a long-lived engine under closed-loop client load: each
+//! client issues a query, waits for the walk to complete, and
+//! immediately issues the next one, over a Zipf-skewed query mix (hot
+//! sources dominate) and a uniform mix (every source cold). Per-query
+//! end-to-end latency lands in the shared log2 histograms and is
+//! reported as p50/p99/p999 plus queries/sec `gdsearch.bench.v1` rows —
+//! the latency story behind the ROADMAP's "millions of users" serving
+//! bullet.
+//!
+//! A separate sequential observed pass records the query-path flight
+//! recorder (`obs::trace`) with wall-clock annotation and reports the
+//! per-phase breakdown (personalization / diffusion / walk) from the
+//! trace; `--trace PATH` exports it as Chrome trace-event JSON for
+//! `chrome://tracing` / Perfetto.
+//!
+//! ```text
+//! cargo run -p gdsearch-bench --release --bin ablation_serving -- \
+//!     --nodes 4039 --docs 100 --dim 32 --requests 200 \
+//!     --clients-list 1,4,8 --zipf-s 1.1 \
+//!     --json BENCH_serving.json --trace trace.json
+//! ```
+
+// Harness code: wall-clock timing is the measurement itself.
+#![allow(clippy::disallowed_methods)]
+
+use gdsearch::{Placement, SchemeConfig, SearchNetwork};
+use gdsearch_bench::{maybe_write_json, workbench_from_args, Args, Zipf};
+use gdsearch_graph::NodeId;
+use gdsearch_obs::bench::{BenchReport, BenchRow};
+use gdsearch_obs::trace::{chrome_trace_json, Stamp, TraceKind, TraceLog};
+use gdsearch_obs::{Histogram, MetricsRegistry, Observer, Profiler, WallStamper};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Latency/throughput aggregate of one `(mix, clients)` cell.
+struct Cell {
+    mix: String,
+    clients: usize,
+    latency_ns: Histogram,
+    hits: u64,
+    queries: u64,
+    wall_secs: f64,
+}
+
+impl Cell {
+    fn qps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.queries as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        if self.queries > 0 {
+            self.hits as f64 / self.queries as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `clients` closed-loop clients, each issuing `requests` queries
+/// drawn from `mix` (a sampler over placed-document ranks).
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    network: &SearchNetwork<'_>,
+    corpus: &gdsearch_embed::Corpus,
+    pairs: &[gdsearch_embed::querygen::QueryGoldPair],
+    mix_name: &str,
+    mix: &Zipf,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+) -> Cell {
+    let n = network.graph().num_nodes() as u32;
+    let t0 = std::time::Instant::now();
+    let per_client: Vec<(Histogram, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0x7365_7276 ^ ((c as u64) << 32));
+                    let mut latency = Histogram::new();
+                    let mut hits = 0u64;
+                    for _ in 0..requests {
+                        let rank = mix.sample(&mut rng);
+                        let pair = pairs[rank];
+                        let query = corpus.embedding(pair.query);
+                        let start = NodeId::new(rng.random_range(0..n));
+                        let q0 = std::time::Instant::now();
+                        let walk = network
+                            .query(query, start, &mut rng)
+                            .expect("serving query succeeds");
+                        let ns = u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        latency.record(ns);
+                        // Document `rank` hosts this pair's gold word.
+                        if walk.contains(rank) {
+                            hits += 1;
+                        }
+                    }
+                    (latency, hits)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread completes"))
+            .collect()
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let mut latency_ns = Histogram::new();
+    let mut hits = 0u64;
+    for (h, c) in &per_client {
+        latency_ns.merge(h);
+        hits += c;
+    }
+    Cell {
+        mix: mix_name.to_string(),
+        clients,
+        latency_ns,
+        hits,
+        queries: (clients * requests) as u64,
+        wall_secs,
+    }
+}
+
+/// Sums wall-annotated `Begin`→`End` durations per phase from a trace:
+/// `(phase, total_ns, spans)` in first-seen order.
+fn phase_breakdown(log: &TraceLog, wall: &WallStamper) -> Vec<(String, u64, u64)> {
+    let ns_at = |index: u64| -> Option<u64> {
+        let stamps = wall.stamps();
+        let at = stamps.binary_search_by_key(&index, |&(i, _)| i).ok()?;
+        stamps.get(at).map(|&(_, ns)| ns)
+    };
+    let mut totals: Vec<(String, u64, u64)> = Vec::new();
+    let mut open: Vec<(String, u64)> = Vec::new();
+    for (index, event) in log.events().iter().enumerate() {
+        if !matches!(event.stamp, Stamp::Seq(_)) {
+            continue;
+        }
+        match event.kind {
+            TraceKind::Begin => {
+                if let Some(ns) = ns_at(index as u64) {
+                    open.push((event.phase.clone(), ns));
+                }
+            }
+            TraceKind::End => {
+                let Some(at) = open.iter().rposition(|(p, _)| *p == event.phase) else {
+                    continue;
+                };
+                let (phase, began) = open.remove(at);
+                let Some(ended) = ns_at(index as u64) else {
+                    continue;
+                };
+                let spent = ended.saturating_sub(began);
+                match totals.iter_mut().find(|(p, _, _)| *p == phase) {
+                    Some((_, total, spans)) => {
+                        *total += spent;
+                        *spans += 1;
+                    }
+                    None => totals.push((phase, spent, 1)),
+                }
+            }
+            TraceKind::Point => {}
+        }
+    }
+    totals
+}
+
+fn main() {
+    let args = Args::from_env();
+    let docs: usize = args.get_or("docs", 100);
+    let requests: usize = args.get_or("requests", 200);
+    let clients_list: Vec<usize> = args.get_list_or("clients-list", &[1, 4]);
+    let zipf_s: f64 = args.get_or("zipf-s", 1.1);
+    let ttl: u32 = args.get_or("ttl", 50);
+    let seed: u64 = args.get_or("seed", 2022);
+    let observed_queries: usize = args.get_or("observed-queries", 32);
+
+    let workbench = workbench_from_args(&args, docs + 50).expect("workbench builds");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0073_6572_7669_6e67);
+    // Document i hosts pairs[i].gold, so a mix over ranks 0..docs is a
+    // mix over placed documents and `walk.contains(rank)` is the hit
+    // test. Hot ranks are low ranks.
+    let pairs: Vec<gdsearch_embed::querygen::QueryGoldPair> = workbench
+        .queries
+        .pairs()
+        .iter()
+        .copied()
+        .cycle()
+        .take(docs)
+        .collect();
+    let words: Vec<gdsearch_embed::WordId> = pairs.iter().map(|p| p.gold).collect();
+    let placement =
+        Placement::uniform(&workbench.graph, &words, &mut rng).expect("placement fits graph");
+    let config = SchemeConfig::builder()
+        .ttl(ttl)
+        .build()
+        .expect("valid scheme config");
+    let network = SearchNetwork::build(
+        &workbench.graph,
+        &workbench.corpus,
+        &placement,
+        &config,
+        &mut rng,
+    )
+    .expect("scheme builds");
+
+    println!(
+        "# Ablation: serving latency — N = {} nodes, {} edges, M = {docs} documents, \
+         closed-loop clients × {requests} requests, mixes: zipf(s={zipf_s}) and uniform",
+        workbench.graph.num_nodes(),
+        workbench.graph.num_edges(),
+    );
+
+    let mixes = [
+        ("hot".to_string(), Zipf::new(docs, zipf_s)),
+        ("uniform".to_string(), Zipf::new(docs, 0.0)),
+    ];
+    let mut cells: Vec<Cell> = Vec::new();
+    for (name, mix) in &mixes {
+        for &clients in &clients_list {
+            cells.push(run_cell(
+                &network,
+                &workbench.corpus,
+                &pairs,
+                name,
+                mix,
+                clients,
+                requests,
+                seed,
+            ));
+        }
+    }
+
+    println!("\n## End-to-end latency (closed loop)\n");
+    println!("| mix | clients | queries | p50 µs | p99 µs | p999 µs | qps | hit rate |");
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|");
+    for c in &cells {
+        println!(
+            "| {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.0} | {:.2} |",
+            c.mix,
+            c.clients,
+            c.queries,
+            c.latency_ns.quantile(0.5) as f64 / 1e3,
+            c.latency_ns.quantile(0.99) as f64 / 1e3,
+            c.latency_ns.quantile(0.999) as f64 / 1e3,
+            c.qps(),
+            c.hit_rate(),
+        );
+    }
+
+    // Sequential observed pass: flight recorder + wall annotation gives
+    // the per-phase breakdown and the exportable trace.
+    let mut registry = MetricsRegistry::new();
+    let mut profiler = Profiler::new();
+    let mut log = TraceLog::new();
+    let mut wall = WallStamper::new();
+    {
+        let mut obs = Observer::new(Some(&mut registry), Some(&mut profiler))
+            .with_trace(&mut log)
+            .with_wall(&mut wall);
+        let observed = SearchNetwork::build_observed(
+            &workbench.graph,
+            &workbench.corpus,
+            &placement,
+            &config,
+            &mut rng,
+            &mut obs,
+        )
+        .expect("observed build succeeds");
+        let mix = Zipf::new(docs, zipf_s);
+        for q in 0..observed_queries {
+            let rank = mix.sample(&mut rng);
+            let pair = pairs[rank];
+            let start = NodeId::new(rng.random_range(0..workbench.graph.num_nodes() as u32));
+            obs.set_query(q as u64 + 1);
+            observed
+                .query_observed(
+                    workbench.corpus.embedding(pair.query),
+                    start,
+                    &mut rng,
+                    &mut obs,
+                )
+                .expect("observed query succeeds");
+        }
+    }
+    let phases = phase_breakdown(&log, &wall);
+    println!("\n## Per-phase breakdown (sequential observed pass, from the trace)\n");
+    println!("| phase | spans | total ms |");
+    println!("|---|---:|---:|");
+    for (phase, total_ns, spans) in &phases {
+        println!("| {phase} | {spans} | {:.3} |", *total_ns as f64 / 1e6);
+    }
+
+    if let Some(path) = args.get("trace") {
+        let text = chrome_trace_json(&log, Some(wall.stamps()));
+        match std::fs::write(path, &text) {
+            Ok(()) => println!("\ntrace written to {path} (load in chrome://tracing)"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut bench = BenchReport::new("ablation_serving");
+    bench
+        .meta("seed", seed)
+        .meta("nodes", workbench.graph.num_nodes())
+        .meta("docs", docs)
+        .meta("requests", requests)
+        .meta("zipf_s", zipf_s)
+        .meta("ttl", ttl);
+    for c in &cells {
+        bench.push_row(
+            BenchRow::new()
+                .label("mix", &c.mix)
+                .label("clients", c.clients)
+                .value("queries", c.queries as f64)
+                .value("p50_latency_us", c.latency_ns.quantile(0.5) as f64 / 1e3)
+                .value("p99_latency_us", c.latency_ns.quantile(0.99) as f64 / 1e3)
+                .value("p999_latency_us", c.latency_ns.quantile(0.999) as f64 / 1e3)
+                .value("qps", c.qps())
+                .value("hit_rate", c.hit_rate()),
+        );
+    }
+    for (phase, total_ns, spans) in &phases {
+        bench.push_row(
+            BenchRow::new()
+                .label("mix", "observed")
+                .label("phase", phase)
+                .value("spans", *spans as f64)
+                .value("wall_ms", *total_ns as f64 / 1e6),
+        );
+    }
+    bench.attach_metrics(registry);
+    bench.attach_spans(profiler.tree());
+    maybe_write_json(&args, "BENCH_serving.json", &bench);
+}

@@ -188,19 +188,22 @@ fn main() {
 
     println!("\n## Search outcome\n");
     println!(
-        "| configuration | recall | bytes/query | messages/query | p99 queue wait | virtual time |"
+        "| configuration | recall | bytes/query | messages/query | \
+         queue wait p50/p99/p999 | virtual time |"
     );
     println!("|---|---|---|---|---|---|");
     for r in &rows {
         println!(
-            "| {} | {:.2} ({}/{}) | {:.0} | {:.0} | {} | {:.0}s |",
+            "| {} | {:.2} ({}/{}) | {:.0} | {:.0} | {}/{}/{} | {:.0}s |",
             r.label,
             r.recall,
             (r.recall * r.issued as f64).round() as u64,
             r.issued,
             r.stats.bytes_sent as f64 / r.issued.max(1) as f64,
             r.stats.sent as f64 / r.issued.max(1) as f64,
+            r.stats.p50_queue_delay_ticks(),
             r.stats.p99_queue_delay_ticks(),
+            r.stats.p999_queue_delay_ticks(),
             r.virtual_secs,
         );
     }
@@ -227,8 +230,16 @@ fn main() {
                 .value("dropped_backpressure", r.stats.dropped_backpressure as f64)
                 .value("mean_queue_delay_ticks", r.stats.mean_queue_delay_ticks())
                 .value(
+                    "p50_queue_delay_ticks",
+                    r.stats.p50_queue_delay_ticks() as f64,
+                )
+                .value(
                     "p99_queue_delay_ticks",
                     r.stats.p99_queue_delay_ticks() as f64,
+                )
+                .value(
+                    "p999_queue_delay_ticks",
+                    r.stats.p999_queue_delay_ticks() as f64,
                 )
                 .value("virtual_secs", r.virtual_secs),
         );

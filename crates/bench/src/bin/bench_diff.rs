@@ -1,0 +1,59 @@
+//! **bench_diff — the perf-regression gate.** Diffs two
+//! `gdsearch.bench.v1` reports (`obs::regress` does the comparison) and
+//! exits nonzero when the current report regressed past the tolerance
+//! bands, so CI's `perf-trajectory` job can compare fresh artifacts
+//! against the committed `BENCH_*.json` baselines instead of merely
+//! uploading them.
+//!
+//! ```text
+//! cargo run -p gdsearch-bench --bin bench_diff -- \
+//!     --baseline BENCH_engines.json --current target/BENCH_engines.json \
+//!     [--wall-rel 0.5] [--work-rel 0.05]
+//! ```
+//!
+//! Exit codes: `0` no regression, `1` regression or missing
+//! rows/metrics, `2` unreadable or schema-invalid input.
+
+use gdsearch_bench::Args;
+use gdsearch_obs::regress::{diff_reports, DiffConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let Some(baseline_path) = args.get("baseline") else {
+        eprintln!("usage: bench_diff --baseline OLD.json --current NEW.json");
+        std::process::exit(2);
+    };
+    let Some(current_path) = args.get("current") else {
+        eprintln!("usage: bench_diff --baseline OLD.json --current NEW.json");
+        std::process::exit(2);
+    };
+    let cfg = DiffConfig {
+        wall_rel: args.get_or("wall-rel", DiffConfig::default().wall_rel),
+        work_rel: args.get_or("work-rel", DiffConfig::default().work_rel),
+    };
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+    let diff = match diff_reports(&baseline, &current, &cfg) {
+        Ok(diff) => diff,
+        Err(e) => {
+            eprintln!("cannot compare: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# bench_diff — {baseline_path} -> {current_path} \
+         (wall band {:.0}%, work band {:.0}%)\n",
+        cfg.wall_rel * 100.0,
+        cfg.work_rel * 100.0
+    );
+    print!("{}", diff.to_markdown());
+    if diff.is_regression() {
+        std::process::exit(1);
+    }
+}

@@ -215,11 +215,70 @@ mod tests {
     }
 
     #[test]
+    fn zipf_is_skewed_and_uniform_at_zero() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let hot = Zipf::new(100, 1.1);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[hot.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > 10 * counts[50].max(1),
+            "rank 0 must dominate rank 50: {} vs {}",
+            counts[0],
+            counts[50]
+        );
+        let flat = Zipf::new(100, 0.0);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[flat.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max < &(min * 3), "s=0 must be near-uniform: {min}..{max}");
+    }
+
+    #[test]
     fn ci_sized_workbench_via_args() {
         let a = args("--nodes 120 --vocab 300 --dim 16 --queries-pool 20");
         let wb = workbench_from_args(&a, 100).unwrap();
         assert_eq!(wb.graph.num_nodes(), 120);
         assert_eq!(wb.corpus.len(), 300);
+    }
+}
+
+/// A Zipf-skewed sampler over ranks `0..n`: rank `k` is drawn with
+/// probability proportional to `1 / (k + 1)^s`. Built once as an
+/// inverse-CDF table, sampled by binary search — the serving harness
+/// uses it to model hot/cold query mixes (`s = 0` degenerates to
+/// uniform).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with skew `s` (`n` must be nonzero).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
 

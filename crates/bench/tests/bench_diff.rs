@@ -1,0 +1,62 @@
+//! Exit-code contract of the `bench_diff` gate: 0 on self-diff, 1 on an
+//! injected regression or missing coverage, 2 on garbage input.
+
+use std::process::Command;
+
+fn write(name: &str, text: &str) -> String {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, text).expect("temp file writes");
+    path.to_string_lossy().to_string()
+}
+
+fn report(wall_ms: f64, pushes: f64) -> String {
+    format!(
+        r#"{{
+  "schema": "gdsearch.bench.v1",
+  "bin": "ablation_x",
+  "meta": {{"seed": "2022"}},
+  "rows": [
+    {{"labels": {{"engine": "push"}}, "values": {{"wall_ms": {wall_ms}, "pushes": {pushes}}}}}
+  ]
+}}"#
+    )
+}
+
+fn run(baseline: &str, current: &str) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(["--baseline", baseline, "--current", current])
+        .output()
+        .expect("bench_diff runs")
+        .status
+        .code()
+        .expect("bench_diff exits")
+}
+
+#[test]
+fn self_diff_exits_zero() {
+    let base = write("bench_diff_self.json", &report(10.0, 1000.0));
+    assert_eq!(run(&base, &base), 0);
+}
+
+#[test]
+fn injected_regression_exits_one() {
+    let base = write("bench_diff_base.json", &report(10.0, 1000.0));
+    // 3x the deterministic work: far outside the 5% work band.
+    let bad = write("bench_diff_bad.json", &report(10.0, 3000.0));
+    assert_eq!(run(&base, &bad), 1);
+}
+
+#[test]
+fn wall_noise_within_band_exits_zero() {
+    let base = write("bench_diff_wall_base.json", &report(10.0, 1000.0));
+    let noisy = write("bench_diff_wall_noisy.json", &report(13.0, 1000.0));
+    assert_eq!(run(&base, &noisy), 0);
+}
+
+#[test]
+fn garbage_input_exits_two() {
+    let base = write("bench_diff_ok.json", &report(10.0, 1000.0));
+    let junk = write("bench_diff_junk.json", "not json");
+    assert_eq!(run(&base, &junk), 2);
+    assert_eq!(run(&base, "/nonexistent/path.json"), 2);
+}

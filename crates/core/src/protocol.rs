@@ -29,6 +29,7 @@ use gdsearch_diffusion::Signal;
 use gdsearch_embed::topk::TopK;
 use gdsearch_embed::Embedding;
 use gdsearch_graph::{Graph, NodeId};
+use gdsearch_sim::trace::Trace;
 use gdsearch_sim::{
     NetStats, Network, NetworkConfig, NodeApi, NodeHandler, Reactor, SimError, TransportConfig,
     WireMessage,
@@ -501,6 +502,16 @@ impl ProtocolNetwork {
         match self {
             ProtocolNetwork::Instant(net) => net.stats(),
             ProtocolNetwork::Bounded(net) => net.stats(),
+        }
+    }
+
+    /// The transport-event ring buffer (sends, deliveries, drops) both
+    /// backends record — drivers convert it into flight-recorder tick
+    /// events for Chrome-trace export.
+    pub fn trace(&self) -> &Trace {
+        match self {
+            ProtocolNetwork::Instant(net) => net.trace(),
+            ProtocolNetwork::Bounded(net) => net.trace(),
         }
     }
 

@@ -45,6 +45,11 @@ fn record_exchange_stats(obs: &mut Observer<'_>, stats: &gdsearch_dist::Exchange
     );
     sink.add("dist.exchange.retransmit_rounds", stats.retransmit_rounds);
     sink.add("dist.exchange.ticks", stats.ticks);
+    // Replay the epoch barriers into the flight recorder on the virtual
+    // timebase (no-ops without an attached trace log).
+    for &tick in &stats.epoch_ticks {
+        obs.trace_tick("dist.exchange.epoch", None, tick);
+    }
 }
 
 /// A fully prepared diffusion-search network: graph + placed documents +
@@ -123,6 +128,7 @@ impl<'g> SearchNetwork<'g> {
         let dim = corpus.dim();
         let n = graph.num_nodes();
         let personalization_span = obs.enter("scheme.personalization");
+        obs.trace_begin("scheme.personalization");
         // Index documents per node and collect their embeddings.
         let mut docs_at: Vec<Vec<DocId>> = vec![Vec::new(); n];
         let mut doc_embeddings = Vec::with_capacity(placement.len());
@@ -150,6 +156,7 @@ impl<'g> SearchNetwork<'g> {
             .collect();
         let rows =
             personalization::personalization_rows(graph, dim, &grouped, config.aggregation())?;
+        obs.trace_end("scheme.personalization");
         obs.exit(personalization_span);
         obs.sink().add("scheme.build.docs", placement.len() as u64);
         obs.sink()
@@ -158,6 +165,7 @@ impl<'g> SearchNetwork<'g> {
         // into the observer's sink where the engine supports it.
         let ppr = config.ppr_config()?;
         let diffusion_span = obs.enter("scheme.diffusion");
+        obs.trace_begin("scheme.diffusion");
         let embeddings = match config.engine() {
             DiffusionEngine::Auto => per_source::auto_diffuse(graph, dim, &rows, &ppr)?,
             DiffusionEngine::PerSource => per_source::diffuse_sparse(graph, dim, &rows, &ppr)?,
@@ -232,6 +240,7 @@ impl<'g> SearchNetwork<'g> {
                 out.signal
             }
         };
+        obs.trace_end("scheme.diffusion");
         obs.exit(diffusion_span);
         Ok(SearchNetwork {
             graph,
@@ -276,7 +285,9 @@ impl<'g> SearchNetwork<'g> {
         obs: &mut Observer<'_>,
     ) -> Result<WalkOutcome, SearchError> {
         let walk_span = obs.enter("scheme.walk");
+        obs.trace_begin("scheme.walk");
         let out = walk::run(self, query, start, rng);
+        obs.trace_end("scheme.walk");
         obs.exit(walk_span);
         if let Ok(out) = &out {
             let sink = obs.sink();

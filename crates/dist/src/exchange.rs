@@ -54,10 +54,14 @@ use crate::DistConfig;
 /// [`WireMessage::wire_size`](gdsearch_sim::WireMessage::wire_size));
 /// `net` is the reactor's independent accounting of the same traffic.
 /// [`ExchangeStats::verify_byte_accounting`] cross-checks the two.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExchangeStats {
     /// Completed exchange epochs (round barriers).
     pub epochs: u64,
+    /// The reactor tick at which each epoch barrier closed, in epoch
+    /// order (`epoch_ticks.len() == epochs`) — the flight recorder's
+    /// virtual timebase for `dist.exchange.epoch` trace events.
+    pub epoch_ticks: Vec<u64>,
     /// Epochs that moved halo columns (power iterations).
     pub halo_epochs: u64,
     /// Epochs that moved residual mass (push round barriers).
@@ -293,7 +297,7 @@ impl TransportExchange {
     /// snapshot.
     #[must_use]
     pub fn stats(&self) -> ExchangeStats {
-        let mut stats = self.stats;
+        let mut stats = self.stats.clone();
         stats.net = *self.reactor.stats();
         for s in 0..self.plan.num_shards() {
             let endpoint = self
@@ -461,6 +465,7 @@ impl TransportExchange {
             }
         }
         self.stats.epochs += 1;
+        self.stats.epoch_ticks.push(self.reactor.now_tick());
         Ok(inbox)
     }
 

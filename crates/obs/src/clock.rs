@@ -169,6 +169,67 @@ impl Profiler {
     }
 }
 
+/// Driver-side wall-clock annotation for a
+/// [`TraceLog`](crate::trace::TraceLog).
+///
+/// The deterministic trace never holds wall time; a `WallStamper` runs
+/// *alongside* it in driver code, recording `(event index, nanoseconds
+/// since construction)` pairs keyed to the log's event indices. The
+/// Chrome exporter ([`chrome_trace_json`](crate::trace::chrome_trace_json))
+/// merges the two at render time, so the same log can be exported with
+/// or without wall annotation.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_obs::clock::WallStamper;
+/// use gdsearch_obs::trace::TraceLog;
+///
+/// let mut log = TraceLog::new();
+/// let mut wall = WallStamper::new();
+/// let idx = log.begin("scheme.walk");
+/// wall.stamp(idx);
+/// assert_eq!(wall.stamps().len(), 1);
+/// assert_eq!(wall.stamps()[0].0, idx);
+/// ```
+#[derive(Debug)]
+pub struct WallStamper {
+    t0: Instant,
+    stamps: Vec<(u64, u64)>,
+}
+
+impl Default for WallStamper {
+    fn default() -> Self {
+        WallStamper::new()
+    }
+}
+
+impl WallStamper {
+    /// A stamper whose epoch is the moment of construction.
+    #[must_use]
+    pub fn new() -> Self {
+        WallStamper {
+            t0: now(),
+            stamps: Vec::new(),
+        }
+    }
+
+    /// Records the wall time elapsed since construction against trace
+    /// event `index`. Call sites stamp events in append order, so the
+    /// pairs stay sorted by index for the exporter's binary search.
+    pub fn stamp(&mut self, index: u64) {
+        let ns =
+            u64::try_from(now().saturating_duration_since(self.t0).as_nanos()).unwrap_or(u64::MAX);
+        self.stamps.push((index, ns));
+    }
+
+    /// The recorded `(event index, nanoseconds)` pairs, in stamp order.
+    #[must_use]
+    pub fn stamps(&self) -> &[(u64, u64)] {
+        &self.stamps
+    }
+}
+
 /// An aggregated, nested wall-clock profile.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SpanTree {
@@ -321,6 +382,19 @@ mod tests {
         assert!(p.stack.is_empty());
         let t = p.tree();
         assert_eq!(t.roots[0].children[0].calls, 1);
+    }
+
+    #[test]
+    fn wall_stamper_is_monotone_and_index_keyed() {
+        let mut w = WallStamper::new();
+        w.stamp(0);
+        std::thread::sleep(Duration::from_millis(1));
+        w.stamp(1);
+        let s = w.stamps();
+        assert_eq!(s.len(), 2);
+        assert_eq!((s[0].0, s[1].0), (0, 1));
+        assert!(s[1].1 > s[0].1, "stamps advance with the wall clock");
+        assert!(s[1].1 >= 1_000_000, "sleep must register");
     }
 
     #[test]

@@ -8,28 +8,33 @@ use crate::json::Value;
 use crate::registry::{MetricValue, MetricsRegistry};
 
 /// Renders the registry as a markdown table
-/// (`name | kind | value | count | mean | p50 | p99 | max`).
+/// (`name | kind | value | count | mean | p50 | p99 | p999 | max`).
 #[must_use]
 pub fn registry_markdown(reg: &MetricsRegistry) -> String {
-    let mut out = String::from("| metric | kind | value | count | mean | p50 | p99 | max |\n");
-    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|\n");
+    let mut out =
+        String::from("| metric | kind | value | count | mean | p50 | p99 | p999 | max |\n");
+    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|\n");
     for (name, value) in reg.iter() {
         let row = match value {
-            MetricValue::Counter(c) => format!("| `{name}` | counter | {c} | | | | | |\n"),
-            MetricValue::Gauge(g) => format!("| `{name}` | gauge | {g} | | | | | |\n"),
+            MetricValue::Counter(c) => format!("| `{name}` | counter | {c} | | | | | | |\n"),
+            MetricValue::Gauge(g) => format!("| `{name}` | gauge | {g} | | | | | | |\n"),
             MetricValue::Histogram(h) => format!(
-                "| `{name}` | histogram | | {} | {:.2} | {} | {} | {} |\n",
+                "| `{name}` | histogram | | {} | {:.2} | {} | {} | {} | {} |\n",
                 h.count(),
                 h.mean(),
                 h.quantile(0.5),
                 h.quantile(0.99),
+                h.quantile(0.999),
                 h.max()
             ),
             MetricValue::Series(s) => {
-                format!("| `{name}` | series | len {} | | | | | |\n", s.len())
+                format!("| `{name}` | series | len {} | | | | | | |\n", s.len())
             }
             MetricValue::FloatSeries(s) => {
-                format!("| `{name}` | float-series | len {} | | | | | |\n", s.len())
+                format!(
+                    "| `{name}` | float-series | len {} | | | | | | |\n",
+                    s.len()
+                )
             }
         };
         out.push_str(&row);
@@ -38,38 +43,39 @@ pub fn registry_markdown(reg: &MetricsRegistry) -> String {
 }
 
 /// Renders the registry as CSV with the header
-/// `metric,kind,value,count,sum,mean,p50,p99,max`. Series render one
-/// row per sample with the index in the `count` column.
+/// `metric,kind,value,count,sum,mean,p50,p99,p999,max`. Series render
+/// one row per sample with the index in the `count` column.
 #[must_use]
 pub fn registry_csv(reg: &MetricsRegistry) -> String {
-    let mut out = String::from("metric,kind,value,count,sum,mean,p50,p99,max\n");
+    let mut out = String::from("metric,kind,value,count,sum,mean,p50,p99,p999,max\n");
     for (name, value) in reg.iter() {
         match value {
             MetricValue::Counter(c) => {
-                out.push_str(&format!("{name},counter,{c},,,,,,\n"));
+                out.push_str(&format!("{name},counter,{c},,,,,,,\n"));
             }
             MetricValue::Gauge(g) => {
-                out.push_str(&format!("{name},gauge,{g},,,,,,\n"));
+                out.push_str(&format!("{name},gauge,{g},,,,,,,\n"));
             }
             MetricValue::Histogram(h) => {
                 out.push_str(&format!(
-                    "{name},histogram,,{},{},{:.6},{},{},{}\n",
+                    "{name},histogram,,{},{},{:.6},{},{},{},{}\n",
                     h.count(),
                     h.sum(),
                     h.mean(),
                     h.quantile(0.5),
                     h.quantile(0.99),
+                    h.quantile(0.999),
                     h.max()
                 ));
             }
             MetricValue::Series(s) => {
                 for (i, v) in s.iter().enumerate() {
-                    out.push_str(&format!("{name},series,{v},{i},,,,,\n"));
+                    out.push_str(&format!("{name},series,{v},{i},,,,,,\n"));
                 }
             }
             MetricValue::FloatSeries(s) => {
                 for (i, v) in s.iter().enumerate() {
-                    out.push_str(&format!("{name},float-series,{v},{i},,,,,\n"));
+                    out.push_str(&format!("{name},float-series,{v},{i},,,,,,\n"));
                 }
             }
         }
@@ -87,6 +93,7 @@ pub fn histogram_json(h: &Histogram) -> Value {
         ("mean".to_string(), Value::Num(h.mean())),
         ("p50".to_string(), Value::UInt(h.quantile(0.5))),
         ("p99".to_string(), Value::UInt(h.quantile(0.99))),
+        ("p999".to_string(), Value::UInt(h.quantile(0.999))),
         (
             "buckets".to_string(),
             Value::Array(
@@ -175,7 +182,7 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "metric,kind,value,count,sum,mean,p50,p99,max"
+            "metric,kind,value,count,sum,mean,p50,p99,p999,max"
         );
         assert!(csv.contains("pushes,counter,120"));
         assert!(csv.contains("work,series,5,0"));
@@ -195,5 +202,33 @@ mod tests {
                 .and_then(Value::as_f64),
             Some(2.0)
         );
+    }
+
+    #[test]
+    fn every_renderer_carries_p999() {
+        // A sparse histogram where p999 differs from both p99 and max:
+        // 1000 sevens and two large outliers.
+        let mut r = MetricsRegistry::new();
+        for _ in 0..1000 {
+            r.record("lat", 7);
+        }
+        r.record("lat", 1_000_000);
+        r.record("lat", 1_000_000);
+        let md = registry_markdown(&r);
+        assert!(md.contains("| p999 |"), "{md}");
+        let csv = registry_csv(&r);
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with("p50,p99,p999,max"), "{header}");
+        let row = csv.lines().nth(1).unwrap();
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols[7], "7", "p99 stays in the dense bucket: {row}");
+        assert_eq!(cols[8], "1000000", "p999 reaches the outliers: {row}");
+        let v = registry_json(&r);
+        let summary = v.get("lat").and_then(|m| m.get("summary")).unwrap();
+        assert_eq!(
+            summary.get("p999").and_then(Value::as_f64),
+            Some(1_000_000.0)
+        );
+        assert_eq!(summary.get("p99").and_then(Value::as_f64), Some(7.0));
     }
 }

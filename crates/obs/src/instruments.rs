@@ -232,6 +232,40 @@ mod tests {
     }
 
     #[test]
+    fn extreme_quantiles_on_sparse_histograms_hit_bucket_boundaries() {
+        // One sample: every quantile collapses to it.
+        let mut h = Histogram::new();
+        h.record(100);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 100, "single sample at q={q}");
+        }
+        // Two widely separated samples: p50 stays in the low bucket,
+        // every tail quantile jumps to the (max-tightened) high bucket.
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1 << 40);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.99), 1 << 40);
+        assert_eq!(h.quantile(0.999), 1 << 40);
+        // 999 low + 1 high: p999 must still reach the outlier (target
+        // rank ceil(0.999 * 1000) = 999 lands in the low bucket, so the
+        // p999 bound is the low bucket's upper bound; p1000 == max).
+        let mut h = Histogram::new();
+        h.record_n(7, 999);
+        h.record(1 << 20);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(0.999), 7, "rank 999 of 1000 is still a 7");
+        assert_eq!(h.quantile(1.0), 1 << 20);
+        // 1000 low + 2 high: rank ceil(0.999 * 1002) = 1001 crosses into
+        // the outlier bucket, tightened by the max.
+        let mut h = Histogram::new();
+        h.record_n(7, 1000);
+        h.record_n(1_000_000, 2);
+        assert_eq!(h.quantile(0.999), 1_000_000);
+        assert_eq!(h.quantile(0.99), 7);
+    }
+
+    #[test]
     fn record_n_matches_repeated_record() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

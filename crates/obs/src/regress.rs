@@ -1,0 +1,368 @@
+//! Perf-regression gate over `gdsearch.bench.v1` reports.
+//!
+//! [`diff_reports`] compares a *current* report against a *baseline*
+//! row by row (rows are matched on their full label set, order
+//! independent) and metric by metric, applying per-metric tolerance
+//! bands from a [`DiffConfig`]:
+//!
+//! - **Wall-clock-ish metrics** (name contains `wall`, `latency`,
+//!   `qps`, or a `_ms`/`_us`/`_ns` unit suffix) are noisy on shared CI
+//!   runners, so they get the wide [`DiffConfig::wall_rel`] band.
+//! - **Work metrics** (pushes, hops, bytes, ticks, recall, ...) are
+//!   deterministic and get the tight [`DiffConfig::work_rel`] band —
+//!   effectively "did the algorithm start doing more work".
+//!
+//! Direction matters: for most metrics *higher* is worse (time, work,
+//! bytes); for throughput-/quality-like metrics (`qps`, `recall`,
+//! `success`, `hit`, `rate`, `ratio`, `throughput`) *lower* is worse.
+//! Rows or metrics present in the baseline but missing from the current
+//! report also fail the gate — a silently dropped measurement must not
+//! pass as an improvement. Rows *added* by the current report are
+//! ignored: growing coverage is not a regression.
+//!
+//! The `bench_diff` binary is a thin CLI over this module and is what
+//! CI's `perf-trajectory` job runs against the committed `BENCH_*.json`
+//! baselines.
+
+use crate::bench;
+use crate::json::{self, Value};
+
+/// Relative tolerance bands for [`diff_reports`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Allowed relative change for wall-clock-ish metrics (default
+    /// `0.5`: +50% slower / -33% throughput before failing — CI runners
+    /// are noisy).
+    pub wall_rel: f64,
+    /// Allowed relative change for deterministic work metrics (default
+    /// `0.05`).
+    pub work_rel: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            wall_rel: 0.5,
+            work_rel: 0.05,
+        }
+    }
+}
+
+/// Which way a metric degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Time, work, bytes: an increase is a regression.
+    HigherIsWorse,
+    /// Throughput and quality: a decrease is a regression.
+    LowerIsWorse,
+}
+
+/// Classifies a metric name as wall-clock-ish (noisy) or deterministic
+/// work. Tick- and second-denominated *virtual* time counts are work:
+/// the simulator clock is deterministic.
+#[must_use]
+pub fn is_wallish(name: &str) -> bool {
+    ["wall", "latency", "qps", "_ms", "_us", "_ns"]
+        .iter()
+        .any(|m| name.contains(m))
+}
+
+/// The degradation direction for a metric name.
+#[must_use]
+pub fn direction(name: &str) -> Direction {
+    let lower_is_worse = [
+        "qps",
+        "recall",
+        "success",
+        "rate",
+        "ratio",
+        "hit",
+        "throughput",
+    ];
+    if lower_is_worse.iter().any(|m| name.contains(m)) {
+        Direction::LowerIsWorse
+    } else {
+        Direction::HigherIsWorse
+    }
+}
+
+/// One failed tolerance check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The row's label key (`k=v,k=v`, sorted by key).
+    pub row: String,
+    /// Metric name inside the row.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in the *worse* direction (`0.07` = 7% worse).
+    pub worse_by: f64,
+    /// The band that was exceeded.
+    pub allowed: f64,
+}
+
+/// The outcome of [`diff_reports`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Number of (row, metric) pairs compared.
+    pub compared: usize,
+    /// Tolerance-band violations.
+    pub regressions: Vec<Regression>,
+    /// Baseline row keys absent from the current report.
+    pub missing_rows: Vec<String>,
+    /// `row / metric` pairs present in the baseline row but absent from
+    /// the matching current row.
+    pub missing_metrics: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate should fail.
+    #[must_use]
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+            || !self.missing_rows.is_empty()
+            || !self.missing_metrics.is_empty()
+    }
+
+    /// A human-readable summary (markdown-ish, one line per finding).
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("compared {} (row, metric) pairs\n", self.compared);
+        for r in &self.regressions {
+            out.push_str(&format!(
+                "- REGRESSION `{}` `{}`: {} -> {} ({:+.1}% worse, band {:.0}%)\n",
+                r.row,
+                r.metric,
+                r.baseline,
+                r.current,
+                r.worse_by * 100.0,
+                r.allowed * 100.0
+            ));
+        }
+        for row in &self.missing_rows {
+            out.push_str(&format!("- MISSING ROW `{row}`\n"));
+        }
+        for m in &self.missing_metrics {
+            out.push_str(&format!("- MISSING METRIC `{m}`\n"));
+        }
+        if !self.is_regression() {
+            out.push_str("no regressions\n");
+        }
+        out
+    }
+}
+
+/// `(row key, metrics)` pairs extracted from a report's `rows` array.
+type Rows = Vec<(String, Vec<(String, f64)>)>;
+
+fn row_key(labels: &[(String, Value)]) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+fn extract_rows(text: &str, which: &str) -> Result<Rows, String> {
+    bench::validate(text).map_err(|e| format!("{which} report invalid: {e}"))?;
+    let doc = json::parse(text).map_err(|e| format!("{which} report unparsable: {e}"))?;
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{which} report has no rows"))?;
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let labels = row.get("labels").and_then(Value::as_object).unwrap_or(&[]);
+        let values = row.get("values").and_then(Value::as_object).unwrap_or(&[]);
+        let metrics: Vec<(String, f64)> = values
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+            .collect();
+        out.push((row_key(labels), metrics));
+    }
+    Ok(out)
+}
+
+/// How much worse `current` is than `baseline` (relative, `>= 0`), in
+/// the metric's degradation direction; `0.0` means no worse. A baseline
+/// of zero treats any nonzero degradation as infinitely worse.
+fn worse_by(baseline: f64, current: f64, dir: Direction) -> f64 {
+    let delta = match dir {
+        Direction::HigherIsWorse => current - baseline,
+        Direction::LowerIsWorse => baseline - current,
+    };
+    if delta <= 0.0 {
+        0.0
+    } else if baseline.abs() < f64::EPSILON {
+        f64::INFINITY
+    } else {
+        delta / baseline.abs()
+    }
+}
+
+/// Diffs `current` against `baseline` (both `gdsearch.bench.v1` JSON
+/// texts) under the tolerance bands in `cfg`.
+///
+/// # Errors
+///
+/// Returns an error when either text fails schema validation — the gate
+/// distinguishes "cannot compare" (an error) from "compared and found
+/// regressions" (an `Ok` report with [`DiffReport::is_regression`]).
+pub fn diff_reports(baseline: &str, current: &str, cfg: &DiffConfig) -> Result<DiffReport, String> {
+    let base_rows = extract_rows(baseline, "baseline")?;
+    let cur_rows = extract_rows(current, "current")?;
+    let mut report = DiffReport::default();
+    for (key, base_metrics) in &base_rows {
+        let Some((_, cur_metrics)) = cur_rows.iter().find(|(k, _)| k == key) else {
+            report.missing_rows.push(key.clone());
+            continue;
+        };
+        for (metric, base_val) in base_metrics {
+            let Some((_, cur_val)) = cur_metrics.iter().find(|(m, _)| m == metric) else {
+                report.missing_metrics.push(format!("{key} / {metric}"));
+                continue;
+            };
+            report.compared += 1;
+            let allowed = if is_wallish(metric) {
+                cfg.wall_rel
+            } else {
+                cfg.work_rel
+            };
+            let worse = worse_by(*base_val, *cur_val, direction(metric));
+            if worse > allowed {
+                report.regressions.push(Regression {
+                    row: key.clone(),
+                    metric: metric.clone(),
+                    baseline: *base_val,
+                    current: *cur_val,
+                    worse_by: worse,
+                    allowed,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{BenchReport, BenchRow};
+
+    fn report(wall_ms: f64, pushes: f64, qps: f64) -> String {
+        let mut r = BenchReport::new("ablation_x");
+        r.meta("seed", 2022);
+        r.push_row(
+            BenchRow::new()
+                .label("engine", "push")
+                .label("alpha", "0.5")
+                .value("wall_ms", wall_ms)
+                .value("pushes", pushes)
+                .value("qps", qps),
+        );
+        r.to_json()
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let text = report(10.0, 1000.0, 50.0);
+        let diff = diff_reports(&text, &text, &DiffConfig::default()).unwrap();
+        assert!(!diff.is_regression(), "{}", diff.to_markdown());
+        assert_eq!(diff.compared, 3);
+    }
+
+    #[test]
+    fn wall_band_is_wide_and_work_band_is_tight() {
+        let base = report(10.0, 1000.0, 50.0);
+        let cfg = DiffConfig::default();
+        // +40% wall time: inside the 50% band.
+        let ok = diff_reports(&base, &report(14.0, 1000.0, 50.0), &cfg).unwrap();
+        assert!(!ok.is_regression());
+        // +10% pushes: outside the 5% work band.
+        let bad = diff_reports(&base, &report(10.0, 1100.0, 50.0), &cfg).unwrap();
+        assert!(bad.is_regression());
+        assert_eq!(bad.regressions.len(), 1);
+        assert_eq!(bad.regressions[0].metric, "pushes");
+        assert!((bad.regressions[0].worse_by - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_direction_is_inverted() {
+        let base = report(10.0, 1000.0, 50.0);
+        let cfg = DiffConfig::default();
+        // qps doubling is an improvement, not a regression.
+        assert!(!diff_reports(&base, &report(10.0, 1000.0, 100.0), &cfg)
+            .unwrap()
+            .is_regression());
+        // qps dropping 60% exceeds the 50% wall band (qps is wall-ish).
+        let bad = diff_reports(&base, &report(10.0, 1000.0, 20.0), &cfg).unwrap();
+        assert!(bad.is_regression());
+        assert_eq!(bad.regressions[0].metric, "qps");
+    }
+
+    #[test]
+    fn missing_rows_and_metrics_fail_the_gate() {
+        let base = report(10.0, 1000.0, 50.0);
+        let empty = BenchReport::new("ablation_x").to_json();
+        let diff = diff_reports(&base, &empty, &DiffConfig::default()).unwrap();
+        assert!(diff.is_regression());
+        assert_eq!(diff.missing_rows.len(), 1);
+        // A current report with extra rows is fine.
+        let grown = {
+            let mut r = BenchReport::new("ablation_x");
+            r.push_row(
+                BenchRow::new()
+                    .label("engine", "push")
+                    .label("alpha", "0.5")
+                    .value("wall_ms", 10.0)
+                    .value("pushes", 1000.0)
+                    .value("qps", 50.0),
+            );
+            r.push_row(
+                BenchRow::new()
+                    .label("engine", "power")
+                    .value("wall_ms", 9.0),
+            );
+            r.to_json()
+        };
+        assert!(!diff_reports(&base, &grown, &DiffConfig::default())
+            .unwrap()
+            .is_regression());
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let base = report(10.0, 1000.0, 50.0);
+        let reordered = {
+            let mut r = BenchReport::new("ablation_x");
+            r.push_row(
+                BenchRow::new()
+                    .label("alpha", "0.5")
+                    .label("engine", "push")
+                    .value("wall_ms", 10.0)
+                    .value("pushes", 1000.0)
+                    .value("qps", 50.0),
+            );
+            r.to_json()
+        };
+        let diff = diff_reports(&base, &reordered, &DiffConfig::default()).unwrap();
+        assert!(!diff.is_regression(), "{}", diff.to_markdown());
+    }
+
+    #[test]
+    fn invalid_reports_are_errors_not_regressions() {
+        let good = report(10.0, 1000.0, 50.0);
+        assert!(diff_reports("not json", &good, &DiffConfig::default()).is_err());
+        assert!(diff_reports(&good, "{}", &DiffConfig::default()).is_err());
+    }
+
+    #[test]
+    fn zero_baseline_degradation_is_infinite() {
+        assert_eq!(worse_by(0.0, 1.0, Direction::HigherIsWorse), f64::INFINITY);
+        assert_eq!(worse_by(0.0, 0.0, Direction::HigherIsWorse), 0.0);
+        assert_eq!(worse_by(5.0, 4.0, Direction::HigherIsWorse), 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! The query-path flight recorder: a deterministic, append-only event
+//! log.
+//!
+//! A [`TraceLog`] records *where a query spends its time* as it moves
+//! through the serving pipeline — personalization, diffusion, walk,
+//! distributed exchange epochs — as plain-data [`TraceEvent`]s. Like the
+//! instruments half of this crate, the log is strictly deterministic:
+//! events carry either a **sequence stamp** (a driver-side monotone
+//! counter) or a **tick stamp** (the simulator's virtual clock), never
+//! wall time, so a trace recorded at the same sequential driver points
+//! is bit-identical across thread counts, shard counts, and transports.
+//!
+//! Wall-clock annotation is a separate, driver-only concern: a
+//! [`WallStamper`](crate::clock::WallStamper) records `(event index,
+//! nanoseconds)` pairs *alongside* the log without ever touching it, and
+//! [`chrome_trace_json`] merges the two at export time. The analyzer's
+//! `obs` rule keeps [`TraceLog`] (a readable type) out of result paths,
+//! exactly as it does for [`MetricsRegistry`](crate::MetricsRegistry).
+//!
+//! [`chrome_trace_json`] renders a log as Chrome trace-event JSON — load
+//! the file in `chrome://tracing` (or <https://ui.perfetto.dev>) to see
+//! per-query flame lanes.
+
+use crate::json::Value;
+
+/// What a trace event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A phase opened.
+    Begin,
+    /// A phase closed.
+    End,
+    /// An instantaneous marker.
+    Point,
+}
+
+/// When a trace event happened, in one of the two deterministic
+/// timebases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stamp {
+    /// Driver-side sequence number (monotone per [`TraceLog`]).
+    Seq(u64),
+    /// Virtual simulator tick (`sim`/`dist` timebase).
+    Tick(u64),
+}
+
+/// One flight-recorder event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The query this event belongs to (0 is reserved for build/setup
+    /// work that is not attributable to a single query).
+    pub query_id: u64,
+    /// Phase name (`scheme.diffusion`, `dist.exchange.epoch`, ...).
+    pub phase: String,
+    /// Shard the event happened on, when attributable to one.
+    pub shard: Option<u32>,
+    /// Deterministic timestamp.
+    pub stamp: Stamp,
+    /// Begin / end / point.
+    pub kind: TraceKind,
+}
+
+/// An append-only, deterministic event log.
+///
+/// Drivers set the ambient query id with [`TraceLog::set_query`] and
+/// record phase boundaries with [`TraceLog::begin`] / [`TraceLog::end`];
+/// tick-stamped events from the simulated layers land via
+/// [`TraceLog::tick`]. Every recording method returns the index of the
+/// appended event so a wall-clock annotator can key its stamps to it.
+///
+/// # Example
+///
+/// ```
+/// use gdsearch_obs::trace::{TraceKind, TraceLog};
+///
+/// let mut log = TraceLog::new();
+/// log.set_query(7);
+/// log.begin("scheme.walk");
+/// log.end("scheme.walk");
+/// assert_eq!(log.len(), 2);
+/// assert_eq!(log.events()[0].query_id, 7);
+/// assert_eq!(log.events()[1].kind, TraceKind::End);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    next_seq: u64,
+    query_id: u64,
+}
+
+impl TraceLog {
+    /// An empty log with the ambient query id 0 (build/setup).
+    #[must_use]
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Sets the ambient query id stamped on subsequent events.
+    pub fn set_query(&mut self, id: u64) {
+        self.query_id = id;
+    }
+
+    /// The current ambient query id.
+    #[must_use]
+    pub fn query(&self) -> u64 {
+        self.query_id
+    }
+
+    fn push(&mut self, phase: &str, shard: Option<u32>, stamp: Stamp, kind: TraceKind) -> u64 {
+        let index = self.events.len() as u64;
+        self.events.push(TraceEvent {
+            query_id: self.query_id,
+            phase: phase.to_string(),
+            shard,
+            stamp,
+            kind,
+        });
+        index
+    }
+
+    fn seq(&mut self) -> Stamp {
+        let s = Stamp::Seq(self.next_seq);
+        self.next_seq += 1;
+        s
+    }
+
+    /// Records a sequence-stamped phase begin; returns the event index.
+    pub fn begin(&mut self, phase: &str) -> u64 {
+        let stamp = self.seq();
+        self.push(phase, None, stamp, TraceKind::Begin)
+    }
+
+    /// Records a sequence-stamped phase end; returns the event index.
+    pub fn end(&mut self, phase: &str) -> u64 {
+        let stamp = self.seq();
+        self.push(phase, None, stamp, TraceKind::End)
+    }
+
+    /// Records a sequence-stamped instantaneous marker; returns the
+    /// event index.
+    pub fn point(&mut self, phase: &str) -> u64 {
+        let stamp = self.seq();
+        self.push(phase, None, stamp, TraceKind::Point)
+    }
+
+    /// Records a tick-stamped marker from the simulated layers (`sim`
+    /// reactor ticks, `dist` exchange epochs); returns the event index.
+    pub fn tick(&mut self, phase: &str, shard: Option<u32>, tick: u64) -> u64 {
+        self.push(phase, shard, Stamp::Tick(tick), TraceKind::Point)
+    }
+
+    /// All recorded events, in append order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events in `phase`.
+    #[must_use]
+    pub fn count_phase(&self, phase: &str) -> usize {
+        self.events.iter().filter(|e| e.phase == phase).count()
+    }
+}
+
+/// Renders a [`TraceLog`] as Chrome trace-event JSON, loadable in
+/// `chrome://tracing`.
+///
+/// Every event becomes one entry of the `traceEvents` array: `ph` is
+/// `B`/`E`/`i` for begin/end/point, `tid` is the query id (one lane per
+/// query), `pid` is the shard (0 for unsharded driver phases), and `cat`
+/// names the timebase (`seq` or `tick`).
+///
+/// `wall` optionally annotates events with driver-side wall time: a
+/// slice of `(event index, nanoseconds since trace start)` pairs as
+/// recorded by a [`WallStamper`](crate::clock::WallStamper). Annotated
+/// events get real microsecond timestamps; unannotated events fall back
+/// to their deterministic stamp value, so a purely deterministic log
+/// still renders with correct ordering.
+#[must_use]
+pub fn chrome_trace_json(log: &TraceLog, wall: Option<&[(u64, u64)]>) -> String {
+    let wall_ts = |index: u64| -> Option<f64> {
+        let stamps = wall?;
+        let at = stamps.binary_search_by_key(&index, |&(i, _)| i).ok()?;
+        stamps.get(at).map(|&(_, ns)| ns as f64 / 1_000.0)
+    };
+    let mut entries = Vec::with_capacity(log.len());
+    for (index, event) in log.events().iter().enumerate() {
+        let (ph, cat) = match (event.kind, event.stamp) {
+            (TraceKind::Begin, _) => ("B", "seq"),
+            (TraceKind::End, _) => ("E", "seq"),
+            (TraceKind::Point, Stamp::Tick(_)) => ("i", "tick"),
+            (TraceKind::Point, Stamp::Seq(_)) => ("i", "seq"),
+        };
+        let ts = match wall_ts(index as u64) {
+            Some(us) => Value::Num(us),
+            None => match event.stamp {
+                Stamp::Seq(s) => Value::UInt(s),
+                Stamp::Tick(t) => Value::UInt(t),
+            },
+        };
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(event.phase.clone())),
+            ("cat".to_string(), Value::Str(cat.to_string())),
+            ("ph".to_string(), Value::Str(ph.to_string())),
+            ("ts".to_string(), ts),
+            (
+                "pid".to_string(),
+                Value::UInt(u64::from(event.shard.unwrap_or(0))),
+            ),
+            ("tid".to_string(), Value::UInt(event.query_id)),
+        ];
+        if ph == "i" {
+            // Instant-event scope: thread-local, the narrowest marker.
+            fields.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        entries.push(Value::Object(fields));
+    }
+    Value::Object(vec![("traceEvents".to_string(), Value::Array(entries))]).to_json_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.begin("scheme.personalization");
+        log.end("scheme.personalization");
+        log.begin("scheme.diffusion");
+        log.tick("dist.exchange.epoch", Some(2), 480);
+        log.end("scheme.diffusion");
+        log.set_query(3);
+        log.begin("scheme.walk");
+        log.end("scheme.walk");
+        log
+    }
+
+    #[test]
+    fn sequence_stamps_are_monotone_and_query_scoped() {
+        let log = sample();
+        let mut last = None;
+        for e in log.events() {
+            if let Stamp::Seq(s) = e.stamp {
+                if let Some(prev) = last {
+                    assert!(s > prev, "seq stamps must be strictly increasing");
+                }
+                last = Some(s);
+            }
+        }
+        assert_eq!(log.events()[0].query_id, 0, "build work is query 0");
+        assert_eq!(log.events()[6].query_id, 3);
+        assert_eq!(log.count_phase("scheme.diffusion"), 2);
+        assert_eq!(log.count_phase("dist.exchange.epoch"), 1);
+    }
+
+    #[test]
+    fn tick_events_keep_shard_and_tick() {
+        let log = sample();
+        let tick = &log.events()[3];
+        assert_eq!(tick.shard, Some(2));
+        assert_eq!(tick.stamp, Stamp::Tick(480));
+        assert_eq!(tick.kind, TraceKind::Point);
+    }
+
+    #[test]
+    fn identical_recordings_are_bit_identical() {
+        assert_eq!(sample(), sample());
+        assert_eq!(
+            chrome_trace_json(&sample(), None),
+            chrome_trace_json(&sample(), None),
+            "the exporter must be deterministic too"
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_parseable_and_shaped() {
+        let text = chrome_trace_json(&sample(), None);
+        let doc = json::parse(&text).expect("exporter emits valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 7);
+        let first = &events[0];
+        assert_eq!(first.get("ph").and_then(Value::as_str), Some("B"));
+        assert_eq!(
+            first.get("name").and_then(Value::as_str),
+            Some("scheme.personalization")
+        );
+        // The tick event lands in the shard-2 process lane.
+        let tick = &events[3];
+        assert_eq!(tick.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(tick.get("cat").and_then(Value::as_str), Some("tick"));
+        assert_eq!(tick.get("pid").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(tick.get("ts").and_then(Value::as_f64), Some(480.0));
+        // Walk events carry the query id as the thread lane.
+        let walk = &events[5];
+        assert_eq!(walk.get("tid").and_then(Value::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn wall_annotation_overrides_deterministic_stamps() {
+        let log = sample();
+        // Annotate events 0 and 1 with wall time; the rest keep stamps.
+        let wall = vec![(0u64, 1_500u64), (1u64, 4_000u64)];
+        let text = chrome_trace_json(&log, Some(&wall));
+        let doc = json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+        assert_eq!(events[0].get("ts").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(events[1].get("ts").and_then(Value::as_f64), Some(4.0));
+        // Unannotated events fall back to their seq stamp.
+        assert_eq!(events[2].get("ts").and_then(Value::as_f64), Some(2.0));
+    }
+}

@@ -1,8 +1,10 @@
-//! The repo commits a `BENCH_engines.json` trajectory artifact at its
-//! root; this test keeps the checked-in file honest against the
-//! `gdsearch.bench.v1` schema so downstream tooling can always parse it.
-//! CI regenerates the artifact and points `GDSEARCH_BENCH_JSON` at the
-//! fresh copy to validate that one instead.
+//! The repo commits `BENCH_engines.json` and `BENCH_distributed.json`
+//! trajectory artifacts at its root; these tests keep the checked-in
+//! files honest against the `gdsearch.bench.v1` schema so downstream
+//! tooling (and the `bench_diff` regression gate) can always parse
+//! them. CI regenerates the artifacts and points `GDSEARCH_BENCH_JSON`
+//! / `GDSEARCH_BENCH_DISTRIBUTED_JSON` at the fresh copies to validate
+//! those instead.
 
 use gdsearch_obs::bench::{validate, SCHEMA};
 
@@ -22,5 +24,23 @@ fn committed_bench_engines_json_is_schema_valid() {
     assert!(
         text.contains("\"wall_ms\""),
         "{path} carries no wall-clock measurements"
+    );
+}
+
+#[test]
+fn committed_bench_distributed_json_is_schema_valid() {
+    // Same test-harness knob as above, for the distributed trajectory.
+    #[allow(clippy::disallowed_methods)]
+    let path = std::env::var("GDSEARCH_BENCH_DISTRIBUTED_JSON").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_distributed.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    validate(&text).unwrap_or_else(|e| panic!("{path} violates {SCHEMA}: {e}"));
+    assert!(
+        text.contains("\"bin\": \"ablation_distributed\""),
+        "{path} was not produced by ablation_distributed"
     );
 }

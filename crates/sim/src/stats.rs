@@ -70,10 +70,22 @@ impl NetStats {
         self.queue_delay.mean()
     }
 
+    /// Upper bound on the median queueing delay, in ticks (0 when
+    /// nothing was transported).
+    pub fn p50_queue_delay_ticks(&self) -> u64 {
+        self.queue_delay.quantile(0.5)
+    }
+
     /// Upper bound on the 99th-percentile queueing delay, in ticks (0
     /// when nothing was transported).
     pub fn p99_queue_delay_ticks(&self) -> u64 {
         self.queue_delay.quantile(0.99)
+    }
+
+    /// Upper bound on the 99.9th-percentile queueing delay, in ticks (0
+    /// when nothing was transported).
+    pub fn p999_queue_delay_ticks(&self) -> u64 {
+        self.queue_delay.quantile(0.999)
     }
 
     /// All drops combined: loss, down endpoints, full queues, missing
@@ -109,7 +121,10 @@ mod tests {
         assert!((s.mean_message_bytes() - 42.0).abs() < 1e-12);
         // 18 ticks over the 6 messages whose transmission completed.
         assert!((s.mean_queue_delay_ticks() - 3.0).abs() < 1e-12);
+        // target rank 3 of 6 lands in the [2, 3] bucket.
+        assert_eq!(s.p50_queue_delay_ticks(), 3);
         assert_eq!(s.p99_queue_delay_ticks(), 8);
+        assert_eq!(s.p999_queue_delay_ticks(), 8);
         assert_eq!(s.dropped_total(), 5);
     }
 

@@ -1,0 +1,103 @@
+//! The query-path flight recorder must be a *deterministic* record:
+//! recorded at sequential driver points, its event log is bit-identical
+//! across worker-thread counts for the same workload — same events,
+//! same order, same stamps. Same harness as `gdsearch-obs`'s registry
+//! thread-determinism proptests, lifted to the full scheme pipeline
+//! (`build_observed` + `query_observed` over the sharded engine).
+
+use gdsearch::{Placement, SchemeConfig, SearchNetwork};
+use gdsearch_embed::querygen::{self, QueryGenConfig};
+use gdsearch_embed::synthetic::SyntheticCorpus;
+use gdsearch_graph::{generators, NodeId};
+use gdsearch_obs::{MetricsRegistry, Observer, TraceLog};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// One full observed run: build the network and serve a few queries,
+/// recording the flight-recorder log and the metrics registry.
+fn run_once(n: u32, shards: usize, threads: usize, seed: u64) -> (TraceLog, MetricsRegistry) {
+    let graph = generators::ring(n).expect("ring builds");
+    let corpus = SyntheticCorpus::builder()
+        .vocab_size(120)
+        .dim(12)
+        .num_topics(6)
+        .generate(&mut StdRng::seed_from_u64(seed))
+        .expect("corpus builds");
+    let queries = querygen::generate(
+        &corpus,
+        QueryGenConfig {
+            num_queries: 4,
+            min_cosine: 0.4,
+        },
+        &mut StdRng::seed_from_u64(seed ^ 1),
+    )
+    .expect("queries generate");
+    let mut words: Vec<_> = queries.pairs().iter().map(|p| p.gold).collect();
+    words.extend(queries.irrelevant().iter().copied().take(6));
+    let placement = Placement::uniform(&graph, &words, &mut StdRng::seed_from_u64(seed ^ 2))
+        .expect("placement fits");
+    let config = SchemeConfig::builder()
+        .engine(gdsearch::DiffusionEngine::sharded(shards, threads))
+        .build()
+        .expect("valid config");
+
+    let mut log = TraceLog::new();
+    let mut registry = MetricsRegistry::new();
+    let mut obs = Observer::new(Some(&mut registry), None).with_trace(&mut log);
+    let network = SearchNetwork::build_observed(
+        &graph,
+        &corpus,
+        &placement,
+        &config,
+        &mut StdRng::seed_from_u64(seed ^ 3),
+        &mut obs,
+    )
+    .expect("network builds");
+    for (qi, pair) in queries.pairs().iter().enumerate() {
+        obs.set_query(qi as u64 + 1);
+        let start = NodeId::new((qi as u32 * 13) % n);
+        network
+            .query_observed(
+                corpus.embedding(pair.query),
+                start,
+                &mut StdRng::seed_from_u64(seed ^ (100 + qi as u64)),
+                &mut obs,
+            )
+            .expect("query runs");
+    }
+    (log, registry)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn trace_log_is_thread_invariant(
+        n in 16u32..64,
+        shards in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut runs = THREADS.iter().map(|&threads| run_once(n, shards, threads, seed));
+        let (first_log, first_reg) = runs.next().expect("three thread counts");
+        for (log, reg) in runs {
+            prop_assert_eq!(&log, &first_log, "trace must be bit-identical across threads");
+            prop_assert_eq!(&reg, &first_reg);
+        }
+        // The trace actually recorded the serving pipeline.
+        prop_assert_eq!(first_log.count_phase("scheme.personalization"), 2);
+        prop_assert_eq!(first_log.count_phase("scheme.diffusion"), 2);
+        prop_assert_eq!(first_log.count_phase("scheme.walk"), 8);
+        // Query ids 1..=4 each own one walk begin/end pair.
+        for q in 1..=4u64 {
+            let walk_events = first_log
+                .events()
+                .iter()
+                .filter(|e| e.query_id == q && e.phase == "scheme.walk")
+                .count();
+            prop_assert_eq!(walk_events, 2);
+        }
+    }
+}
