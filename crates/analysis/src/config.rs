@@ -9,8 +9,19 @@ use std::path::Path;
 
 use crate::toml::{self, Document, Table};
 
-/// The six rule identifiers, in report order.
-pub const RULE_NAMES: [&str; 6] = ["determinism", "panic", "casts", "unsafe", "wire", "obs"];
+/// The eight rule identifiers, in report order. Rules 1–6 are lexical
+/// (per-file token patterns); rules 7–8 are transitive (whole-workspace
+/// call-graph reachability, see [`crate::reach`]).
+pub const RULE_NAMES: [&str; 8] = [
+    "determinism",
+    "panic",
+    "casts",
+    "unsafe",
+    "wire",
+    "obs",
+    "transitive-determinism",
+    "panic-provenance",
+];
 
 /// Per-rule configuration.
 #[derive(Debug, Clone)]
@@ -94,6 +105,13 @@ pub struct Config {
     pub unsafe_: RuleConfig,
     pub wire: RuleConfig,
     pub obs: RuleConfig,
+    /// Rule 7: for `paths`-scoped entry points (public fns), no call
+    /// chain may reach an unaudited nondeterminism source anywhere in
+    /// the workspace — even through crates rule 1 does not cover.
+    pub transitive: RuleConfig,
+    /// Rule 8: same reachability, seeded at panic sites outside rule 2's
+    /// scope, with full provenance chains.
+    pub provenance: RuleConfig,
     pub allows: Vec<AllowEntry>,
 }
 
@@ -145,6 +163,8 @@ impl Default for Config {
             unsafe_: RuleConfig::new(&[], &[]),
             wire: RuleConfig::new(&["crates/"], &[]),
             obs: RuleConfig::new(&OBS_BLIND_CRATES, &[]),
+            transitive: RuleConfig::new(&DETERMINISM_CRATES, &[]),
+            provenance: RuleConfig::new(&DETERMINISM_CRATES, &[]),
             allows: Vec::new(),
         }
     }
@@ -219,6 +239,8 @@ impl Config {
             "unsafe" => Some(&self.unsafe_),
             "wire" => Some(&self.wire),
             "obs" => Some(&self.obs),
+            "transitive-determinism" => Some(&self.transitive),
+            "panic-provenance" => Some(&self.provenance),
             _ => None,
         }
     }
@@ -232,6 +254,8 @@ impl Config {
             "unsafe" => Some(&mut self.unsafe_),
             "wire" => Some(&mut self.wire),
             "obs" => Some(&mut self.obs),
+            "transitive-determinism" => Some(&mut self.transitive),
+            "panic-provenance" => Some(&mut self.provenance),
             _ => None,
         }
     }

@@ -1,0 +1,483 @@
+//! Item extraction on top of the lexer: functions, impl/trait blocks,
+//! inline modules, and `use` declarations.
+//!
+//! The transitive rules ([`crate::reach`]) need to know *which function*
+//! a token belongs to and *what names that function's file imports* —
+//! neither of which the flat token stream gives directly. This pass
+//! walks the token stream once with a balanced-brace scope stack and
+//! produces:
+//!
+//! - every `fn` item with its inline-module path, enclosing `impl`/
+//!   `trait` type, visibility, line span, and body token range;
+//! - every `use` declaration flattened into `alias → absolute path`
+//!   bindings (brace groups and `as` renames resolved, globs recorded
+//!   as prefixes).
+//!
+//! It is *not* a parser: generics, where-clauses, and expression
+//! structure are skipped over, and `macro_rules!` bodies are ignored
+//! (their `fn` fragments are not items). That is enough for best-effort
+//! call resolution; anything it cannot see resolves to an external and
+//! is reported in the call-graph stats rather than silently dropped.
+
+use crate::lexer::{Lexed, Token};
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's own name (`diffuse`, `new`, …).
+    pub name: String,
+    /// Inline `mod` path within the file (outermost first).
+    pub module_path: Vec<String>,
+    /// Enclosing `impl` type or `trait` name, if any.
+    pub impl_type: Option<String>,
+    /// Whether the item is `pub` (any visibility scope counts).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body, `open_brace..=close_brace`.
+    /// `None` for bodyless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+}
+
+/// One flattened `use` binding: `alias` names `path` in this file.
+#[derive(Debug, Clone)]
+pub struct UseBinding {
+    pub alias: String,
+    /// Absolute path segments as written (first segment may be a crate
+    /// name, `crate`, `self`, or `super`).
+    pub path: Vec<String>,
+    /// True for `use path::*`: `alias` is empty and `path` is a prefix
+    /// every unresolved name may be completed with.
+    pub glob: bool,
+}
+
+/// All items of one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseBinding>,
+    /// Type names this file defines `impl` blocks for (used by the
+    /// call-graph's method-resolution filter).
+    pub impl_types: Vec<String>,
+}
+
+/// Rust keywords that cannot be item names; a `fn` followed by one of
+/// these (or punctuation) is macro soup, not an item.
+fn is_ident(tok: &str) -> bool {
+    tok.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+        && !tok.starts_with('#')
+}
+
+/// Extracts items from a lexed file.
+pub fn parse_items(lexed: &Lexed) -> FileItems {
+    let mut out = FileItems::default();
+    let toks = &lexed.tokens;
+    walk(toks, 0, toks.len(), &mut Vec::new(), None, &mut out);
+    out.impl_types.sort();
+    out.impl_types.dedup();
+    out
+}
+
+fn lexeme(toks: &[Token], i: usize) -> &str {
+    toks.get(i).map(|t| t.lexeme.as_str()).unwrap_or("")
+}
+
+/// Index of the matching `}` for the `{` at `open`.
+fn close_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (idx, t) in toks.iter().enumerate().skip(open) {
+        match t.lexeme.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(idx);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the tokens ending at `fn_idx` (exclusive) carry a `pub`.
+/// Handles `pub fn`, `pub(crate) fn`, and modifier stacks like
+/// `pub const unsafe extern "C" fn`.
+fn has_pub(toks: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        match lexeme(toks, j) {
+            "const" | "unsafe" | "async" | "extern" | "#str" => continue,
+            "pub" => return true,
+            ")" => {
+                // `pub(crate)` / `pub(in path)`: scan back to `(`.
+                let mut depth = 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match lexeme(toks, j) {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                return j > 0 && lexeme(toks, j - 1) == "pub";
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+fn walk(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    module_path: &mut Vec<String>,
+    impl_type: Option<&str>,
+    out: &mut FileItems,
+) {
+    let mut i = start;
+    while i < end {
+        match lexeme(toks, i) {
+            // Attributes are skipped wholesale so `#[cfg(...)]` contents
+            // never look like items.
+            "#" if lexeme(toks, i + 1) == "[" => {
+                i = skip_balanced(toks, i + 1, "[", "]", end);
+            }
+            "mod" if is_ident(lexeme(toks, i + 1)) => {
+                let name = lexeme(toks, i + 1).to_string();
+                if lexeme(toks, i + 2) == "{" {
+                    let close = close_brace(toks, i + 2).unwrap_or(end);
+                    module_path.push(name);
+                    walk(toks, i + 3, close.min(end), module_path, impl_type, out);
+                    module_path.pop();
+                    i = close + 1;
+                } else {
+                    i += 2; // `mod name;` — out-of-line, its file is scanned separately
+                }
+            }
+            "impl" => {
+                // `impl<T> Type<T> { … }` / `impl Trait for Type { … }`:
+                // the impl type is the last identifier at angle-depth 0
+                // before the body brace (after `for` when present).
+                let mut j = i + 1;
+                let mut angle = 0i64;
+                let mut last_ident = String::new();
+                while j < end {
+                    match lexeme(toks, j) {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "{" if angle <= 0 => break,
+                        ";" if angle <= 0 => break,
+                        "for" if angle <= 0 => last_ident.clear(),
+                        l if is_ident(l) && angle <= 0 => last_ident = l.to_string(),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < end && lexeme(toks, j) == "{" {
+                    let close = close_brace(toks, j).unwrap_or(end);
+                    if !last_ident.is_empty() {
+                        out.impl_types.push(last_ident.clone());
+                    }
+                    let ty = if last_ident.is_empty() {
+                        None
+                    } else {
+                        Some(last_ident.as_str())
+                    };
+                    walk(toks, j + 1, close.min(end), module_path, ty, out);
+                    i = close + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "trait" if is_ident(lexeme(toks, i + 1)) => {
+                let name = lexeme(toks, i + 1).to_string();
+                let mut j = i + 2;
+                while j < end && lexeme(toks, j) != "{" && lexeme(toks, j) != ";" {
+                    j += 1;
+                }
+                if j < end && lexeme(toks, j) == "{" {
+                    let close = close_brace(toks, j).unwrap_or(end);
+                    walk(toks, j + 1, close.min(end), module_path, Some(&name), out);
+                    i = close + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "fn" if is_ident(lexeme(toks, i + 1)) => {
+                let name = lexeme(toks, i + 1).to_string();
+                let line = toks[i].line;
+                let is_pub = has_pub(toks, i);
+                // Body: first `{` at angle-depth 0 after the signature,
+                // or `;` for a bodyless declaration.
+                let mut j = i + 2;
+                let mut angle = 0i64;
+                let mut body = None;
+                while j < end {
+                    match lexeme(toks, j) {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "(" => {
+                            j = skip_balanced(toks, j, "(", ")", end);
+                            continue;
+                        }
+                        "{" if angle <= 0 => {
+                            let close = close_brace(toks, j).unwrap_or(end);
+                            body = Some((j, close.min(end)));
+                            break;
+                        }
+                        ";" if angle <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                out.fns.push(FnItem {
+                    name,
+                    module_path: module_path.clone(),
+                    impl_type: impl_type.map(str::to_owned),
+                    is_pub,
+                    line,
+                    body,
+                });
+                i = match body {
+                    Some((_, close)) => close + 1,
+                    None => j + 1,
+                };
+            }
+            // `macro_rules! name { … }`: the body is token soup whose
+            // `fn` fragments are not items.
+            "macro_rules" if lexeme(toks, i + 1) == "!" => {
+                let mut j = i + 2;
+                while j < end && lexeme(toks, j) != "{" {
+                    j += 1;
+                }
+                i = if j < end {
+                    close_brace(toks, j).unwrap_or(end) + 1
+                } else {
+                    end
+                };
+            }
+            "use" => {
+                let semi = (i + 1..end)
+                    .find(|&k| lexeme(toks, k) == ";")
+                    .unwrap_or(end);
+                parse_use(toks, i + 1, semi, &mut Vec::new(), &mut out.uses);
+                i = semi + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Skips a balanced `open…close` group starting at `start` (which must
+/// hold `open`); returns the index just past the closer.
+fn skip_balanced(toks: &[Token], start: usize, open: &str, close: &str, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = start;
+    while j < end {
+        let l = lexeme(toks, j);
+        if l == open {
+            depth += 1;
+        } else if l == close {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Parses one `use` tree between `start` and `end` (the `;`), appending
+/// flattened bindings. `prefix` carries the path segments accumulated so
+/// far (for brace groups).
+fn parse_use(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseBinding>,
+) {
+    let mut segments: Vec<String> = Vec::new();
+    let mut i = start;
+    while i < end {
+        match lexeme(toks, i) {
+            l if is_ident(l) && l != "as" => {
+                segments.push(l.to_string());
+                i += 1;
+            }
+            ":" => i += 1,
+            "*" => {
+                let mut path = prefix.clone();
+                path.append(&mut segments);
+                out.push(UseBinding {
+                    alias: String::new(),
+                    path,
+                    glob: true,
+                });
+                i += 1;
+            }
+            "as" => {
+                let alias = lexeme(toks, i + 1).to_string();
+                let mut path = prefix.clone();
+                path.append(&mut segments);
+                out.push(UseBinding {
+                    alias,
+                    path,
+                    glob: false,
+                });
+                i += 2;
+            }
+            "{" => {
+                let close = skip_balanced(toks, i, "{", "}", end);
+                let depth_before = prefix.len();
+                prefix.append(&mut segments);
+                // Split the group on top-level commas and recurse.
+                let mut part_start = i + 1;
+                let mut depth = 0i64;
+                for j in i + 1..close - 1 {
+                    match lexeme(toks, j) {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        "," if depth == 0 => {
+                            parse_use(toks, part_start, j, prefix, out);
+                            part_start = j + 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if part_start < close.saturating_sub(1) {
+                    parse_use(toks, part_start, close - 1, prefix, out);
+                }
+                prefix.truncate(depth_before);
+                i = close;
+            }
+            "," => {
+                flush_binding(prefix, &mut segments, out);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    flush_binding(prefix, &mut segments, out);
+}
+
+fn flush_binding(prefix: &[String], segments: &mut Vec<String>, out: &mut Vec<UseBinding>) {
+    if segments.is_empty() {
+        return;
+    }
+    let mut path = prefix.to_vec();
+    path.append(segments);
+    let alias = path.last().cloned().unwrap_or_default();
+    // `use path::self;` binds the parent module's name.
+    let alias = if alias == "self" {
+        path.pop();
+        path.last().cloned().unwrap_or_default()
+    } else {
+        alias
+    };
+    out.push(UseBinding {
+        alias,
+        path,
+        glob: false,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> FileItems {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn fns_with_modules_impls_and_visibility() {
+        let src = r#"
+pub fn top() { inner(); }
+fn private() {}
+mod sub {
+    pub(crate) fn in_sub() {}
+    mod deeper { fn leaf() {} }
+}
+impl Engine {
+    pub fn run(&self) -> u32 { 0 }
+    fn helper() {}
+}
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+}
+trait Walk {
+    fn bodyless(&self);
+    fn with_default(&self) { self.bodyless(); }
+}
+"#;
+        let fi = items(src);
+        let by_name: Vec<(&str, &FnItem)> = fi.fns.iter().map(|f| (f.name.as_str(), f)).collect();
+        let get = |n: &str| {
+            by_name
+                .iter()
+                .find(|(name, _)| *name == n)
+                .map(|(_, f)| *f)
+                .unwrap()
+        };
+        assert!(get("top").is_pub && get("top").body.is_some());
+        assert!(!get("private").is_pub);
+        assert_eq!(get("in_sub").module_path, ["sub"]);
+        assert!(get("in_sub").is_pub, "pub(crate) counts as pub");
+        assert_eq!(get("leaf").module_path, ["sub", "deeper"]);
+        assert_eq!(get("run").impl_type.as_deref(), Some("Engine"));
+        assert!(get("run").is_pub);
+        assert_eq!(get("fmt").impl_type.as_deref(), Some("Engine"));
+        assert_eq!(get("bodyless").impl_type.as_deref(), Some("Walk"));
+        assert!(get("bodyless").body.is_none());
+        assert!(get("with_default").body.is_some());
+        assert_eq!(fi.impl_types, ["Engine"]);
+    }
+
+    #[test]
+    fn generic_impls_and_signatures() {
+        let src = "impl<T: Ord> Holder<T> {\n    fn get(&self) -> Option<&T> { None }\n}\nfn cmp<A: PartialOrd<B>, B>(a: A, b: B) -> bool { a < b }\n";
+        let fi = items(src);
+        assert_eq!(fi.fns[0].impl_type.as_deref(), Some("Holder"));
+        assert_eq!(fi.fns[1].name, "cmp");
+        assert!(fi.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases_and_globs() {
+        let src = "use gdsearch_graph::algo::{bfs, stats as st};\nuse std::collections::BTreeMap;\nuse crate::push::*;\nuse super::frames::{self, ShardFrame};\n";
+        let us = items(src).uses;
+        let find = |a: &str| us.iter().find(|u| u.alias == a).unwrap();
+        assert_eq!(find("bfs").path, ["gdsearch_graph", "algo", "bfs"]);
+        assert_eq!(find("st").path, ["gdsearch_graph", "algo", "stats"]);
+        assert_eq!(find("BTreeMap").path, ["std", "collections", "BTreeMap"]);
+        assert!(us.iter().any(|u| u.glob && u.path == ["crate", "push"]));
+        assert_eq!(find("frames").path, ["super", "frames"]);
+        assert_eq!(find("ShardFrame").path, ["super", "frames", "ShardFrame"]);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_not_items() {
+        let src = "macro_rules! mk {\n    ($n:ident) => { fn $n() {} };\n}\nfn real() {}\n";
+        let fi = items(src);
+        assert_eq!(fi.fns.len(), 1);
+        assert_eq!(fi.fns[0].name, "real");
+    }
+
+    #[test]
+    fn body_ranges_cover_the_braces() {
+        let src = "fn f() { g(); h(); }";
+        let fi = items(src);
+        let (open, close) = fi.fns[0].body.unwrap();
+        let l = lex(src);
+        assert_eq!(l.tokens[open].lexeme, "{");
+        assert_eq!(l.tokens[close].lexeme, "}");
+    }
+}

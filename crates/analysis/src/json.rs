@@ -1,0 +1,126 @@
+//! Machine-readable diagnostics (`--json`), schema `gdsearch.analysis.v1`.
+//!
+//! CI uploads this as an artifact so tooling can diff analyzer runs
+//! across commits without scraping the human report. The writer is
+//! hand-rolled (the analyzer is dependency-free by design) and emits a
+//! stable key order, so byte-identical trees produce byte-identical
+//! reports.
+
+use std::fmt::Write as _;
+
+use crate::Analysis;
+
+pub const SCHEMA: &str = "gdsearch.analysis.v1";
+
+/// Renders one analysis run as a JSON document.
+pub fn render(a: &Analysis) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"clean\": {},", a.clean());
+    let _ = writeln!(out, "  \"files_scanned\": {},", a.files_scanned);
+    let _ = writeln!(out, "  \"allowlisted_sites\": {},", a.allowlisted_sites);
+    let _ = writeln!(
+        out,
+        "  \"comment_justified_sites\": {},",
+        a.comment_justified_sites
+    );
+    out.push_str("  \"violations\": [");
+    for (i, d) in a.violations.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {");
+        let _ = write!(out, "\"rule\": {}, ", quote(d.rule));
+        let _ = write!(out, "\"check\": {}, ", quote(d.check));
+        let _ = write!(out, "\"path\": {}, ", quote(&d.path));
+        let _ = write!(out, "\"line\": {}, ", d.line);
+        let _ = write!(out, "\"message\": {}, ", quote(&d.message));
+        let _ = write!(out, "\"snippet\": {}, ", quote(&d.snippet));
+        out.push_str("\"chain\": [");
+        for (k, hop) in d.chain.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&quote(hop));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"allowlist_errors\": [");
+    for (i, e) in a.allowlist_errors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&quote(e));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// JSON string literal with the mandatory escapes.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    #[test]
+    fn renders_schema_and_escapes() {
+        let a = Analysis {
+            violations: vec![Diagnostic {
+                rule: "transitive-determinism",
+                check: "hash-collection",
+                path: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "a \"quoted\" message".into(),
+                snippet: "let m = HashMap::new();".into(),
+                allowlistable: true,
+                chain: vec!["a::entry (crates/a/src/lib.rs:1)".into()],
+            }],
+            allowlist_errors: vec!["stale entry".into()],
+            files_scanned: 3,
+            allowlisted_sites: 2,
+            comment_justified_sites: 1,
+            allows: Vec::new(),
+        };
+        let j = render(&a);
+        assert!(j.contains("\"schema\": \"gdsearch.analysis.v1\""));
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("a \\\"quoted\\\" message"));
+        assert!(j.contains("a::entry (crates/a/src/lib.rs:1)"));
+        assert!(j.contains("stale entry"));
+    }
+
+    #[test]
+    fn clean_run_is_empty_arrays() {
+        let a = Analysis {
+            violations: Vec::new(),
+            allowlist_errors: Vec::new(),
+            files_scanned: 1,
+            allowlisted_sites: 0,
+            comment_justified_sites: 0,
+            allows: Vec::new(),
+        };
+        let j = render(&a);
+        assert!(j.contains("\"clean\": true"));
+        assert!(j.contains("\"violations\": [\n  ]"));
+    }
+}

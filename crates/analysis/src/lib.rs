@@ -5,7 +5,7 @@
 //! That claim is *dynamic* (proptests sample the space); this crate makes
 //! its preconditions *static*: a hand-rolled Rust lexer ([`lexer`]) feeds
 //! a rule engine ([`rules`]) that walks every `.rs` file in the workspace
-//! and reports violations of five invariants:
+//! and reports violations of six per-file invariants:
 //!
 //! 1. **determinism** — no hash-map iteration-order dependence, wall
 //!    clocks, OS entropy, or environment reads in the library crates'
@@ -16,7 +16,18 @@
 //! 4. **unsafe** — `unsafe` is denied without a `// SAFETY:` argument
 //!    *and* an allowlist entry;
 //! 5. **wire** — every wire codec module carries a `wire_size`-equality
-//!    test, so declared frame sizes cannot drift from encoded sizes.
+//!    test, so declared frame sizes cannot drift from encoded sizes;
+//! 6. **obs** — result paths never *read* instrumentation.
+//!
+//! On top of the same lexer, an item parser ([`items`]) and a workspace
+//! call-graph builder ([`callgraph`]) feed two *transitive* rules
+//! ([`reach`]) that make the first two invariants global:
+//!
+//! 7. **transitive-determinism** — no public result-path entry point may
+//!    reach a nondeterminism source through any call chain, even in
+//!    crates rule 1 does not cover;
+//! 8. **panic-provenance** — the same reachability for panic sites, each
+//!    finding carrying the full `fn (file:line)` provenance chain.
 //!
 //! Audited exceptions live in `analysis.toml` ([`config`]); each entry
 //! carries a mandatory one-line justification, may pin a sub-check and a
@@ -27,8 +38,12 @@
 //! Run `cargo run -p gdsearch-analysis` from the workspace root; the
 //! binary exits nonzero on any violation and is a required CI job.
 
+pub mod callgraph;
 pub mod config;
+pub mod items;
+pub mod json;
 pub mod lexer;
+pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod toml;
@@ -36,6 +51,7 @@ pub mod toml;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use callgraph::SourceFile;
 use config::{AllowEntry, Config};
 use rules::{Diagnostic, FileCtx};
 
@@ -78,24 +94,34 @@ impl std::error::Error for AnalysisError {}
 
 /// Runs the analyzer over `root` with `cfg`.
 pub fn analyze(root: &Path, cfg: &Config) -> Result<Analysis, AnalysisError> {
-    let mut files = Vec::new();
+    analyze_with_graph(root, cfg, false).map(|(a, _)| a)
+}
+
+/// Runs the analyzer; with `want_dot`, also returns the workspace call
+/// graph rendered as Graphviz DOT (for `--graph-dot`).
+pub fn analyze_with_graph(
+    root: &Path,
+    cfg: &Config,
+    want_dot: bool,
+) -> Result<(Analysis, Option<String>), AnalysisError> {
+    let mut paths = Vec::new();
     for dir in &cfg.roots {
         let base = if dir == "." {
             root.to_path_buf()
         } else {
             root.join(dir)
         };
-        collect_rs_files(&base, &mut files);
+        collect_rs_files(&base, &mut paths);
     }
-    files.sort();
-    files.dedup();
+    paths.sort();
+    paths.dedup();
 
     let mut cfg = cfg.clone();
     let mut raw: Vec<Diagnostic> = Vec::new();
-    let mut files_scanned = 0usize;
     let mut comment_justified = 0usize;
 
-    for path in &files {
+    let mut sources: Vec<SourceFile> = Vec::new();
+    for path in &paths {
         let rel = relative_slash_path(root, path);
         if cfg.exclude.iter().any(|e| {
             let e = e.strip_suffix('/').unwrap_or(e);
@@ -106,34 +132,62 @@ pub fn analyze(root: &Path, cfg: &Config) -> Result<Analysis, AnalysisError> {
         let src = std::fs::read_to_string(path)
             .map_err(|e| AnalysisError(format!("{}: {e}", path.display())))?;
         let lexed = lexer::lex(&src);
-        let lines: Vec<&str> = src.lines().collect();
+        let items = items::parse_items(&lexed);
+        sources.push(SourceFile {
+            rel_path: rel,
+            source: src,
+            lexed,
+            items,
+        });
+    }
+    let files_scanned = sources.len();
+
+    for f in &sources {
+        let lines: Vec<&str> = f.source.lines().collect();
         let ctx = FileCtx {
-            rel_path: &rel,
-            lexed: &lexed,
+            rel_path: &f.rel_path,
+            lexed: &f.lexed,
             source_lines: &lines,
         };
-        files_scanned += 1;
+        rules::run_rules(&ctx, &cfg, &mut raw);
+    }
 
-        let mut file_diags = Vec::new();
-        rules::run_rules(&ctx, &cfg, &mut file_diags);
+    // The transitive rules (and the DOT export) need the call graph.
+    let mut dot = None;
+    if cfg.transitive.enabled || cfg.provenance.enabled || want_dot {
+        let graph = callgraph::build(&sources);
+        reach::run_reach(&sources, &graph, &cfg, &mut raw);
+        if want_dot {
+            dot = Some(graph.to_dot(&sources));
+        }
+    }
 
-        // Inline justification: a comment on the flagged line or the line
-        // above containing `analysis:allow(<rule>)`. Not honored for
-        // `unsafe` (which demands the manifest) or for file-scope rules.
-        for d in file_diags {
+    // Inline justification: a comment on the flagged line or the line
+    // above containing `analysis:allow(<rule>)`. Not honored for
+    // `unsafe` (which demands the manifest). Applies uniformly to the
+    // lexical and transitive rules — a chain diagnostic is justified at
+    // its seed site.
+    let lexed_by_rel: std::collections::BTreeMap<&str, &lexer::Lexed> = sources
+        .iter()
+        .map(|f| (f.rel_path.as_str(), &f.lexed))
+        .collect();
+    let raw: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
             let inline_ok = d.rule != "unsafe"
-                && (d.line.saturating_sub(1)..=d.line).any(|l| {
-                    lexed
-                        .comments_on(l)
-                        .any(|c| c.text.contains(&format!("analysis:allow({})", d.rule)))
+                && lexed_by_rel.get(d.path.as_str()).is_some_and(|lexed| {
+                    (d.line.saturating_sub(1)..=d.line).any(|l| {
+                        lexed
+                            .comments_on(l)
+                            .any(|c| c.text.contains(&format!("analysis:allow({})", d.rule)))
+                    })
                 });
             if inline_ok {
                 comment_justified += 1;
-            } else {
-                raw.push(d);
             }
-        }
-    }
+            !inline_ok
+        })
+        .collect();
 
     // Allowlist pass: the first covering entry absorbs a diagnostic.
     let mut violations = Vec::new();
@@ -184,14 +238,17 @@ pub fn analyze(root: &Path, cfg: &Config) -> Result<Analysis, AnalysisError> {
         }
     }
 
-    Ok(Analysis {
-        violations,
-        allowlist_errors,
-        files_scanned,
-        allowlisted_sites: allowlisted,
-        comment_justified_sites: comment_justified,
-        allows: cfg.allows,
-    })
+    Ok((
+        Analysis {
+            violations,
+            allowlist_errors,
+            files_scanned,
+            allowlisted_sites: allowlisted,
+            comment_justified_sites: comment_justified,
+            allows: cfg.allows,
+        },
+        dot,
+    ))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {

@@ -13,6 +13,11 @@ fn rule_headline(rule: &str) -> &'static str {
         "casts" => "narrowing casts must be audited",
         "unsafe" => "unsafe requires a SAFETY argument and an allowlist entry",
         "wire" => "wire codecs need a wire_size-equality test",
+        "obs" => "result paths must not read instrumentation",
+        "transitive-determinism" => {
+            "no call chain from a public result path may reach a nondeterminism source"
+        }
+        "panic-provenance" => "no call chain from a public result path may reach a panic site",
         _ => "",
     }
 }
@@ -39,6 +44,12 @@ pub fn render(analysis: &Analysis) -> String {
             let _ = writeln!(out, "  {}:{}  [{}] {}", d.path, d.line, d.check, d.message);
             if !d.snippet.is_empty() {
                 let _ = writeln!(out, "      | {}", d.snippet);
+            }
+            // Provenance chain (transitive rules): entry point first,
+            // seed function last.
+            for (i, hop) in d.chain.iter().enumerate() {
+                let arrow = if i == 0 { "chain:" } else { "     →" };
+                let _ = writeln!(out, "      {arrow} {hop}");
             }
         }
         out.push('\n');
@@ -81,6 +92,7 @@ mod tests {
                 message: "m".into(),
                 snippet: "x.unwrap()".into(),
                 allowlistable: true,
+                chain: Vec::new(),
             }],
             allowlist_errors: vec!["stale allowlist entry (panic y.rs)".into()],
             files_scanned: 2,

@@ -27,6 +27,10 @@ pub struct Diagnostic {
     /// only for `unsafe` without an adjacent `// SAFETY:` comment — a
     /// safety argument in the code is a precondition for the allowlist.
     pub allowlistable: bool,
+    /// For the transitive rules: the provenance chain from a public
+    /// entry point to the flagged site, one `fn (file:line)` per hop.
+    /// Empty for the lexical rules.
+    pub chain: Vec<String>,
 }
 
 /// Everything a rule needs to know about one file.
@@ -37,7 +41,7 @@ pub struct FileCtx<'a> {
 }
 
 impl FileCtx<'_> {
-    fn snippet(&self, line: u32) -> String {
+    pub(crate) fn snippet(&self, line: u32) -> String {
         self.source_lines
             .get(line as usize - 1)
             .map(|s| s.trim().to_string())
@@ -59,6 +63,7 @@ impl FileCtx<'_> {
             message,
             snippet: self.snippet(line),
             allowlistable: true,
+            chain: Vec::new(),
         }
     }
 }
@@ -113,118 +118,127 @@ fn seq_at(ctx: &FileCtx<'_>, i: usize, pat: &[&str]) -> bool {
         .all(|(k, p)| lexeme_at(ctx, i + k) == *p)
 }
 
+/// A lexical finding at one token index: `(sub-check, line, message)`.
+pub(crate) type Site = (&'static str, u32, String);
+
+/// Whether the token at `i` is a nondeterminism source. Shared by the
+/// per-file rule 1 and the transitive rule 7's taint seeding.
+pub(crate) fn determinism_site_at(ctx: &FileCtx<'_>, i: usize) -> Option<Site> {
+    let t = ctx.lexed.tokens.get(i)?;
+    match t.lexeme.as_str() {
+        // Hash collections: iteration order varies per process (seeded
+        // hasher), so any use in a result path is a replay hazard.
+        "HashMap" | "HashSet" => Some((
+            "hash-collection",
+            t.line,
+            format!(
+                "{} iteration order is seeded per process; \
+                 use BTreeMap/BTreeSet or a sorted Vec",
+                t.lexeme
+            ),
+        )),
+        // `SystemTime` has no legitimate deterministic use here; the
+        // bare identifier is safe to flag. `Instant` is also an enum
+        // variant name in core::protocol (`SimBackend::Instant`), so
+        // it is only flagged as `std::time::Instant` / `Instant::now` /
+        // a `std::time::{…, Instant}` brace import.
+        "SystemTime" => Some((
+            "wall-clock",
+            t.line,
+            "SystemTime reads the wall clock; use the simulator's virtual clock".into(),
+        )),
+        "Instant" => {
+            let from_std_time = i >= 3
+                && lexeme_at(ctx, i - 1) == ":"
+                && lexeme_at(ctx, i - 2) == ":"
+                && lexeme_at(ctx, i - 3) == "time";
+            let calls_now = seq_at(ctx, i + 1, &[":", ":", "now"]);
+            let in_time_brace = {
+                // Walk back over the brace group's idents and commas to
+                // its `{`, then check for the `std::time::` prefix.
+                let mut j = i;
+                while j > 0 {
+                    let p = lexeme_at(ctx, j - 1);
+                    let identish = p
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphabetic() || c == '_');
+                    if p == "," || identish {
+                        j -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                j >= 7
+                    && lexeme_at(ctx, j - 1) == "{"
+                    && lexeme_at(ctx, j - 2) == ":"
+                    && lexeme_at(ctx, j - 3) == ":"
+                    && lexeme_at(ctx, j - 4) == "time"
+                    && lexeme_at(ctx, j - 5) == ":"
+                    && lexeme_at(ctx, j - 6) == ":"
+                    && lexeme_at(ctx, j - 7) == "std"
+            };
+            (from_std_time || calls_now || in_time_brace).then(|| {
+                (
+                    "wall-clock",
+                    t.line,
+                    "std::time::Instant reads the wall clock; use the simulator's \
+                     virtual clock"
+                        .to_string(),
+                )
+            })
+        }
+        // OS entropy: unseedable randomness breaks replay.
+        "thread_rng" | "from_entropy" => Some((
+            "os-entropy",
+            t.line,
+            format!(
+                "{} draws OS entropy: thread results become unreplayable; \
+                 seed a StdRng explicitly",
+                t.lexeme
+            ),
+        )),
+        // Process environment reads make results depend on ambient state.
+        "std" if seq_at(ctx, i + 1, &[":", ":", "env"]) => Some((
+            "env-read",
+            t.line,
+            "std::env makes results depend on ambient process state".into(),
+        )),
+        "env"
+            if seq_at(ctx, i + 1, &[":", ":"])
+                && matches!(
+                    lexeme_at(ctx, i + 3),
+                    "var" | "var_os" | "vars" | "args" | "temp_dir" | "current_dir"
+                ) =>
+        {
+            Some((
+                "env-read",
+                t.line,
+                format!(
+                    "env::{} makes results depend on ambient process state",
+                    lexeme_at(ctx, i + 3)
+                ),
+            ))
+        }
+        _ => None,
+    }
+}
+
 /// Rule 1: determinism. Result paths of the library crates must not
 /// depend on hash-map iteration order, wall clocks, OS entropy, or the
 /// process environment.
 fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    let toks = &ctx.lexed.tokens;
-    for (i, t) in toks.iter().enumerate() {
-        if ctx.lexed.in_test_region(t.line) {
+    for i in 0..ctx.lexed.tokens.len() {
+        if ctx.lexed.in_test_region(ctx.lexed.tokens[i].line) {
             continue;
         }
-        match t.lexeme.as_str() {
-            // Hash collections: iteration order varies per process (seeded
-            // hasher), so any use in a result path is a replay hazard.
-            "HashMap" | "HashSet" => out.push(ctx.diag(
+        if let Some((check, line, message)) = determinism_site_at(ctx, i) {
+            out.push(ctx.diag(
                 "determinism",
-                "hash-collection",
-                t.line,
-                format!(
-                    "{} in a deterministic crate: iteration order is seeded per process; \
-                     use BTreeMap/BTreeSet or a sorted Vec",
-                    t.lexeme
-                ),
-            )),
-            // `SystemTime` has no legitimate deterministic use here; the
-            // bare identifier is safe to flag. `Instant` is also an enum
-            // variant name in core::protocol (`SimBackend::Instant`), so
-            // it is only flagged as `std::time::Instant` / `Instant::now`.
-            "SystemTime" => out.push(ctx.diag(
-                "determinism",
-                "wall-clock",
-                t.line,
-                "SystemTime in a deterministic crate: use the simulator's virtual clock".into(),
-            )),
-            "Instant" => {
-                let from_std_time = i >= 3
-                    && lexeme_at(ctx, i - 1) == ":"
-                    && lexeme_at(ctx, i - 2) == ":"
-                    && lexeme_at(ctx, i - 3) == "time";
-                let calls_now = seq_at(ctx, i + 1, &[":", ":", "now"]);
-                if from_std_time || calls_now {
-                    out.push(
-                        ctx.diag(
-                            "determinism",
-                            "wall-clock",
-                            t.line,
-                            "std::time::Instant in a deterministic crate: use the simulator's \
-                         virtual clock"
-                                .into(),
-                        ),
-                    );
-                }
-            }
-            // OS entropy: unseedable randomness breaks replay.
-            "thread_rng" | "from_entropy" => out.push(ctx.diag(
-                "determinism",
-                "os-entropy",
-                t.line,
-                format!(
-                    "{} draws OS entropy: thread results become unreplayable; \
-                     seed a StdRng explicitly",
-                    t.lexeme
-                ),
-            )),
-            // Process environment reads make results depend on ambient
-            // state. `use std::time::{…, Instant}` brace imports are also
-            // resolved here for the wall-clock check.
-            "std" => {
-                if seq_at(ctx, i + 1, &[":", ":", "env"]) {
-                    out.push(
-                        ctx.diag(
-                            "determinism",
-                            "env-read",
-                            t.line,
-                            "std::env in a deterministic crate: results must not depend on \
-                         ambient process state"
-                                .into(),
-                        ),
-                    );
-                } else if seq_at(ctx, i + 1, &[":", ":", "time", ":", ":", "{"]) {
-                    // Scan the brace import for Instant/SystemTime.
-                    let mut j = i + 7;
-                    while j < toks.len() && toks[j].lexeme != "}" {
-                        if toks[j].lexeme == "Instant" {
-                            out.push(ctx.diag(
-                                "determinism",
-                                "wall-clock",
-                                toks[j].line,
-                                "std::time::Instant imported in a deterministic crate".into(),
-                            ));
-                        }
-                        j += 1;
-                    }
-                }
-            }
-            "env"
-                if seq_at(ctx, i + 1, &[":", ":"])
-                    && matches!(
-                        lexeme_at(ctx, i + 3),
-                        "var" | "var_os" | "vars" | "args" | "temp_dir" | "current_dir"
-                    ) =>
-            {
-                out.push(ctx.diag(
-                    "determinism",
-                    "env-read",
-                    t.line,
-                    format!(
-                        "env::{} in a deterministic crate: results must not depend on \
-                         ambient process state",
-                        lexeme_at(ctx, i + 3)
-                    ),
-                ));
-            }
-            _ => {}
+                check,
+                line,
+                format!("{message} (deterministic crate)"),
+            ));
         }
     }
 }
@@ -233,63 +247,68 @@ fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 /// not process aborts: no `unwrap`/`expect`, no panic-family macros, no
 /// unchecked slice indexing.
 fn panic_freedom(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    let toks = &ctx.lexed.tokens;
-    for (i, t) in toks.iter().enumerate() {
-        if ctx.lexed.in_test_region(t.line) {
+    for i in 0..ctx.lexed.tokens.len() {
+        if ctx.lexed.in_test_region(ctx.lexed.tokens[i].line) {
             continue;
         }
-        match t.lexeme.as_str() {
-            "unwrap" | "expect"
-                if i > 0 && lexeme_at(ctx, i - 1) == "." && lexeme_at(ctx, i + 1) == "(" =>
-            {
-                let check = if t.lexeme == "unwrap" {
-                    "unwrap"
-                } else {
-                    "expect"
-                };
-                out.push(ctx.diag(
-                    "panic",
-                    check,
-                    t.line,
-                    format!(
-                        ".{}() in library code: return an error or justify the invariant",
-                        t.lexeme
-                    ),
-                ));
-            }
-            "panic" | "todo" | "unimplemented" | "unreachable" if lexeme_at(ctx, i + 1) == "!" => {
-                out.push(ctx.diag(
-                    "panic",
-                    "panic-macro",
-                    t.line,
-                    format!("{}! in library code aborts the process", t.lexeme),
-                ));
-            }
-            "[" => {
-                // Index expression: `expr[…]` — the token before `[` is an
-                // identifier (not a keyword), `)`, or `]`. Array literals,
-                // slice types/patterns, attributes, and `vec![…]` have
-                // punctuation or keywords before the bracket.
-                let prev = if i > 0 { lexeme_at(ctx, i - 1) } else { "" };
-                let is_expr_prefix = prev == ")"
-                    || prev == "]"
-                    || (prev
-                        .chars()
-                        .next()
-                        .is_some_and(|c| c.is_alphabetic() || c == '_')
-                        && !NON_INDEX_KEYWORDS.contains(&prev)
-                        && !prev.starts_with('#'));
-                if is_expr_prefix {
-                    out.push(ctx.diag(
-                        "panic",
-                        "index",
-                        t.line,
-                        "slice index without `get`: out-of-range aborts the process".into(),
-                    ));
-                }
-            }
-            _ => {}
+        if let Some((check, line, message)) = panic_site_at(ctx, i) {
+            out.push(ctx.diag("panic", check, line, message));
         }
+    }
+}
+
+/// Whether the token at `i` is a panic site. Shared by the per-file
+/// rule 2 and the transitive rule 8's taint seeding.
+pub(crate) fn panic_site_at(ctx: &FileCtx<'_>, i: usize) -> Option<Site> {
+    let t = ctx.lexed.tokens.get(i)?;
+    match t.lexeme.as_str() {
+        "unwrap" | "expect"
+            if i > 0 && lexeme_at(ctx, i - 1) == "." && lexeme_at(ctx, i + 1) == "(" =>
+        {
+            let check = if t.lexeme == "unwrap" {
+                "unwrap"
+            } else {
+                "expect"
+            };
+            Some((
+                check,
+                t.line,
+                format!(
+                    ".{}() in library code: return an error or justify the invariant",
+                    t.lexeme
+                ),
+            ))
+        }
+        "panic" | "todo" | "unimplemented" | "unreachable" if lexeme_at(ctx, i + 1) == "!" => {
+            Some((
+                "panic-macro",
+                t.line,
+                format!("{}! in library code aborts the process", t.lexeme),
+            ))
+        }
+        "[" => {
+            // Index expression: `expr[…]` — the token before `[` is an
+            // identifier (not a keyword), `)`, or `]`. Array literals,
+            // slice types/patterns, attributes, and `vec![…]` have
+            // punctuation or keywords before the bracket.
+            let prev = if i > 0 { lexeme_at(ctx, i - 1) } else { "" };
+            let is_expr_prefix = prev == ")"
+                || prev == "]"
+                || (prev
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                    && !NON_INDEX_KEYWORDS.contains(&prev)
+                    && !prev.starts_with('#'));
+            is_expr_prefix.then(|| {
+                (
+                    "index",
+                    t.line,
+                    "slice index without `get`: out-of-range aborts the process".to_string(),
+                )
+            })
+        }
+        _ => None,
     }
 }
 

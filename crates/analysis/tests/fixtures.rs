@@ -78,6 +78,89 @@ fn excluding_fire_yields_a_clean_run() {
 }
 
 #[test]
+fn transitive_fixture_reports_the_full_two_hop_chain() {
+    // The acceptance case for rule 7: a `HashMap` two calls below a
+    // public entry point is caught, with the provenance chain naming
+    // every hop as `fn (file:line)`.
+    let dir = fixture_dir("transitive-determinism");
+    let cfg = Config::load(&dir.join("analysis.toml")).unwrap();
+    let a = analyze(&dir, &cfg).unwrap();
+    let d = a
+        .violations
+        .iter()
+        .find(|d| d.rule == "transitive-determinism")
+        .expect("fire.rs must trip rule 7");
+    assert_eq!(d.check, "hash-collection");
+    assert_eq!(
+        d.chain,
+        vec![
+            "fire::entry (fire.rs:5)".to_string(),
+            "fire::merge_partials (fire.rs:9)".to_string(),
+            "fire::order_rollup (fire.rs:14)".to_string(),
+        ],
+        "{d:?}"
+    );
+    assert!(d.message.contains("fire::entry"), "{}", d.message);
+
+    // The rendered report shows the chain hop by hop.
+    let out = run_bin(&["--root", dir.to_str().unwrap()]);
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("chain: fire::entry"), "{report}");
+    assert!(report.contains("→ fire::order_rollup"), "{report}");
+}
+
+#[test]
+fn panic_provenance_fixture_chain_ends_at_the_unwrap() {
+    let dir = fixture_dir("panic-provenance");
+    let cfg = Config::load(&dir.join("analysis.toml")).unwrap();
+    let a = analyze(&dir, &cfg).unwrap();
+    let d = a
+        .violations
+        .iter()
+        .find(|d| d.rule == "panic-provenance")
+        .expect("fire.rs must trip rule 8");
+    assert_eq!(d.check, "unwrap");
+    assert_eq!(d.chain.len(), 3, "{:?}", d.chain);
+    assert_eq!(d.chain[0], "fire::entry (fire.rs:5)");
+    assert!(d.chain[2].starts_with("fire::parse_step"), "{:?}", d.chain);
+}
+
+#[test]
+fn json_export_carries_chains_and_schema() {
+    let dir = fixture_dir("transitive-determinism");
+    let json_path = std::env::temp_dir().join("gdsearch-fixture-diag.json");
+    let out = run_bin(&[
+        "--root",
+        dir.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let j = std::fs::read_to_string(&json_path).unwrap();
+    assert!(j.contains("\"schema\": \"gdsearch.analysis.v1\""), "{j}");
+    assert!(j.contains("\"rule\": \"transitive-determinism\""), "{j}");
+    assert!(j.contains("fire::merge_partials (fire.rs:9)"), "{j}");
+    let _ = std::fs::remove_file(&json_path);
+}
+
+#[test]
+fn graph_dot_export_names_the_fixture_chain() {
+    let dir = fixture_dir("transitive-determinism");
+    let dot_path = std::env::temp_dir().join("gdsearch-fixture-graph.dot");
+    let _ = run_bin(&[
+        "--root",
+        dir.to_str().unwrap(),
+        "--graph-dot",
+        dot_path.to_str().unwrap(),
+    ]);
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph callgraph"), "{dot}");
+    assert!(dot.contains("fire::order_rollup"), "{dot}");
+    assert!(dot.contains("->"), "{dot}");
+    let _ = std::fs::remove_file(&dot_path);
+}
+
+#[test]
 fn unsafe_without_safety_comment_defeats_the_allowlist() {
     // A manifest entry covering fire.rs must NOT absorb an `unsafe`
     // that lacks a `// SAFETY:` argument: the safety comment is a

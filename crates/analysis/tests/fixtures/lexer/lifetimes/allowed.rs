@@ -1,0 +1,9 @@
+//! Lexer fixture (allowed): a `HashSet` behind a lifetime-heavy
+//! signature, absorbed by the manifest entry.
+
+use std::collections::HashSet;
+
+pub fn entry<'a>(keys: &'a [u32]) -> usize {
+    let seen: HashSet<&'a u32> = keys.iter().collect();
+    seen.len()
+}

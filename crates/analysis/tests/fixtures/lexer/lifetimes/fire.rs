@@ -1,0 +1,16 @@
+//! Lexer fixture (fire): a real `HashMap` surrounded by the lifetime /
+//! char-literal ambiguity. If the lexer mistook `'a` for an open char
+//! literal it would swallow the hazard into a string token and this
+//! fixture would go silent — the acceptance test pins that it fires.
+
+use std::collections::HashMap;
+
+pub fn entry<'a>(keys: &'a [char]) -> usize {
+    let mut seen: HashMap<char, u32> = HashMap::new();
+    for &k in keys {
+        if k != 'x' && k != '\'' && k != '"' {
+            *seen.entry(k).or_insert(0) += 1;
+        }
+    }
+    seen.len()
+}

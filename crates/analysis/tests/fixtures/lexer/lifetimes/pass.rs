@@ -1,0 +1,16 @@
+//! Lexer fixture (pass): lifetimes and char literals in every
+//! confusable shape, with the only hazard spellings hidden inside
+//! char/string literals where the rule must not see them.
+
+pub struct Window<'buf> {
+    bytes: &'buf [u8],
+}
+
+pub fn entry<'a, 'buf: 'a>(w: &'a Window<'buf>, raw: &str) -> usize {
+    let quote = '\'';
+    let brace = '{';
+    let label = "HashMap and Instant::now() as inert text";
+    let _ = (quote, brace, label);
+    let marker: char = 'H';
+    w.bytes.iter().filter(|&&b| b == marker as u8).count() + raw.matches('_').count()
+}

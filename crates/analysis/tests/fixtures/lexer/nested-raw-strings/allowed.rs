@@ -1,0 +1,16 @@
+//! Lexer fixture (allowed): one real `HashSet` after a raw-string
+//! macro body, absorbed by the manifest entry.
+
+use std::collections::HashSet;
+
+macro_rules! banner {
+    () => {
+        r#"ordering note: "HashSet iteration" is quoted here"#
+    };
+}
+
+pub fn entry(keys: &[u32]) -> usize {
+    let _ = banner!();
+    let seen: HashSet<u32> = keys.iter().copied().collect();
+    seen.len()
+}

@@ -1,0 +1,19 @@
+//! Lexer fixture (fire): a raw string inside a macro body spells out
+//! hazards that must stay inert, followed by a real `HashMap`. A lexer
+//! that terminates the `r##"…"##` early (at the inner `"#`) would eat
+//! the rest of the file — or, worse, resurface the quoted hazards.
+
+macro_rules! doc_blob {
+    () => {
+        r##"template: HashMap::new() and "#quoted# Instant::now()" inline"##
+    };
+}
+
+use std::collections::HashMap;
+
+pub fn entry(key: u64) -> usize {
+    let _ = doc_blob!();
+    let mut slots: HashMap<u64, u64> = HashMap::new();
+    slots.insert(key, 1);
+    slots.len()
+}

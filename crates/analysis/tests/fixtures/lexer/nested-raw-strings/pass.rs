@@ -1,0 +1,19 @@
+//! Lexer fixture (pass): raw strings of every hash depth carrying
+//! hazard spellings — all literal text, none of it real code. The rule
+//! must see zero sites here.
+
+macro_rules! blobs {
+    () => {
+        (
+            r"plain raw: thread_rng() HashMap",
+            r#"one hash: "SystemTime::now()" HashSet::new()"#,
+            r##"two hashes: "# still inside "# std::env::var("X")"##,
+            br#"byte raw: v.unwrap() panic!"#,
+        )
+    };
+}
+
+pub fn entry() -> usize {
+    let (a, b, c, d) = blobs!();
+    a.len() + b.len() + c.len() + d.len()
+}

@@ -1,0 +1,6 @@
+//! Lexer fixture (allowed): a raw-identifier `.r#expect()` call is the
+//! same site as `.expect()` and is absorbed by the manifest entry.
+
+pub fn entry(v: Option<u32>) -> u32 {
+    v.r#expect("fixture invariant: caller always passes Some")
+}

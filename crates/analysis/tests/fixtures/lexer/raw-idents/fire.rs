@@ -1,0 +1,9 @@
+//! Lexer fixture (fire): raw identifiers must normalize to their bare
+//! ident, so `.r#unwrap()` is the same panic site as `.unwrap()`. The
+//! keyword-named locals exercise `r#` on actual keywords along the way.
+
+pub fn entry(v: Option<u32>) -> u32 {
+    let r#type = v;
+    let r#match = r#type.map(|x| x + 1);
+    r#match.r#unwrap()
+}

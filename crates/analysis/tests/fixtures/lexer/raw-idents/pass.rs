@@ -1,0 +1,14 @@
+//! Lexer fixture (pass): raw identifiers that merely *look* dangerous.
+//! A free function named `r#unwrap` is not a `.unwrap()` call — the
+//! panic rule keys on the receiver dot, and `r#`-prefixed keywords
+//! must not derail the token stream around it.
+
+fn r#unwrap(x: u32) -> u32 {
+    x
+}
+
+pub fn entry() -> u32 {
+    let r#else = 1;
+    let r#fn = r#unwrap(r#else);
+    r#fn + r#unwrap(2)
+}

@@ -1,0 +1,10 @@
+//! Lexer fixture (allowed): a `HashSet` reached past multi-byte text,
+//! absorbed by the manifest entry.
+
+use std::collections::HashSet;
+
+pub fn entry(κλειδιά: &[u32]) -> usize {
+    // σύνολο μελών — membership only, order never observed 🗃️
+    let σύνολο: HashSet<u32> = κλειδιά.iter().copied().collect();
+    σύνολο.len()
+}

@@ -1,0 +1,17 @@
+//! Lexer fixture (fire): multi-byte UTF-8 — Greek idents, emoji in
+//! comments and strings — ahead of a real `HashMap`. A byte-indexed
+//! scanner would drift here; the acceptance test pins the exact
+//! diagnostic lines (8 and 12) to prove offsets stay character-true.
+
+// Συντελεστής διάχυσης: α ∈ (0, 1] — see the paper §III. 🚦🚦
+
+use std::collections::HashMap;
+
+pub fn entry(α: f64, κλειδιά: &[u64]) -> usize {
+    let σήμανση = "αποτύπωμα 🧭 — \"quoted\" π≈3.14159";
+    let mut πίνακας: HashMap<u64, f64> = HashMap::new();
+    for &k in κλειδιά {
+        πίνακας.insert(k, α * σήμανση.len() as f64);
+    }
+    πίνακας.len()
+}

@@ -1,0 +1,9 @@
+//! Lexer fixture (pass): the same multi-byte soup with no hazards.
+//! Hazard spellings appear only inside strings salted with emoji so a
+//! byte-drifting scanner would leak them into the token stream.
+
+pub fn entry(βάρη: &[f64]) -> f64 {
+    let ετικέτα = "🎲 thread_rng() and HashMap::new() stay quoted 🎲";
+    let μέσο: f64 = βάρη.iter().sum::<f64>() / βάρη.len().max(1) as f64;
+    μέσο + ετικέτα.chars().count() as f64 * 0.0
+}

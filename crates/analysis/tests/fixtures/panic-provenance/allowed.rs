@@ -1,0 +1,14 @@
+//! Panic-provenance fixture (allowed): a reachable invariant expect()
+//! absorbed by the manifest entry (which records the provenance chain
+//! in its reason).
+
+pub fn entry(values: &[u32]) -> u32 {
+    checked_head(values)
+}
+
+fn checked_head(values: &[u32]) -> u32 {
+    if values.is_empty() {
+        return 0;
+    }
+    *values.first().expect("guarded by the is_empty check above")
+}

@@ -1,0 +1,15 @@
+//! Panic-provenance fixture (fire): the public entry point is visibly
+//! panic-free — the abort is two calls down, which only the call-graph
+//! pass can see. Not compiled — scanned by the analyzer only.
+
+pub fn entry(raw: &str) -> u32 {
+    normalize(raw)
+}
+
+fn normalize(raw: &str) -> u32 {
+    parse_step(raw)
+}
+
+fn parse_step(raw: &str) -> u32 {
+    raw.parse().unwrap()
+}

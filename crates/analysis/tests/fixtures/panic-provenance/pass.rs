@@ -1,0 +1,20 @@
+//! Panic-provenance fixture (pass): the same two-hop call shape, but
+//! the helper returns the failure instead of aborting.
+
+pub fn entry(raw: &str) -> u32 {
+    normalize(raw)
+}
+
+fn normalize(raw: &str) -> u32 {
+    parse_step(raw)
+}
+
+fn parse_step(raw: &str) -> u32 {
+    raw.parse().unwrap_or(0)
+}
+
+// A panicking helper no public entry point reaches stays silent:
+// reachability, not mere presence, is what rule 8 checks.
+fn dead_code_step(raw: &str) -> u32 {
+    raw.parse().unwrap()
+}

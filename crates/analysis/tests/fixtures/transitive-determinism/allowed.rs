@@ -1,0 +1,13 @@
+//! Transitive-determinism fixture (allowed): a reachable hash set whose
+//! iteration order provably never escapes, absorbed by the manifest
+//! entry (which records the provenance chain in its reason).
+
+pub fn entry(key: u64) -> bool {
+    membership_probe(key)
+}
+
+fn membership_probe(key: u64) -> bool {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(key);
+    seen.contains(&key)
+}

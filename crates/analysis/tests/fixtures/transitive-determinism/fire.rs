@@ -1,0 +1,17 @@
+//! Transitive-determinism fixture (fire): the public entry point never
+//! names a hash collection itself — the hazard is two calls down, which
+//! only the call-graph pass can see. Not compiled — scanned only.
+
+pub fn entry(key: u64) -> usize {
+    merge_partials(key)
+}
+
+fn merge_partials(key: u64) -> usize {
+    order_rollup(key)
+}
+
+fn order_rollup(key: u64) -> usize {
+    let mut slots: HashMap<u64, u64> = HashMap::new();
+    slots.insert(key, 1);
+    slots.len()
+}

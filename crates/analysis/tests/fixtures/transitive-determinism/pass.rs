@@ -1,0 +1,24 @@
+//! Transitive-determinism fixture (pass): the same two-hop call shape,
+//! but the helper bottoms out in an ordered map — nothing to report.
+
+pub fn entry(key: u64) -> usize {
+    merge_partials(key)
+}
+
+fn merge_partials(key: u64) -> usize {
+    order_rollup(key)
+}
+
+fn order_rollup(key: u64) -> usize {
+    let mut slots: BTreeMap<u64, u64> = BTreeMap::new();
+    slots.insert(key, 1);
+    slots.len()
+}
+
+// A tainted helper that no public entry point reaches stays silent:
+// reachability, not mere presence, is what rule 7 checks.
+fn dead_code_rollup(key: u64) -> usize {
+    let mut slots: HashMap<u64, u64> = HashMap::new();
+    slots.insert(key, 1);
+    slots.len()
+}

@@ -1,0 +1,113 @@
+//! Acceptance tests for the lexer's edge cases, driven through full
+//! analyzer runs rather than unit-level token assertions.
+//!
+//! Each case under `tests/fixtures/lexer/<case>/` is a fire/pass/allowed
+//! triple whose *rule outcome* depends on the lexer getting one hard
+//! thing right:
+//!
+//! - `raw-idents`: `r#unwrap` must normalize to `unwrap`, and raw
+//!   keywords (`r#type`, `r#match`) must not derail the stream;
+//! - `lifetimes`: `'a` is a lifetime, `'x'` (and `'\''`) are chars —
+//!   confusing them swallows or resurfaces hazards;
+//! - `nested-raw-strings`: `r##"…"#…"##` terminates at the matching
+//!   hash depth, keeping quoted hazards inert;
+//! - `utf8-offsets`: multi-byte identifiers/comments must not drift
+//!   token line numbers (asserted against exact lines).
+
+use std::path::{Path, PathBuf};
+
+use gdsearch_analysis::analyze;
+use gdsearch_analysis::config::Config;
+
+const CASES: &[&str] = &[
+    "raw-idents",
+    "lifetimes",
+    "nested-raw-strings",
+    "utf8-offsets",
+];
+
+fn case_dir(case: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/lexer")
+        .join(case)
+}
+
+#[test]
+fn every_lexer_case_fires_on_fire_and_spares_pass_and_allowed() {
+    for case in CASES {
+        let dir = case_dir(case);
+        let cfg = Config::load(&dir.join("analysis.toml"))
+            .unwrap_or_else(|e| panic!("{case}: manifest must parse: {e}"));
+        let a = analyze(&dir, &cfg).unwrap();
+        assert_eq!(a.files_scanned, 3, "{case}: triple must be scanned");
+        assert!(
+            !a.violations.is_empty(),
+            "{case}: fire.rs must trip the rule"
+        );
+        for d in &a.violations {
+            assert_eq!(
+                d.path, "fire.rs",
+                "{case}: diagnostic outside fire.rs {d:?}"
+            );
+        }
+        assert!(
+            a.allowlisted_sites >= 1,
+            "{case}: allowed.rs must be absorbed by the manifest entry"
+        );
+        assert!(
+            a.allowlist_errors.is_empty(),
+            "{case}: {:?}",
+            a.allowlist_errors
+        );
+    }
+}
+
+#[test]
+fn excluding_fire_yields_a_clean_run() {
+    for case in CASES {
+        let dir = case_dir(case);
+        let cfg = Config::load(&dir.join("clean.toml")).unwrap();
+        let a = analyze(&dir, &cfg).unwrap();
+        assert!(
+            a.clean(),
+            "{case}: {:?} {:?}",
+            a.violations,
+            a.allowlist_errors
+        );
+        assert_eq!(a.files_scanned, 2, "{case}: fire.rs must be excluded");
+    }
+}
+
+#[test]
+fn raw_identifier_unwrap_normalizes_to_the_unwrap_check() {
+    let dir = case_dir("raw-idents");
+    let cfg = Config::load(&dir.join("analysis.toml")).unwrap();
+    let a = analyze(&dir, &cfg).unwrap();
+    assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+    let d = &a.violations[0];
+    assert_eq!(d.rule, "panic");
+    assert_eq!(d.check, "unwrap", "r#unwrap must be the unwrap check");
+    assert_eq!(d.line, 8, "the .r#unwrap() call site");
+}
+
+#[test]
+fn utf8_diagnostics_land_on_character_true_lines() {
+    let dir = case_dir("utf8-offsets");
+    let cfg = Config::load(&dir.join("analysis.toml")).unwrap();
+    let a = analyze(&dir, &cfg).unwrap();
+    let mut lines: Vec<u32> = a.violations.iter().map(|d| d.line).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    assert_eq!(
+        lines,
+        vec![8, 12],
+        "the use decl and the HashMap construction: {:?}",
+        a.violations
+    );
+    for d in &a.violations {
+        assert!(
+            d.snippet.contains("HashMap"),
+            "snippet must carve out the right source line: {d:?}"
+        );
+    }
+}

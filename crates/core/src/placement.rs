@@ -91,23 +91,28 @@ impl Placement {
         for (i, w) in words.iter().enumerate() {
             let anchored = i > 0 && rng.random_bool(locality);
             let host = if anchored {
-                // Most similar already-placed document.
+                // Most similar already-placed document. `>= on total_cmp`
+                // keeps the last maximum, matching `Iterator::max_by`.
                 let emb = corpus.embedding(*w);
-                let (best_idx, _) = words[..i]
-                    .iter()
-                    .enumerate()
-                    .map(|(j, prev)| {
-                        let sim = similarity::cosine(emb, corpus.embedding(*prev))
-                            .expect("corpus embeddings share dimensions");
-                        (j, sim)
-                    })
-                    .max_by(|a, b| a.1.total_cmp(&b.1))
-                    .expect("i > 0 so a previous word exists");
-                let anchor = hosts[best_idx];
-                // Uniform node within `radius` hops of the anchor.
-                let ring = bfs::distance_rings(graph, anchor, radius);
-                let ball: Vec<NodeId> = ring.into_iter().flatten().collect();
-                ball[rng.random_range(0..ball.len())]
+                let mut best: Option<(usize, f32)> = None;
+                for (j, prev) in words[..i].iter().enumerate() {
+                    let sim = similarity::cosine(emb, corpus.embedding(*prev))?;
+                    if best.is_none_or(|(_, s)| sim.total_cmp(&s).is_ge()) {
+                        best = Some((j, sim));
+                    }
+                }
+                match best {
+                    Some((best_idx, _)) => {
+                        let anchor = hosts[best_idx];
+                        // Uniform node within `radius` hops of the anchor.
+                        let ring = bfs::distance_rings(graph, anchor, radius);
+                        let ball: Vec<NodeId> = ring.into_iter().flatten().collect();
+                        ball[rng.random_range(0..ball.len())]
+                    }
+                    // Unreachable (`anchored` implies `i > 0`); place
+                    // uniformly rather than panic if that ever drifts.
+                    None => NodeId::new(rng.random_range(0..n)),
+                }
             } else {
                 NodeId::new(rng.random_range(0..n))
             };

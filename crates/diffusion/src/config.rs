@@ -144,7 +144,14 @@ impl PprConfig {
 impl Default for PprConfig {
     /// The paper's moderate setting: `a = 0.5`.
     fn default() -> Self {
-        PprConfig::new(0.5).expect("0.5 is a valid alpha")
+        // Mirrors `new(0.5)` without the fallible path: 0.5 is statically
+        // inside (0, 1], and `Default` must not be able to panic.
+        PprConfig {
+            alpha: 0.5,
+            tolerance: 1e-6,
+            max_iterations: 1000,
+            normalization: Normalization::ColumnStochastic,
+        }
     }
 }
 

@@ -7,12 +7,8 @@
 //! maximizes a similarity score (dot/cosine) instead of minimizing a
 //! distance, matching the crate's scoring convention.
 
-// The visited set answers membership queries only on the search hot path;
-// iteration order never reaches a result.
-#![allow(clippy::disallowed_types)]
-
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use rand::Rng;
 
@@ -268,7 +264,7 @@ impl HnswIndex {
     /// Beam search at layer `l` from the given entry points; returns up to
     /// `ef` hits sorted by descending score.
     fn search_layer(&self, q: &Embedding, entries: &[u32], ef: usize, l: usize) -> Vec<Hit> {
-        let mut visited: HashSet<u32> = HashSet::new();
+        let mut visited: BTreeSet<u32> = BTreeSet::new();
         // Candidates: max-heap on score (best first).
         let mut candidates: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
         // Results: min-heap on score (worst first) bounded to ef.

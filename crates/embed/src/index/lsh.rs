@@ -6,11 +6,7 @@
 //! table. Queries gather candidates from all tables' matching buckets and
 //! re-rank them exactly.
 
-// Buckets are looked up by signature and their candidates re-ranked by
-// exact score; map iteration order never reaches a result.
-#![allow(clippy::disallowed_types)]
-
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -100,7 +96,7 @@ impl LshBuilder {
             let planes: Vec<Embedding> = (0..self.bits)
                 .map(|_| random_unit_vector(dim.max(1), rng))
                 .collect();
-            let mut buckets: HashMap<u32, Vec<u32>> = HashMap::new();
+            let mut buckets: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
             for (i, item) in items.iter().enumerate() {
                 let sig = signature(&planes, item);
                 buckets.entry(sig).or_default().push(i as u32);
@@ -114,7 +110,7 @@ impl LshBuilder {
 #[derive(Debug, Clone)]
 struct Table {
     planes: Vec<Embedding>,
-    buckets: HashMap<u32, Vec<u32>>,
+    buckets: BTreeMap<u32, Vec<u32>>,
 }
 
 /// SimHash signature of `item` under the given hyperplanes.

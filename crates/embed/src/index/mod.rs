@@ -66,13 +66,11 @@ pub trait VectorIndex {
 /// ids that the approximate result retrieved.
 ///
 /// Returns 1.0 when the exact result is empty (nothing to miss).
-// Membership-only set: iteration order never reaches the result.
-#[allow(clippy::disallowed_types)]
 pub fn recall(exact: &[Hit], approx: &[Hit]) -> f64 {
     if exact.is_empty() {
         return 1.0;
     }
-    let truth: std::collections::HashSet<usize> = exact.iter().map(|h| h.id).collect();
+    let truth: std::collections::BTreeSet<usize> = exact.iter().map(|h| h.id).collect();
     let found = approx.iter().filter(|h| truth.contains(&h.id)).count();
     found as f64 / truth.len() as f64
 }

@@ -8,11 +8,7 @@
 //!
 //! [`generate`] reproduces that sampling over any [`Corpus`].
 
-// The sets here answer membership queries only (query/gold disjointness);
-// iteration order never reaches a result, so seeded hashing is harmless.
-#![allow(clippy::disallowed_types)]
-
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -64,8 +60,8 @@ impl QuerySet {
     /// Verifies the paper's disjointness invariant: no word is both a query
     /// and a gold document, and the irrelevant pool touches neither set.
     pub fn check_disjoint(&self) -> bool {
-        let queries: HashSet<WordId> = self.pairs.iter().map(|p| p.query).collect();
-        let golds: HashSet<WordId> = self.pairs.iter().map(|p| p.gold).collect();
+        let queries: BTreeSet<WordId> = self.pairs.iter().map(|p| p.query).collect();
+        let golds: BTreeSet<WordId> = self.pairs.iter().map(|p| p.gold).collect();
         if queries.intersection(&golds).next().is_some() {
             return false;
         }
@@ -129,8 +125,8 @@ pub fn generate<R: Rng + ?Sized>(
     let mut order: Vec<WordId> = corpus.word_ids().collect();
     order.shuffle(rng);
 
-    let mut queries: HashSet<WordId> = HashSet::new();
-    let mut golds: HashSet<WordId> = HashSet::new();
+    let mut queries: BTreeSet<WordId> = BTreeSet::new();
+    let mut golds: BTreeSet<WordId> = BTreeSet::new();
     let mut pairs = Vec::with_capacity(config.num_queries);
 
     for &candidate in &order {
@@ -228,8 +224,7 @@ mod tests {
         for p in qs.pairs() {
             assert!(p.cosine >= 0.6, "pair below threshold: {p:?}");
             // No non-query word may be strictly closer than the gold.
-            let queries: std::collections::HashSet<_> =
-                qs.pairs().iter().map(|p| p.query).collect();
+            let queries: BTreeSet<_> = qs.pairs().iter().map(|p| p.query).collect();
             let q_emb = corpus.embedding(p.query);
             for (id, e) in corpus.iter() {
                 if id == p.query || queries.contains(&id) {
@@ -250,8 +245,8 @@ mod tests {
     fn pool_plus_pairs_cover_corpus() {
         let corpus = clustered_corpus(5);
         let qs = generate(&corpus, QueryGenConfig::default(), &mut rng(6)).unwrap();
-        let queries: HashSet<_> = qs.pairs().iter().map(|p| p.query).collect();
-        let golds: HashSet<_> = qs.pairs().iter().map(|p| p.gold).collect();
+        let queries: BTreeSet<_> = qs.pairs().iter().map(|p| p.query).collect();
+        let golds: BTreeSet<_> = qs.pairs().iter().map(|p| p.gold).collect();
         assert_eq!(
             queries.len() + golds.len() + qs.irrelevant().len(),
             corpus.len()

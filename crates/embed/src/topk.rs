@@ -101,7 +101,10 @@ impl<T> TopK<T> {
             self.heap.push(MinByScore(Scored { score, item }));
             return true;
         }
-        let weakest = self.heap.peek().expect("heap is non-empty here");
+        // `heap.len() >= k > 0` here; refuse the item if that ever drifts.
+        let Some(weakest) = self.heap.peek() else {
+            return false;
+        };
         if weakest.0.score >= score {
             return false;
         }

@@ -28,7 +28,8 @@ pub fn distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
     dist[source.index()] = Some(0);
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()].expect("queued nodes have distances");
+        // Queued nodes always have a distance; skip defensively if not.
+        let Some(du) = dist[u.index()] else { continue };
         for v in g.neighbors(u) {
             if dist[v.index()].is_none() {
                 dist[v.index()] = Some(du + 1);
