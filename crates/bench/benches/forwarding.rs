@@ -51,6 +51,7 @@ fn bench_policies(c: &mut Criterion) {
                         node_embeddings: &embeddings,
                         graph: &graph,
                         fanout: 1,
+                        scores: None,
                     };
                     select_next_hops(policy, &ctx, &mut walk_rng)
                 })

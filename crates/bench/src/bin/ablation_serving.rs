@@ -1,12 +1,23 @@
-//! **Ablation S — concurrent serving latency.** Runs the scheme's query
-//! path as a long-lived engine under closed-loop client load: each
-//! client issues a query, waits for the walk to complete, and
-//! immediately issues the next one, over a Zipf-skewed query mix (hot
-//! sources dominate) and a uniform mix (every source cold). Per-query
-//! end-to-end latency lands in the shared log2 histograms and is
-//! reported as p50/p99/p999 plus queries/sec `gdsearch.bench.v1` rows —
-//! the latency story behind the ROADMAP's "millions of users" serving
-//! bullet.
+//! **Ablation S — concurrent serving latency.** Drives the serving
+//! [`QueryEngine`] (admission queue + batched dispatch + hot-column
+//! cache) under two load models:
+//!
+//! - **Closed loop**: each client issues a query, waits for the walk,
+//!   and immediately issues the next — cells sweep (mix × clients ×
+//!   cache on/off), so the hot-column cache's p50 effect on a Zipf mix
+//!   is directly visible against the uncached cell.
+//! - **Open loop**: requests arrive at a fixed offered rate λ
+//!   (arrival `i` is scheduled at `i/λ`), are admitted through
+//!   [`QueryEngine::submit`] and served by a dispatcher looping
+//!   [`QueryEngine::step`]; latency is completion minus *scheduled*
+//!   arrival, so queueing delay under overload is part of the number.
+//!   Cells sweep the offered load.
+//!
+//! Before any measurement the binary self-checks the engine's
+//! determinism contract: batched + cached execution must match the
+//! sequential uncached [`SearchNetwork::query`] bitwise, and the hot
+//! closed-loop cell must show a nonzero cache hit rate — any violation
+//! exits nonzero, so CI runs of this bench double as a smoke test.
 //!
 //! A separate sequential observed pass records the query-path flight
 //! recorder (`obs::trace`) with wall-clock annotation and reports the
@@ -17,13 +28,18 @@
 //! ```text
 //! cargo run -p gdsearch-bench --release --bin ablation_serving -- \
 //!     --nodes 4039 --docs 100 --dim 32 --requests 200 \
-//!     --clients-list 1,4,8 --zipf-s 1.1 \
+//!     --clients-list 1,4,8 --offered-qps-list 200,1000 --zipf-s 1.1 \
 //!     --json BENCH_serving.json --trace trace.json
 //! ```
 
 // Harness code: wall-clock timing is the measurement itself.
 #![allow(clippy::disallowed_methods)]
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gdsearch::engine::{CacheCapacity, EngineConfig, QueryEngine, QueryRequest};
 use gdsearch::{Placement, SchemeConfig, SearchNetwork};
 use gdsearch_bench::{maybe_write_json, workbench_from_args, Args, Zipf};
 use gdsearch_graph::NodeId;
@@ -33,13 +49,19 @@ use gdsearch_obs::{Histogram, MetricsRegistry, Observer, Profiler, WallStamper};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Latency/throughput aggregate of one `(mix, clients)` cell.
+/// Latency/throughput aggregate of one cell.
 struct Cell {
+    mode: &'static str,
     mix: String,
+    cache: &'static str,
     clients: usize,
+    offered_qps: Option<f64>,
     latency_ns: Histogram,
     hits: u64,
     queries: u64,
+    rejected: u64,
+    cache_hits: u64,
+    cache_lookups: u64,
     wall_secs: f64,
 }
 
@@ -59,23 +81,43 @@ impl Cell {
             0.0
         }
     }
+
+    fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups > 0 {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        } else {
+            0.0
+        }
+    }
 }
 
-/// Runs `clients` closed-loop clients, each issuing `requests` queries
-/// drawn from `mix` (a sampler over placed-document ranks).
+/// Engine configuration of one cell: default serving knobs with the
+/// cache policy under test.
+fn engine_config(scheme: &SchemeConfig, cache: CacheCapacity) -> EngineConfig {
+    EngineConfig::builder()
+        .scheme(scheme.clone())
+        .cache_capacity(cache)
+        .build()
+        .expect("valid engine config")
+}
+
+/// Runs `clients` closed-loop clients against a shared engine, each
+/// issuing `requests` queries drawn from `mix` (a sampler over
+/// placed-document ranks).
 #[allow(clippy::too_many_arguments)]
-fn run_cell(
-    network: &SearchNetwork<'_>,
+fn closed_loop_cell(
+    engine: &QueryEngine<'_>,
     corpus: &gdsearch_embed::Corpus,
     pairs: &[gdsearch_embed::querygen::QueryGoldPair],
     mix_name: &str,
     mix: &Zipf,
+    cache_name: &'static str,
     clients: usize,
     requests: usize,
     seed: u64,
 ) -> Cell {
-    let n = network.graph().num_nodes() as u32;
-    let t0 = std::time::Instant::now();
+    let n = engine.network().graph().num_nodes() as u32;
+    let t0 = Instant::now();
     let per_client: Vec<(Histogram, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -88,14 +130,15 @@ fn run_cell(
                         let pair = pairs[rank];
                         let query = corpus.embedding(pair.query);
                         let start = NodeId::new(rng.random_range(0..n));
-                        let q0 = std::time::Instant::now();
-                        let walk = network
-                            .query(query, start, &mut rng)
+                        let walk_seed: u64 = rng.random();
+                        let q0 = Instant::now();
+                        let response = engine
+                            .execute(QueryRequest::new(query.clone(), start, walk_seed))
                             .expect("serving query succeeds");
                         let ns = u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                         latency.record(ns);
                         // Document `rank` hosts this pair's gold word.
-                        if walk.contains(rank) {
+                        if response.outcome.contains(rank) {
                             hits += 1;
                         }
                     }
@@ -115,14 +158,222 @@ fn run_cell(
         latency_ns.merge(h);
         hits += c;
     }
+    let stats = engine.stats();
     Cell {
+        mode: "closed",
         mix: mix_name.to_string(),
+        cache: cache_name,
         clients,
+        offered_qps: None,
         latency_ns,
         hits,
         queries: (clients * requests) as u64,
+        rejected: 0,
+        cache_hits: stats.cache.hits,
+        cache_lookups: stats.cache.hits + stats.cache.misses,
         wall_secs,
     }
+}
+
+/// Open-loop cell: a generator thread submits `requests` arrivals at the
+/// offered rate through the engine's admission queue (dropping on
+/// `QueueFull`), while a dispatcher loops [`QueryEngine::step`]. Latency
+/// is completion minus the *scheduled* arrival instant.
+#[allow(clippy::too_many_arguments)]
+fn open_loop_cell(
+    engine: &QueryEngine<'_>,
+    corpus: &gdsearch_embed::Corpus,
+    pairs: &[gdsearch_embed::querygen::QueryGoldPair],
+    mix_name: &str,
+    mix: &Zipf,
+    cache_name: &'static str,
+    offered_qps: f64,
+    requests: usize,
+    seed: u64,
+) -> Cell {
+    let n = engine.network().graph().num_nodes() as u32;
+    let gap_ns = (1e9 / offered_qps.max(1.0)) as u64;
+    // (scheduled arrival ns, gold rank) per admitted id, in id order —
+    // ids are monotone from a fresh engine, so a Vec indexes by id.
+    let admitted: Mutex<Vec<(u64, usize)>> = Mutex::new(Vec::with_capacity(requests));
+    let done_generating = AtomicBool::new(false);
+    let mut rejected = 0u64;
+
+    let t0 = Instant::now();
+    let (latency_ns, hits, queries) = std::thread::scope(|scope| {
+        let admitted_ref = &admitted;
+        let done_ref = &done_generating;
+        let generator = scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x6f70_656e);
+            let mut dropped = 0u64;
+            for i in 0..requests {
+                let arrival_ns = (i as u64) * gap_ns;
+                let rank = mix.sample(&mut rng);
+                let pair = pairs[rank];
+                let start = NodeId::new(rng.random_range(0..n));
+                let walk_seed: u64 = rng.random();
+                // Hold the request until its scheduled arrival.
+                let target = Duration::from_nanos(arrival_ns);
+                loop {
+                    let now = t0.elapsed();
+                    if now >= target {
+                        break;
+                    }
+                    let gap = target - now;
+                    if gap > Duration::from_micros(500) {
+                        std::thread::sleep(gap - Duration::from_micros(400));
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                let request =
+                    QueryRequest::new(corpus.embedding(pair.query).clone(), start, walk_seed);
+                match engine.submit(request) {
+                    Ok(_id) => {
+                        admitted_ref
+                            .lock()
+                            .expect("generator lock")
+                            .push((arrival_ns, rank));
+                    }
+                    Err(_) => dropped += 1,
+                }
+            }
+            done_ref.store(true, Ordering::Release);
+            dropped
+        });
+
+        // Dispatcher: serve batches until the generator finishes and the
+        // queue drains.
+        let mut latency = Histogram::new();
+        let mut hits = 0u64;
+        let mut queries = 0u64;
+        loop {
+            let responses = engine.step().expect("serving step succeeds");
+            if responses.is_empty() {
+                if done_ref.load(Ordering::Acquire) && engine.pending() == 0 {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            }
+            let completed_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let admitted = admitted_ref.lock().expect("dispatcher lock");
+            for response in &responses {
+                let Ok(index) = usize::try_from(response.id) else {
+                    continue;
+                };
+                let Some(&(arrival_ns, rank)) = admitted.get(index) else {
+                    continue;
+                };
+                latency.record(completed_ns.saturating_sub(arrival_ns));
+                queries += 1;
+                if response.outcome.contains(rank) {
+                    hits += 1;
+                }
+            }
+        }
+        rejected = generator.join().expect("generator thread completes");
+        (latency, hits, queries)
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    Cell {
+        mode: "open",
+        mix: mix_name.to_string(),
+        cache: cache_name,
+        clients: engine.config().threads(),
+        offered_qps: Some(offered_qps),
+        latency_ns,
+        hits,
+        queries,
+        rejected,
+        cache_hits: stats.cache.hits,
+        cache_lookups: stats.cache.hits + stats.cache.misses,
+        wall_secs,
+    }
+}
+
+/// The determinism contract, checked in-process before any measurement:
+/// engine execution (cold, then cache-hot, then batched) must match the
+/// sequential uncached walk bitwise. Returns an error message on the
+/// first divergence.
+fn verify_engine_matches_sequential(
+    network: &SearchNetwork<'_>,
+    scheme: &SchemeConfig,
+    corpus: &gdsearch_embed::Corpus,
+    pairs: &[gdsearch_embed::querygen::QueryGoldPair],
+    docs: usize,
+) -> Result<(), String> {
+    let engine = QueryEngine::from_network(
+        network.clone(),
+        engine_config(scheme, CacheCapacity::Bounded(64)),
+    );
+    let n = network.graph().num_nodes() as u32;
+    // Two passes over the same requests: pass 0 misses, pass 1 hits.
+    for pass in 0..2u64 {
+        for i in 0..8usize {
+            let rank = i % docs;
+            let pair = pairs[rank];
+            let query = corpus.embedding(pair.query);
+            let start = NodeId::new((i as u32 * 37) % n);
+            let seed = 0xABC0 + i as u64;
+            let response = engine
+                .execute(QueryRequest::new(query.clone(), start, seed))
+                .map_err(|e| format!("engine execute failed: {e}"))?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let baseline = network
+                .query(query, start, &mut rng)
+                .map_err(|e| format!("sequential query failed: {e}"))?;
+            if response.outcome.results != baseline.results
+                || response.outcome.path != baseline.path
+                || response.outcome.hops != baseline.hops
+            {
+                return Err(format!(
+                    "engine/sequential divergence (pass {pass}, rank {rank}, start {start}, \
+                     verdict {:?})",
+                    response.verdict
+                ));
+            }
+        }
+    }
+    // Batched path: submit all, step, compare in admission order.
+    let engine = QueryEngine::from_network(
+        network.clone(),
+        engine_config(scheme, CacheCapacity::Bounded(64)),
+    );
+    let mut expected = Vec::new();
+    for i in 0..8usize {
+        let pair = pairs[i % docs];
+        let query = corpus.embedding(pair.query);
+        let start = NodeId::new((i as u32 * 53) % n);
+        let seed = 0xDEF0 + i as u64;
+        engine
+            .submit(QueryRequest::new(query.clone(), start, seed))
+            .map_err(|e| format!("submit failed: {e}"))?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        expected.push(
+            network
+                .query(query, start, &mut rng)
+                .map_err(|e| format!("sequential query failed: {e}"))?,
+        );
+    }
+    let mut responses = Vec::new();
+    while responses.len() < expected.len() {
+        let step = engine.step().map_err(|e| format!("step failed: {e}"))?;
+        if step.is_empty() {
+            return Err("engine queue drained early".to_string());
+        }
+        responses.extend(step);
+    }
+    for (response, baseline) in responses.iter().zip(&expected) {
+        if response.outcome.results != baseline.results || response.outcome.path != baseline.path {
+            return Err(format!(
+                "batched divergence at id {} (verdict {:?})",
+                response.id, response.verdict
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Sums wall-annotated `Begin`→`End` durations per phase from a trace:
@@ -173,6 +424,7 @@ fn main() {
     let docs: usize = args.get_or("docs", 100);
     let requests: usize = args.get_or("requests", 200);
     let clients_list: Vec<usize> = args.get_list_or("clients-list", &[1, 4]);
+    let offered_qps_list: Vec<u64> = args.get_list_or("offered-qps-list", &[200, 1000]);
     let zipf_s: f64 = args.get_or("zipf-s", 1.1);
     let ttl: u32 = args.get_or("ttl", 50);
     let seed: u64 = args.get_or("seed", 2022);
@@ -181,8 +433,8 @@ fn main() {
     let workbench = workbench_from_args(&args, docs + 50).expect("workbench builds");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0073_6572_7669_6e67);
     // Document i hosts pairs[i].gold, so a mix over ranks 0..docs is a
-    // mix over placed documents and `walk.contains(rank)` is the hit
-    // test. Hot ranks are low ranks.
+    // mix over placed documents and `contains(rank)` is the hit test.
+    // Hot ranks are low ranks.
     let pairs: Vec<gdsearch_embed::querygen::QueryGoldPair> = workbench
         .queries
         .pairs()
@@ -194,7 +446,7 @@ fn main() {
     let words: Vec<gdsearch_embed::WordId> = pairs.iter().map(|p| p.gold).collect();
     let placement =
         Placement::uniform(&workbench.graph, &words, &mut rng).expect("placement fits graph");
-    let config = SchemeConfig::builder()
+    let scheme = SchemeConfig::builder()
         .ttl(ttl)
         .build()
         .expect("valid scheme config");
@@ -202,14 +454,25 @@ fn main() {
         &workbench.graph,
         &workbench.corpus,
         &placement,
-        &config,
+        &scheme,
         &mut rng,
     )
     .expect("scheme builds");
 
+    // The determinism gate: refuse to report numbers from an engine that
+    // does not reproduce the sequential walk bitwise.
+    if let Err(message) =
+        verify_engine_matches_sequential(&network, &scheme, &workbench.corpus, &pairs, docs)
+    {
+        eprintln!("ENGINE EQUIVALENCE FAILURE: {message}");
+        std::process::exit(1);
+    }
+    println!("# engine ≡ sequential smoke check passed (cold, cached, batched)");
+
     println!(
         "# Ablation: serving latency — N = {} nodes, {} edges, M = {docs} documents, \
-         closed-loop clients × {requests} requests, mixes: zipf(s={zipf_s}) and uniform",
+         closed-loop clients × {requests} requests + open-loop offered-load sweep, \
+         mixes: zipf(s={zipf_s}) and uniform",
         workbench.graph.num_nodes(),
         workbench.graph.num_edges(),
     );
@@ -218,41 +481,93 @@ fn main() {
         ("hot".to_string(), Zipf::new(docs, zipf_s)),
         ("uniform".to_string(), Zipf::new(docs, 0.0)),
     ];
+    let caches = [
+        ("on", CacheCapacity::Bounded(256)),
+        ("off", CacheCapacity::Disabled),
+    ];
     let mut cells: Vec<Cell> = Vec::new();
     for (name, mix) in &mixes {
-        for &clients in &clients_list {
-            cells.push(run_cell(
-                &network,
-                &workbench.corpus,
-                &pairs,
-                name,
-                mix,
-                clients,
-                requests,
-                seed,
-            ));
+        for &(cache_name, cache) in &caches {
+            for &clients in &clients_list {
+                // A fresh engine per cell keeps cache state and counters
+                // attributable to the cell.
+                let engine =
+                    QueryEngine::from_network(network.clone(), engine_config(&scheme, cache));
+                cells.push(closed_loop_cell(
+                    &engine,
+                    &workbench.corpus,
+                    &pairs,
+                    name,
+                    mix,
+                    cache_name,
+                    clients,
+                    requests,
+                    seed,
+                ));
+            }
         }
     }
 
-    println!("\n## End-to-end latency (closed loop)\n");
-    println!("| mix | clients | queries | p50 µs | p99 µs | p999 µs | qps | hit rate |");
-    println!("|---|---:|---:|---:|---:|---:|---:|---:|");
+    // Open loop: hot mix, cache on, sweeping the offered rate.
+    for &offered in &offered_qps_list {
+        let engine = QueryEngine::from_network(
+            network.clone(),
+            engine_config(&scheme, CacheCapacity::Bounded(256)),
+        );
+        cells.push(open_loop_cell(
+            &engine,
+            &workbench.corpus,
+            &pairs,
+            "hot",
+            &Zipf::new(docs, zipf_s),
+            "on",
+            offered as f64,
+            requests,
+            seed,
+        ));
+    }
+
+    // The serving claim itself: the hot mix with the cache on must
+    // actually hit the cache.
+    let hot_cached_hits: u64 = cells
+        .iter()
+        .filter(|c| c.mix == "hot" && c.cache == "on")
+        .map(|c| c.cache_hits)
+        .sum();
+    if hot_cached_hits == 0 {
+        eprintln!("SERVING CACHE FAILURE: hot Zipf mix with the cache on recorded zero hits");
+        std::process::exit(1);
+    }
+
+    println!("\n## End-to-end latency\n");
+    println!(
+        "| mode | mix | cache | clients | offered qps | queries | rejected | p50 µs | p99 µs | \
+         p999 µs | qps | hit rate | cache hit rate |"
+    );
+    println!("|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
     for c in &cells {
         println!(
-            "| {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.0} | {:.2} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.0} | {:.2} | {:.2} |",
+            c.mode,
             c.mix,
+            c.cache,
             c.clients,
+            c.offered_qps.map_or("-".to_string(), |q| format!("{q:.0}")),
             c.queries,
+            c.rejected,
             c.latency_ns.quantile(0.5) as f64 / 1e3,
             c.latency_ns.quantile(0.99) as f64 / 1e3,
             c.latency_ns.quantile(0.999) as f64 / 1e3,
             c.qps(),
             c.hit_rate(),
+            c.cache_hit_rate(),
         );
     }
 
     // Sequential observed pass: flight recorder + wall annotation gives
-    // the per-phase breakdown and the exportable trace.
+    // the per-phase breakdown and the exportable trace. Queries route
+    // through the engine's observed path, so `engine.cache` spans and
+    // hit/miss counters land in the registry alongside the walk's.
     let mut registry = MetricsRegistry::new();
     let mut profiler = Profiler::new();
     let mut log = TraceLog::new();
@@ -261,26 +576,28 @@ fn main() {
         let mut obs = Observer::new(Some(&mut registry), Some(&mut profiler))
             .with_trace(&mut log)
             .with_wall(&mut wall);
-        let observed = SearchNetwork::build_observed(
+        let observed = QueryEngine::build_observed(
             &workbench.graph,
             &workbench.corpus,
             &placement,
-            &config,
+            engine_config(&scheme, CacheCapacity::Bounded(256)),
             &mut rng,
             &mut obs,
         )
         .expect("observed build succeeds");
         let mix = Zipf::new(docs, zipf_s);
-        for q in 0..observed_queries {
+        for _ in 0..observed_queries {
             let rank = mix.sample(&mut rng);
             let pair = pairs[rank];
             let start = NodeId::new(rng.random_range(0..workbench.graph.num_nodes() as u32));
-            obs.set_query(q as u64 + 1);
+            let walk_seed: u64 = rng.random();
             observed
-                .query_observed(
-                    workbench.corpus.embedding(pair.query),
-                    start,
-                    &mut rng,
+                .execute_observed(
+                    QueryRequest::new(
+                        workbench.corpus.embedding(pair.query).clone(),
+                        start,
+                        walk_seed,
+                    ),
                     &mut obs,
                 )
                 .expect("observed query succeeds");
@@ -314,17 +631,26 @@ fn main() {
         .meta("zipf_s", zipf_s)
         .meta("ttl", ttl);
     for c in &cells {
-        bench.push_row(
-            BenchRow::new()
-                .label("mix", &c.mix)
-                .label("clients", c.clients)
-                .value("queries", c.queries as f64)
-                .value("p50_latency_us", c.latency_ns.quantile(0.5) as f64 / 1e3)
-                .value("p99_latency_us", c.latency_ns.quantile(0.99) as f64 / 1e3)
-                .value("p999_latency_us", c.latency_ns.quantile(0.999) as f64 / 1e3)
-                .value("qps", c.qps())
-                .value("hit_rate", c.hit_rate()),
-        );
+        let mut row = BenchRow::new()
+            .label("mode", c.mode)
+            .label("mix", &c.mix)
+            .label("cache", c.cache)
+            .label("clients", c.clients);
+        if let Some(offered) = c.offered_qps {
+            // A label, not a value: bench_diff pairs rows by label set, and
+            // the open-loop sweep differs only in the offered rate.
+            row = row.label("offered_qps", format!("{offered:.0}"));
+        }
+        row = row
+            .value("queries", c.queries as f64)
+            .value("rejected", c.rejected as f64)
+            .value("p50_latency_us", c.latency_ns.quantile(0.5) as f64 / 1e3)
+            .value("p99_latency_us", c.latency_ns.quantile(0.99) as f64 / 1e3)
+            .value("p999_latency_us", c.latency_ns.quantile(0.999) as f64 / 1e3)
+            .value("qps", c.qps())
+            .value("hit_rate", c.hit_rate())
+            .value("cache_hit_rate", c.cache_hit_rate());
+        bench.push_row(row);
     }
     for (phase, total_ns, spans) in &phases {
         bench.push_row(

@@ -387,17 +387,20 @@ where
                 .copied(),
         );
         let placement = place(workbench, &words, rng)?;
-        let network = gdsearch::SearchNetwork::build(
+        let engine_config = gdsearch::EngineConfig::builder()
+            .scheme(config.clone())
+            .build()?;
+        let engine = gdsearch::QueryEngine::build(
             &workbench.graph,
             &workbench.corpus,
             &placement,
-            config,
+            engine_config,
             rng,
         )?;
         let query = workbench.corpus.embedding(pair.query);
         for _ in 0..queries_per_iteration {
             let start = gdsearch_graph::NodeId::new(rng.random_range(0..n));
-            let walk = network.query(query, start, rng)?;
+            let walk = engine.execute_with_rng(query, start, rng)?;
             outcome.samples += 1;
             outcome.total_messages += u64::from(walk.hops);
             if let Some(hop) = walk.hop_of(0) {

@@ -243,7 +243,9 @@ impl Default for SchemeConfig {
 /// Builder for [`SchemeConfig`].
 #[derive(Debug, Clone, Default)]
 pub struct SchemeConfigBuilder {
-    config: SchemeConfig,
+    // Crate-visible so engine::config's tests can exercise the typed
+    // validator on raw (unvalidated) configurations.
+    pub(crate) config: SchemeConfig,
 }
 
 impl SchemeConfigBuilder {
@@ -317,99 +319,18 @@ impl SchemeConfigBuilder {
 
     /// Validates and produces the configuration.
     ///
+    /// Validation is delegated to the typed
+    /// [`engine::validate_scheme`](crate::engine::validate_scheme) pass;
+    /// this signature converts its [`ConfigError`](crate::engine::ConfigError)
+    /// into the legacy [`SearchError::InvalidParameter`] shape.
+    ///
     /// # Errors
     ///
     /// Returns [`SearchError::InvalidParameter`] for `alpha` outside
     /// `(0, 1]`, zero `ttl`, zero `fanout`, zero `top_k`, non-positive
-    /// `tolerance` or zero `max_iterations`.
+    /// `tolerance`, zero `max_iterations`, or invalid engine knobs.
     pub fn build(self) -> Result<SchemeConfig, SearchError> {
-        let c = &self.config;
-        if !c.alpha.is_finite() || c.alpha <= 0.0 || c.alpha > 1.0 {
-            return Err(SearchError::invalid_parameter(format!(
-                "alpha must lie in (0, 1], got {}",
-                c.alpha
-            )));
-        }
-        if c.ttl == 0 {
-            return Err(SearchError::invalid_parameter("ttl must be positive"));
-        }
-        if c.fanout == 0 {
-            return Err(SearchError::invalid_parameter("fanout must be positive"));
-        }
-        if c.top_k == 0 {
-            return Err(SearchError::invalid_parameter("top_k must be positive"));
-        }
-        if !c.tolerance.is_finite() || c.tolerance <= 0.0 {
-            return Err(SearchError::invalid_parameter(
-                "tolerance must be positive and finite",
-            ));
-        }
-        if c.max_iterations == 0 {
-            return Err(SearchError::invalid_parameter(
-                "max_iterations must be positive",
-            ));
-        }
-        match c.engine {
-            DiffusionEngine::Push { rmax, threads } => {
-                if !rmax.is_finite() || rmax <= 0.0 {
-                    return Err(SearchError::invalid_parameter(format!(
-                        "push rmax must be positive and finite, got {rmax}"
-                    )));
-                }
-                if threads == 0 {
-                    return Err(SearchError::invalid_parameter(
-                        "push threads must be positive",
-                    ));
-                }
-            }
-            DiffusionEngine::Dense { threads } => {
-                if threads == 0 {
-                    return Err(SearchError::invalid_parameter(
-                        "dense threads must be positive",
-                    ));
-                }
-            }
-            DiffusionEngine::Sharded { shards, threads } => {
-                if shards == 0 {
-                    return Err(SearchError::invalid_parameter(
-                        "shard count must be positive",
-                    ));
-                }
-                if threads == 0 {
-                    return Err(SearchError::invalid_parameter(
-                        "sharded threads must be positive",
-                    ));
-                }
-            }
-            DiffusionEngine::Distributed {
-                shards,
-                threads,
-                transport,
-            } => {
-                if shards == 0 {
-                    return Err(SearchError::invalid_parameter(
-                        "shard count must be positive",
-                    ));
-                }
-                if threads == 0 {
-                    return Err(SearchError::invalid_parameter(
-                        "distributed threads must be positive",
-                    ));
-                }
-                if !(0.0..1.0).contains(&transport.loss_probability) {
-                    return Err(SearchError::invalid_parameter(format!(
-                        "distributed loss probability must lie in [0, 1) so frames can \
-                         eventually arrive, got {}",
-                        transport.loss_probability
-                    )));
-                }
-                // Bandwidth/queue bounds are validated by the simulator's
-                // builders; surface violations at build time, not inside
-                // the diffusion run.
-                transport.to_transport_config()?;
-            }
-            DiffusionEngine::Auto | DiffusionEngine::PerSource | DiffusionEngine::Gossip => {}
-        }
+        crate::engine::validate_scheme(&self.config)?;
         Ok(self.config)
     }
 }

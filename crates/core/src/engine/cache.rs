@@ -1,0 +1,254 @@
+//! Deterministic hot-column cache for the serving engine.
+//!
+//! The cache maps a query-class key to the precomputed score column for
+//! that class (`forwarding::score_column`). Because a column is a pure
+//! function of the query embedding and the built network, cache capacity,
+//! eviction order, and lookup interleaving can only change the *counters*
+//! reported by [`CacheStats`] — never the scores a walk observes. That is
+//! the load-bearing determinism argument for the engine: a hit returns
+//! bitwise the same column a miss would recompute.
+//!
+//! Eviction is least-recently-used by a monotone sequence number, with
+//! ties broken by the smaller class key, so the eviction victim is a
+//! deterministic function of the operation history (no hashing, no
+//! wall-clock, no randomness).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use super::config::CacheCapacity;
+
+/// Counters describing cache behaviour since construction (or the last
+/// [`ColumnCache::reset_stats`]). Monotone except under explicit reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a resident column.
+    pub hits: u64,
+    /// Lookups that found nothing resident.
+    pub misses: u64,
+    /// Columns inserted.
+    pub inserts: u64,
+    /// Columns evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Columns removed by `invalidate` / `invalidate_all`.
+    pub invalidations: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    column: Arc<Vec<f32>>,
+    last_used: u64,
+}
+
+/// A capacity-bounded, deterministically evicting score-column cache.
+#[derive(Debug)]
+pub struct ColumnCache {
+    entries: BTreeMap<u64, Entry>,
+    capacity: CacheCapacity,
+    seq: u64,
+    stats: CacheStats,
+}
+
+impl ColumnCache {
+    /// Creates an empty cache with the given capacity policy.
+    #[must_use]
+    pub fn new(capacity: CacheCapacity) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            capacity,
+            seq: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up the column for `class`, bumping its recency on a hit.
+    pub fn get(&mut self, class: u64) -> Option<Arc<Vec<f32>>> {
+        if !self.capacity.enabled() {
+            self.stats.misses = self.stats.misses.saturating_add(1);
+            return None;
+        }
+        self.seq = self.seq.saturating_add(1);
+        match self.entries.get_mut(&class) {
+            Some(entry) => {
+                entry.last_used = self.seq;
+                self.stats.hits = self.stats.hits.saturating_add(1);
+                Some(Arc::clone(&entry.column))
+            }
+            None => {
+                self.stats.misses = self.stats.misses.saturating_add(1);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the column for `class`, evicting the
+    /// least-recently-used entry first if the capacity bound requires it.
+    pub fn insert(&mut self, class: u64, column: Arc<Vec<f32>>) {
+        if !self.capacity.enabled() {
+            return;
+        }
+        self.seq = self.seq.saturating_add(1);
+        if let CacheCapacity::Bounded(cap) = self.capacity {
+            // Make room only when adding a brand-new class.
+            if !self.entries.contains_key(&class) {
+                while self.entries.len() >= cap {
+                    let victim = self
+                        .entries
+                        .iter()
+                        .min_by_key(|(key, entry)| (entry.last_used, **key))
+                        .map(|(key, _)| *key);
+                    match victim {
+                        Some(key) => {
+                            self.entries.remove(&key);
+                            self.stats.evictions = self.stats.evictions.saturating_add(1);
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        self.entries.insert(
+            class,
+            Entry {
+                column,
+                last_used: self.seq,
+            },
+        );
+        self.stats.inserts = self.stats.inserts.saturating_add(1);
+    }
+
+    /// Drops the column for `class`, if resident.
+    pub fn invalidate(&mut self, class: u64) {
+        if self.entries.remove(&class).is_some() {
+            self.stats.invalidations = self.stats.invalidations.saturating_add(1);
+        }
+    }
+
+    /// Drops every resident column.
+    pub fn invalidate_all(&mut self) {
+        let dropped = self.entries.len();
+        self.entries.clear();
+        self.stats.invalidations = self
+            .stats
+            .invalidations
+            .saturating_add(u64::try_from(dropped).unwrap_or(u64::MAX));
+    }
+
+    /// Number of resident columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no column is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes all counters without touching resident columns.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(v: f32) -> Arc<Vec<f32>> {
+        Arc::new(vec![v])
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_column() {
+        let mut cache = ColumnCache::new(CacheCapacity::Bounded(2));
+        assert!(cache.get(7).is_none());
+        cache.insert(7, col(1.5));
+        let got = cache.get(7).unwrap();
+        assert_eq!(*got, vec![1.5]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        let mut cache = ColumnCache::new(CacheCapacity::Bounded(2));
+        cache.insert(1, col(1.0));
+        cache.insert(2, col(2.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, col(3.0));
+        assert!(cache.get(2).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_tie_breaks_on_smaller_key() {
+        let mut cache = ColumnCache::new(CacheCapacity::Bounded(2));
+        cache.insert(5, col(5.0));
+        cache.insert(9, col(9.0));
+        // Force identical recency by resetting through invalidate_all and
+        // re-inserting is awkward; instead rely on insert order: 5 is
+        // older, so it is the victim regardless of key order.
+        cache.insert(1, col(1.0));
+        assert!(cache.get(5).is_none());
+        assert!(cache.get(9).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_and_disabled_never_store() {
+        for cap in [CacheCapacity::Disabled, CacheCapacity::Bounded(0)] {
+            let mut cache = ColumnCache::new(cap);
+            cache.insert(1, col(1.0));
+            assert!(cache.get(1).is_none());
+            assert!(cache.is_empty());
+            assert_eq!(cache.stats().inserts, 0);
+        }
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut cache = ColumnCache::new(CacheCapacity::Unbounded);
+        for class in 0..64 {
+            cache.insert(class, col(class as f32));
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_drops_only_the_named_class() {
+        let mut cache = ColumnCache::new(CacheCapacity::Unbounded);
+        cache.insert(1, col(1.0));
+        cache.insert(2, col(2.0));
+        cache.invalidate(1);
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some());
+        assert_eq!(cache.stats().invalidations, 1);
+
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn reinserting_a_resident_class_does_not_evict_peers() {
+        let mut cache = ColumnCache::new(CacheCapacity::Bounded(2));
+        cache.insert(1, col(1.0));
+        cache.insert(2, col(2.0));
+        cache.insert(1, col(1.5));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(*cache.get(1).unwrap(), vec![1.5]);
+        assert!(cache.get(2).is_some());
+    }
+}

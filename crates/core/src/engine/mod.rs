@@ -1,0 +1,920 @@
+//! Concurrent query engine: admission batching and hot-column caching
+//! over a built [`SearchNetwork`], behind a typed serving API.
+//!
+//! The scheme's original entry points ([`SearchNetwork::query`] and
+//! friends) execute one walk at a time against a caller-managed network.
+//! This module adds the serving layer the paper's deployment story needs:
+//! a long-lived [`QueryEngine`] that owns the network, admits requests
+//! through a bounded queue, executes compatible requests as one batch on
+//! a deterministic work pool, and serves repeated *query classes* from a
+//! capacity-bounded cache of precomputed score columns.
+//!
+//! # Determinism contract
+//!
+//! Every serving knob is results-neutral. A cached column is
+//! [`forwarding::score_column`], which evaluates the *same* dot-product
+//! kernel [`forwarding::candidate_score`] uses inline, over every node —
+//! so a walk that consults the column observes bitwise the scores it
+//! would have computed itself. Batch composition and thread count only
+//! change *which worker* runs a walk, never its inputs: each request
+//! carries its own seed, and [`workpool`] reassembles outputs in
+//! submission order. Cache capacity and eviction therefore affect only
+//! the hit/miss counters, never a score. `tests/engine_equivalence.rs`
+//! proptests this across batch sizes, thread counts and cache capacities.
+//!
+//! # Example
+//!
+//! ```
+//! use gdsearch::engine::{EngineConfig, QueryEngine, QueryRequest};
+//! use gdsearch::Placement;
+//! use gdsearch_embed::synthetic::SyntheticCorpus;
+//! use gdsearch_embed::WordId;
+//! use gdsearch_graph::{generators, NodeId};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let graph = generators::social_circles_like_scaled(120, &mut rng)?;
+//! let corpus = SyntheticCorpus::builder().vocab_size(60).dim(16).generate(&mut rng)?;
+//! let words: Vec<WordId> = (0..3).map(WordId::new).collect();
+//! let placement = Placement::uniform(&graph, &words, &mut rng)?;
+//! let engine = QueryEngine::build(
+//!     &graph, &corpus, &placement, EngineConfig::default(), &mut rng,
+//! )?;
+//!
+//! // Enqueue two requests for the same hot query, then serve the batch.
+//! let hot = corpus.embedding(WordId::new(0)).clone();
+//! engine.submit(QueryRequest::new(hot.clone(), NodeId::new(3), 11))?;
+//! engine.submit(QueryRequest::new(hot, NodeId::new(9), 12))?;
+//! let responses = engine.step()?;
+//! assert_eq!(responses.len(), 2);
+//! assert!(engine.stats().cache.inserts >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cache;
+mod config;
+
+pub use cache::{CacheStats, ColumnCache};
+pub use config::{validate_scheme, CacheCapacity, ConfigError, EngineConfig, EngineConfigBuilder};
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use gdsearch_diffusion::workpool;
+use gdsearch_embed::{Corpus, Embedding};
+use gdsearch_graph::{Graph, NodeId};
+use gdsearch_obs::Observer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::walk::WalkOutcome;
+use crate::{forwarding, walk, Placement, SearchError, SearchNetwork};
+
+/// Locks a mutex, recovering the data on poison: every critical section
+/// here leaves the cache/queue structurally valid (counters may undercount
+/// after a worker panic, values never change — columns are pure).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A serving-layer failure: admission rejected the request, or the
+/// underlying scheme failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The submission queue is at capacity; retry after a [`QueryEngine::step`].
+    QueueFull {
+        /// The configured bound the queue is at.
+        capacity: usize,
+    },
+    /// The start node does not exist in the served graph.
+    StartOutOfRange {
+        /// The rejected start node.
+        start: NodeId,
+        /// Number of nodes in the served graph.
+        num_nodes: usize,
+    },
+    /// The query's dimensionality differs from the served corpus.
+    DimensionMismatch {
+        /// The engine's embedding dimension.
+        expected: usize,
+        /// The request's dimension.
+        got: usize,
+    },
+    /// The engine configuration was rejected (see [`ConfigError`]).
+    InvalidConfig(ConfigError),
+    /// A scheme-level failure (build or walk).
+    Search(SearchError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            EngineError::StartOutOfRange { start, num_nodes } => write!(
+                f,
+                "start node {start:?} outside the served graph ({num_nodes} nodes)"
+            ),
+            EngineError::DimensionMismatch { expected, got } => write!(
+                f,
+                "query dimension {got} does not match the served corpus ({expected})"
+            ),
+            EngineError::InvalidConfig(e) => write!(f, "engine configuration: {e}"),
+            EngineError::Search(e) => write!(f, "scheme: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::InvalidConfig(e) => Some(e),
+            EngineError::Search(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::InvalidConfig(e)
+    }
+}
+
+impl From<SearchError> for EngineError {
+    fn from(e: SearchError) -> Self {
+        EngineError::Search(e)
+    }
+}
+
+impl From<EngineError> for SearchError {
+    /// Collapses the serving layer's typed failures back into the scheme's
+    /// error type, for callers (the experiment drivers) whose signatures
+    /// predate the engine.
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Search(e) => e,
+            EngineError::InvalidConfig(e) => e.into(),
+            other => SearchError::InvalidParameter {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+/// How the engine satisfied a request's score lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheVerdict {
+    /// The request's class column was resident before its batch ran.
+    Hit,
+    /// The column was computed (and cached) for this batch.
+    Miss,
+    /// The request carried no class, or the cache is disabled; candidate
+    /// scores were computed inline during the walk.
+    Bypass,
+}
+
+/// One admitted query: the embedding to search for, the node it enters
+/// the overlay at, and the seed of its private walk RNG.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    query: Embedding,
+    start: NodeId,
+    seed: u64,
+    class: Option<u64>,
+}
+
+impl QueryRequest {
+    /// A request whose cache class is derived from the query embedding's
+    /// exact bit pattern — repeated submissions of the same embedding
+    /// share one cached column automatically.
+    #[must_use]
+    pub fn new(query: Embedding, start: NodeId, seed: u64) -> Self {
+        let class = Self::class_of(&query);
+        QueryRequest {
+            query,
+            start,
+            seed,
+            class: Some(class),
+        }
+    }
+
+    /// Overrides the cache class. Callers grouping requests under an
+    /// external key (e.g. a keyword id) must guarantee that one class
+    /// always carries one exact embedding — the engine trusts the key.
+    #[must_use]
+    pub fn with_class(mut self, class: u64) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Opts this request out of column caching; its walk scores
+    /// candidates inline ([`CacheVerdict::Bypass`]).
+    #[must_use]
+    pub fn uncached(mut self) -> Self {
+        self.class = None;
+        self
+    }
+
+    /// The canonical cache class of an embedding: FNV-1a over its
+    /// component bit patterns. Bitwise-equal embeddings (and only those)
+    /// share a class.
+    #[must_use]
+    pub fn class_of(query: &Embedding) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for component in query.as_slice() {
+            for byte in component.to_bits().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    /// The query embedding.
+    #[must_use]
+    pub fn query(&self) -> &Embedding {
+        &self.query
+    }
+
+    /// The node the query enters the overlay at.
+    #[must_use]
+    pub fn start(&self) -> NodeId {
+        self.start
+    }
+
+    /// The seed of this request's private walk RNG.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The cache class, or `None` for an uncached request.
+    #[must_use]
+    pub fn class(&self) -> Option<u64> {
+        self.class
+    }
+}
+
+/// The engine's answer to one request: the walk outcome plus serving
+/// metadata (the admission id doubles as the trace handle passed to
+/// [`Observer::set_query`] on the observed path).
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Admission id (monotone per engine); trace rows of this query's
+    /// observed execution carry it.
+    pub id: u64,
+    /// How the cache served this request.
+    pub verdict: CacheVerdict,
+    /// The walk's results, identical to a sequential uncached
+    /// [`SearchNetwork::query`] with the same seed.
+    pub outcome: WalkOutcome,
+}
+
+/// Aggregate serving counters since engine construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted by [`QueryEngine::submit`].
+    pub submitted: u64,
+    /// Requests rejected with [`EngineError::QueueFull`].
+    pub rejected: u64,
+    /// Walks executed (batched and direct).
+    pub executed: u64,
+    /// Batches dispatched by [`QueryEngine::step`].
+    pub batches: u64,
+    /// Hot-column cache counters.
+    pub cache: CacheStats,
+}
+
+/// One admitted request mid-batch: id, request, resolved score column
+/// (if any), and how the cache answered.
+type ResolvedSlot = (u64, QueryRequest, Option<Arc<Vec<f32>>>, CacheVerdict);
+
+/// A long-lived serving engine over one built [`SearchNetwork`].
+///
+/// See the [module docs](self) for the serving model and the determinism
+/// contract. Construction mirrors the network's:
+/// [`build`](QueryEngine::build) /
+/// [`build_observed`](QueryEngine::build_observed) run the full setup
+/// phase, [`from_network`](QueryEngine::from_network) wraps an existing
+/// network.
+#[derive(Debug)]
+pub struct QueryEngine<'g> {
+    network: SearchNetwork<'g>,
+    config: EngineConfig,
+    queue: Mutex<VecDeque<(u64, QueryRequest)>>,
+    cache: Mutex<ColumnCache>,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    executed: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl<'g> QueryEngine<'g> {
+    /// Builds the search network with `config`'s scheme and wraps it in an
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchNetwork::build`].
+    pub fn build<R: Rng + ?Sized>(
+        graph: &'g Graph,
+        corpus: &Corpus,
+        placement: &Placement,
+        config: EngineConfig,
+        rng: &mut R,
+    ) -> Result<Self, EngineError> {
+        let network = SearchNetwork::build(graph, corpus, placement, config.scheme(), rng)?;
+        Ok(Self::from_network(network, config))
+    }
+
+    /// [`QueryEngine::build`] with build-phase observability (see
+    /// [`SearchNetwork::build_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchNetwork::build`].
+    pub fn build_observed<R: Rng + ?Sized>(
+        graph: &'g Graph,
+        corpus: &Corpus,
+        placement: &Placement,
+        config: EngineConfig,
+        rng: &mut R,
+        obs: &mut Observer<'_>,
+    ) -> Result<Self, EngineError> {
+        let network =
+            SearchNetwork::build_observed(graph, corpus, placement, config.scheme(), rng, obs)?;
+        Ok(Self::from_network(network, config))
+    }
+
+    /// Wraps an already-built network. The network's own scheme
+    /// configuration stays authoritative for walk behaviour;
+    /// `config.scheme()` is only used by the `build*` constructors.
+    #[must_use]
+    pub fn from_network(network: SearchNetwork<'g>, config: EngineConfig) -> Self {
+        let cache = ColumnCache::new(config.cache_capacity());
+        QueryEngine {
+            network,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            cache: Mutex::new(cache),
+            next_id: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// The served network.
+    #[must_use]
+    pub fn network(&self) -> &SearchNetwork<'g> {
+        &self.network
+    }
+
+    /// The serving configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Admits a request into the submission queue, returning its id.
+    ///
+    /// Validation happens here — at admission, not execution — so a bad
+    /// request is rejected before it can occupy queue space.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::StartOutOfRange`] / [`EngineError::DimensionMismatch`]
+    /// for malformed requests, [`EngineError::QueueFull`] past the
+    /// configured capacity.
+    pub fn submit(&self, request: QueryRequest) -> Result<u64, EngineError> {
+        self.validate(&request)?;
+        let mut queue = lock(&self.queue);
+        if queue.len() >= self.config.queue_capacity() {
+            drop(queue);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::QueueFull {
+                capacity: self.config.queue_capacity(),
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        queue.push_back((id, request));
+        drop(queue);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Number of admitted requests not yet executed.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Drains up to one batch window from the queue and executes it,
+    /// returning responses in admission order. An empty queue yields an
+    /// empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Any walk failure ([`EngineError::Search`]); admitted requests are
+    /// pre-validated, so this is unreachable for healthy networks.
+    pub fn step(&self) -> Result<Vec<QueryResponse>, EngineError> {
+        let batch: Vec<(u64, QueryRequest)> = {
+            let mut queue = lock(&self.queue);
+            let take = self.config.batch_size().min(queue.len());
+            queue.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.run_batch(batch)
+    }
+
+    /// Executes one request immediately (a singleton batch), bypassing
+    /// the queue but not the cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryEngine::submit`] plus any walk failure.
+    pub fn execute(&self, request: QueryRequest) -> Result<QueryResponse, EngineError> {
+        self.validate(&request)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut responses = self.run_batch(vec![(id, request)])?;
+        responses
+            .pop()
+            .ok_or(EngineError::Search(SearchError::InvalidParameter {
+                reason: "engine produced no response for a singleton batch".into(),
+            }))
+    }
+
+    /// Compatibility path for the experiment drivers: executes a query
+    /// with a *caller-supplied* RNG (preserving the caller's RNG stream
+    /// bit-for-bit) and inline scoring. Equivalent to
+    /// [`SearchNetwork::query`] — no queueing, no caching.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchNetwork::query`].
+    pub fn execute_with_rng<R: Rng + ?Sized>(
+        &self,
+        query: &Embedding,
+        start: NodeId,
+        rng: &mut R,
+    ) -> Result<WalkOutcome, SearchError> {
+        let out = self.network.query(query, start, rng);
+        if out.is_ok() {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Executes one request with observability: the column resolution
+    /// runs under an `engine.cache` span (sink counters
+    /// `engine.cache.hits` / `.misses` / `.bypasses`), the walk under the
+    /// scheme's usual `scheme.walk` span, and the trace rows carry the
+    /// response id via [`Observer::set_query`].
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryEngine::execute`].
+    pub fn execute_observed(
+        &self,
+        request: QueryRequest,
+        obs: &mut Observer<'_>,
+    ) -> Result<QueryResponse, EngineError> {
+        self.validate(&request)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        obs.set_query(id);
+        let cache_span = obs.enter("engine.cache");
+        obs.trace_begin("engine.cache");
+        let (column, verdict) = self.resolve_column(&request);
+        obs.trace_end("engine.cache");
+        obs.exit(cache_span);
+        let sink = obs.sink();
+        match verdict {
+            CacheVerdict::Hit => sink.add("engine.cache.hits", 1),
+            CacheVerdict::Miss => sink.add("engine.cache.misses", 1),
+            CacheVerdict::Bypass => sink.add("engine.cache.bypasses", 1),
+        }
+        let mut rng = StdRng::seed_from_u64(request.seed);
+        let scores = column.as_ref().map(|c| c.as_slice());
+        let outcome = self.network.query_scored_observed(
+            &request.query,
+            request.start,
+            &mut rng,
+            scores,
+            obs,
+        )?;
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        Ok(QueryResponse {
+            id,
+            verdict,
+            outcome,
+        })
+    }
+
+    /// Drops the cached column of `class` (e.g. after re-placing the
+    /// documents that back it). The next request of that class recomputes
+    /// it from the current network.
+    pub fn invalidate(&self, class: u64) {
+        lock(&self.cache).invalidate(class);
+    }
+
+    /// Drops every cached column.
+    pub fn invalidate_all(&self) {
+        lock(&self.cache).invalidate_all();
+    }
+
+    /// Serving counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache: lock(&self.cache).stats(),
+        }
+    }
+
+    fn validate(&self, request: &QueryRequest) -> Result<(), EngineError> {
+        let num_nodes = self.network.graph().num_nodes();
+        if self.network.graph().check_node(request.start).is_err() {
+            return Err(EngineError::StartOutOfRange {
+                start: request.start,
+                num_nodes,
+            });
+        }
+        if request.query.dim() != self.network.dim() {
+            return Err(EngineError::DimensionMismatch {
+                expected: self.network.dim(),
+                got: request.query.dim(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves the score column for a single request: cache hit, or
+    /// compute-and-insert, or bypass.
+    fn resolve_column(&self, request: &QueryRequest) -> (Option<Arc<Vec<f32>>>, CacheVerdict) {
+        let class = match request
+            .class
+            .filter(|_| self.config.cache_capacity().enabled())
+        {
+            Some(class) => class,
+            None => return (None, CacheVerdict::Bypass),
+        };
+        if let Some(column) = lock(&self.cache).get(class) {
+            return (Some(column), CacheVerdict::Hit);
+        }
+        let column = Arc::new(forwarding::score_column(
+            &request.query,
+            self.network.embeddings(),
+        ));
+        lock(&self.cache).insert(class, Arc::clone(&column));
+        (Some(column), CacheVerdict::Miss)
+    }
+
+    /// Executes one batch: resolve resident columns under the cache lock,
+    /// compute the missing classes in parallel *outside* it, then run
+    /// every walk on the work pool with its private seeded RNG.
+    fn run_batch(
+        &self,
+        batch: Vec<(u64, QueryRequest)>,
+    ) -> Result<Vec<QueryResponse>, EngineError> {
+        let threads = self.config.threads();
+        let cache_on = self.config.cache_capacity().enabled();
+
+        // Phase 1: one pass under the lock — classify every request as
+        // hit / miss / bypass, recording the distinct missing classes
+        // (first occurrence's embedding is the class representative).
+        let mut resolved: Vec<ResolvedSlot> = Vec::with_capacity(batch.len());
+        let mut missing: Vec<(u64, Embedding)> = Vec::new();
+        {
+            let mut cache = lock(&self.cache);
+            for (id, request) in batch {
+                match request.class.filter(|_| cache_on) {
+                    Some(class) => match cache.get(class) {
+                        Some(column) => {
+                            resolved.push((id, request, Some(column), CacheVerdict::Hit));
+                        }
+                        None => {
+                            if !missing.iter().any(|(c, _)| *c == class) {
+                                missing.push((class, request.query.clone()));
+                            }
+                            resolved.push((id, request, None, CacheVerdict::Miss));
+                        }
+                    },
+                    None => resolved.push((id, request, None, CacheVerdict::Bypass)),
+                }
+            }
+        }
+
+        // Phase 2: fill the missing columns in parallel (pure work, no
+        // lock), then publish them to the cache in one critical section.
+        if !missing.is_empty() {
+            let embeddings = self.network.embeddings();
+            let computed: Vec<(u64, Arc<Vec<f32>>)> =
+                workpool::map_batched(&missing, threads, |(class, query)| {
+                    (
+                        *class,
+                        Arc::new(forwarding::score_column(query, embeddings)),
+                    )
+                });
+            let mut cache = lock(&self.cache);
+            for (class, column) in &computed {
+                cache.insert(*class, Arc::clone(column));
+            }
+            drop(cache);
+            for slot in &mut resolved {
+                if slot.3 == CacheVerdict::Miss && slot.2.is_none() {
+                    if let Some(class) = slot.1.class {
+                        if let Some((_, column)) = computed.iter().find(|(c, _)| *c == class) {
+                            slot.2 = Some(Arc::clone(column));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 3: the walks. Each request runs on its own seeded RNG, so
+        // worker assignment cannot leak into results; map_batched returns
+        // outputs in submission order.
+        let network = &self.network;
+        let outcomes: Vec<Result<WalkOutcome, SearchError>> =
+            workpool::map_batched(&resolved, threads, |(_, request, column, _)| {
+                let mut rng = StdRng::seed_from_u64(request.seed);
+                let scores = column.as_ref().map(|c| c.as_slice());
+                walk::run_scored(network, &request.query, request.start, &mut rng, scores)
+            });
+
+        let executed = u64::try_from(resolved.len()).unwrap_or(u64::MAX);
+        let mut responses = Vec::with_capacity(resolved.len());
+        for ((id, _, _, verdict), outcome) in resolved.into_iter().zip(outcomes) {
+            responses.push(QueryResponse {
+                id,
+                verdict,
+                outcome: outcome?,
+            });
+        }
+        self.executed.fetch_add(executed, Ordering::Relaxed);
+        Ok(responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdsearch_embed::synthetic::SyntheticCorpus;
+    use gdsearch_embed::WordId;
+    use gdsearch_graph::generators;
+
+    struct Fixture {
+        graph: Graph,
+        corpus: Corpus,
+        placement: Placement,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(99);
+        let graph = generators::social_circles_like_scaled(150, &mut rng).unwrap();
+        let corpus = SyntheticCorpus::builder()
+            .vocab_size(80)
+            .dim(16)
+            .generate(&mut rng)
+            .unwrap();
+        let words: Vec<WordId> = (0..10).map(WordId::new).collect();
+        let placement = Placement::uniform(&graph, &words, &mut rng).unwrap();
+        Fixture {
+            graph,
+            corpus,
+            placement,
+        }
+    }
+
+    fn engine_with<'g>(fx: &'g Fixture, config: EngineConfig) -> QueryEngine<'g> {
+        let mut rng = StdRng::seed_from_u64(7);
+        QueryEngine::build(&fx.graph, &fx.corpus, &fx.placement, config, &mut rng).unwrap()
+    }
+
+    fn request(fx: &Fixture, word: u32, start: u32, seed: u64) -> QueryRequest {
+        QueryRequest::new(
+            fx.corpus.embedding(WordId::new(word)).clone(),
+            NodeId::new(start),
+            seed,
+        )
+    }
+
+    #[test]
+    fn engine_matches_sequential_network_query() {
+        let fx = fixture();
+        let engine = engine_with(&fx, EngineConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let network = SearchNetwork::build(
+            &fx.graph,
+            &fx.corpus,
+            &fx.placement,
+            EngineConfig::default().scheme(),
+            &mut rng,
+        )
+        .unwrap();
+        for (word, start, seed) in [(0u32, 5u32, 1u64), (1, 40, 2), (0, 5, 1)] {
+            let response = engine.execute(request(&fx, word, start, seed)).unwrap();
+            let mut walk_rng = StdRng::seed_from_u64(seed);
+            let baseline = network
+                .query(
+                    fx.corpus.embedding(WordId::new(word)),
+                    NodeId::new(start),
+                    &mut walk_rng,
+                )
+                .unwrap();
+            assert_eq!(response.outcome.results, baseline.results);
+            assert_eq!(response.outcome.path, baseline.path);
+        }
+        // The repeated (0, 5, 1) request must have been a cache hit.
+        assert!(engine.stats().cache.hits >= 1);
+    }
+
+    #[test]
+    fn submit_validates_at_admission() {
+        let fx = fixture();
+        let engine = engine_with(&fx, EngineConfig::default());
+        let bad_start = QueryRequest::new(
+            fx.corpus.embedding(WordId::new(0)).clone(),
+            NodeId::new(100_000),
+            1,
+        );
+        assert!(matches!(
+            engine.submit(bad_start),
+            Err(EngineError::StartOutOfRange { .. })
+        ));
+        let bad_dim = QueryRequest::new(Embedding::zeros(3), NodeId::new(0), 1);
+        assert!(matches!(
+            engine.submit(bad_dim),
+            Err(EngineError::DimensionMismatch {
+                expected: 16,
+                got: 3
+            })
+        ));
+        assert_eq!(engine.pending(), 0);
+    }
+
+    #[test]
+    fn queue_rejects_past_capacity() {
+        let fx = fixture();
+        let config = EngineConfig::builder()
+            .queue_capacity(2)
+            .batch_size(2)
+            .build()
+            .unwrap();
+        let engine = engine_with(&fx, config);
+        assert!(engine.submit(request(&fx, 0, 1, 1)).is_ok());
+        assert!(engine.submit(request(&fx, 1, 2, 2)).is_ok());
+        assert!(matches!(
+            engine.submit(request(&fx, 2, 3, 3)),
+            Err(EngineError::QueueFull { capacity: 2 })
+        ));
+        let stats = engine.stats();
+        assert_eq!((stats.submitted, stats.rejected), (2, 1));
+        // Draining the queue re-opens admission.
+        assert_eq!(engine.step().unwrap().len(), 2);
+        assert!(engine.submit(request(&fx, 2, 3, 3)).is_ok());
+    }
+
+    #[test]
+    fn step_preserves_admission_order_and_batch_window() {
+        let fx = fixture();
+        let config = EngineConfig::builder()
+            .batch_size(2)
+            .threads(3)
+            .build()
+            .unwrap();
+        let engine = engine_with(&fx, config);
+        let ids: Vec<u64> = (0..5)
+            .map(|i| engine.submit(request(&fx, i, 10 + i, u64::from(i))))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let first = engine.step().unwrap();
+        assert_eq!(
+            first.iter().map(|r| r.id).collect::<Vec<_>>(),
+            ids.get(..2).unwrap()
+        );
+        assert_eq!(engine.pending(), 3);
+        assert_eq!(engine.step().unwrap().len(), 2);
+        assert_eq!(engine.step().unwrap().len(), 1);
+        assert!(engine.step().unwrap().is_empty());
+        assert_eq!(engine.stats().batches, 3);
+    }
+
+    #[test]
+    fn batch_deduplicates_shared_classes() {
+        let fx = fixture();
+        let config = EngineConfig::builder().batch_size(4).build().unwrap();
+        let engine = engine_with(&fx, config);
+        for (start, seed) in [(1u32, 1u64), (2, 2), (3, 3), (4, 4)] {
+            engine.submit(request(&fx, 0, start, seed)).unwrap();
+        }
+        let responses = engine.step().unwrap();
+        assert_eq!(responses.len(), 4);
+        // All four share one class: one insert, every verdict Miss (the
+        // column was not resident when the batch was admitted).
+        let stats = engine.stats();
+        assert_eq!(stats.cache.inserts, 1);
+        assert!(responses.iter().all(|r| r.verdict == CacheVerdict::Miss));
+        // A follow-up batch of the same class is all hits.
+        engine.submit(request(&fx, 0, 5, 5)).unwrap();
+        let next = engine.step().unwrap();
+        assert!(next.iter().all(|r| r.verdict == CacheVerdict::Hit));
+    }
+
+    #[test]
+    fn uncached_and_disabled_requests_bypass() {
+        let fx = fixture();
+        let engine = engine_with(&fx, EngineConfig::default());
+        let response = engine.execute(request(&fx, 0, 1, 1).uncached()).unwrap();
+        assert_eq!(response.verdict, CacheVerdict::Bypass);
+
+        let disabled = EngineConfig::builder()
+            .cache_capacity(CacheCapacity::Disabled)
+            .build()
+            .unwrap();
+        let engine = engine_with(&fx, disabled);
+        let response = engine.execute(request(&fx, 0, 1, 1)).unwrap();
+        assert_eq!(response.verdict, CacheVerdict::Bypass);
+        assert_eq!(engine.stats().cache.inserts, 0);
+    }
+
+    #[test]
+    fn invalidation_forces_recomputation_of_identical_column() {
+        let fx = fixture();
+        let engine = engine_with(&fx, EngineConfig::default());
+        let first = engine.execute(request(&fx, 0, 1, 1)).unwrap();
+        assert_eq!(first.verdict, CacheVerdict::Miss);
+        engine.invalidate(QueryRequest::class_of(fx.corpus.embedding(WordId::new(0))));
+        let second = engine.execute(request(&fx, 0, 1, 1)).unwrap();
+        assert_eq!(second.verdict, CacheVerdict::Miss);
+        assert_eq!(first.outcome.results, second.outcome.results);
+        assert_eq!(engine.stats().cache.invalidations, 1);
+
+        engine.invalidate_all();
+        let third = engine.execute(request(&fx, 0, 1, 1)).unwrap();
+        assert_eq!(third.verdict, CacheVerdict::Miss);
+        assert_eq!(third.outcome.results, first.outcome.results);
+    }
+
+    #[test]
+    fn class_of_separates_bitwise_distinct_embeddings() {
+        let a = Embedding::new(vec![1.0, 2.0]);
+        let b = Embedding::new(vec![1.0, 2.0]);
+        let c = Embedding::new(vec![1.0, 2.25]);
+        assert_eq!(QueryRequest::class_of(&a), QueryRequest::class_of(&b));
+        assert_ne!(QueryRequest::class_of(&a), QueryRequest::class_of(&c));
+        // -0.0 and 0.0 compare equal but differ bitwise: distinct classes.
+        let pos = Embedding::new(vec![0.0]);
+        let neg = Embedding::new(vec![-0.0]);
+        assert_ne!(QueryRequest::class_of(&pos), QueryRequest::class_of(&neg));
+    }
+
+    #[test]
+    fn execute_with_rng_preserves_caller_stream() {
+        let fx = fixture();
+        let engine = engine_with(&fx, EngineConfig::default());
+        let mut build_rng = StdRng::seed_from_u64(7);
+        let network = SearchNetwork::build(
+            &fx.graph,
+            &fx.corpus,
+            &fx.placement,
+            EngineConfig::default().scheme(),
+            &mut build_rng,
+        )
+        .unwrap();
+        // Thread ONE RNG through two queries on each side; identical
+        // outcomes prove the engine consumed the stream identically.
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        for word in [WordId::new(0), WordId::new(1)] {
+            let via_engine = engine
+                .execute_with_rng(fx.corpus.embedding(word), NodeId::new(8), &mut rng_a)
+                .unwrap();
+            let direct = network
+                .query(fx.corpus.embedding(word), NodeId::new(8), &mut rng_b)
+                .unwrap();
+            assert_eq!(via_engine.results, direct.results);
+            assert_eq!(via_engine.path, direct.path);
+        }
+    }
+}

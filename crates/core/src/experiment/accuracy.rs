@@ -15,8 +15,9 @@ use rand::seq::IndexedRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{EngineConfig, QueryEngine};
 use crate::experiment::Workbench;
-use crate::{Placement, SchemeConfig, SearchError, SearchNetwork};
+use crate::{Placement, SchemeConfig, SearchError};
 
 /// Parameters of one Fig. 3 subplot (fixed document count `M`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,16 +134,17 @@ pub fn run<R: Rng + ?Sized>(
 
         for (ai, &alpha) in config.alphas.iter().enumerate() {
             let scheme_config = rebuild_with_alpha(base, alpha)?;
-            let network = SearchNetwork::build(
+            let engine_config = EngineConfig::builder().scheme(scheme_config).build()?;
+            let engine = QueryEngine::build(
                 &workbench.graph,
                 &workbench.corpus,
                 &placement,
-                &scheme_config,
+                engine_config,
                 rng,
             )?;
             for (d, start) in starts.iter().enumerate() {
                 let Some(start) = start else { continue };
-                let outcome = network.query(query_embedding, *start, rng)?;
+                let outcome = engine.execute_with_rng(query_embedding, *start, rng)?;
                 samples[ai][d] += 1;
                 if outcome.contains(0) {
                     hits[ai][d] += 1;

@@ -52,18 +52,42 @@ pub struct ForwardContext<'a> {
     pub graph: &'a Graph,
     /// How many next hops to select (ignored by flooding, which takes all).
     pub fanout: usize,
+    /// Precomputed query-vs-embedding scores for *every* node (indexed by
+    /// node id), or `None` to compute dot products inline. When present,
+    /// entries must equal [`score_column`] of the same query and
+    /// embeddings — the serving engine's hot-column cache relies on this
+    /// so cached and uncached walks stay bitwise identical.
+    pub scores: Option<&'a [f32]>,
+}
+
+/// The scheme's scoring kernel: dot product of the query with one diffused
+/// embedding row. Single source of truth for [`candidate_score`] and
+/// [`score_column`], so a cached column reproduces the inline computation
+/// bit for bit.
+fn dot_row(query: &Embedding, emb: &[f32]) -> f32 {
+    query.as_slice().iter().zip(emb).map(|(q, e)| q * e).sum()
 }
 
 /// Scores a candidate exactly as the paper's nodes do: dot product of the
-/// query with the candidate's diffused embedding.
+/// query with the candidate's diffused embedding. Served from
+/// [`ForwardContext::scores`] when a precomputed column is attached.
 pub fn candidate_score(ctx: &ForwardContext<'_>, candidate: NodeId) -> f32 {
-    let emb = ctx.node_embeddings.row(candidate.index());
-    ctx.query
-        .as_slice()
-        .iter()
-        .zip(emb)
-        .map(|(q, e)| q * e)
-        .sum()
+    match ctx.scores.and_then(|s| s.get(candidate.index())).copied() {
+        Some(score) => score,
+        None => dot_row(ctx.query, ctx.node_embeddings.row(candidate.index())),
+    }
+}
+
+/// The full score column of one query against every node's diffused
+/// embedding, computed with the exact per-candidate kernel of
+/// [`candidate_score`]. A walk that reads this column through
+/// [`ForwardContext::scores`] makes bitwise-identical forwarding
+/// decisions to one that computes dot products inline.
+#[must_use]
+pub fn score_column(query: &Embedding, node_embeddings: &Signal) -> Vec<f32> {
+    (0..node_embeddings.num_nodes())
+        .map(|u| dot_row(query, node_embeddings.row(u)))
+        .collect()
 }
 
 /// Selects next hops under the given policy. Returns at most
@@ -185,6 +209,7 @@ mod tests {
             node_embeddings: &e,
             graph: &g,
             fanout: 1,
+            scores: None,
         };
         let picks = select_next_hops(PolicyKind::PprGreedy, &ctx, &mut rng(1));
         assert_eq!(picks, vec![NodeId::new(3)]);
@@ -202,6 +227,7 @@ mod tests {
             node_embeddings: &e,
             graph: &g,
             fanout: 2,
+            scores: None,
         };
         let picks = select_next_hops(PolicyKind::PprGreedy, &ctx, &mut rng(1));
         assert_eq!(picks, vec![NodeId::new(3), NodeId::new(1)]);
@@ -219,6 +245,7 @@ mod tests {
             node_embeddings: &e,
             graph: &g,
             fanout: 2,
+            scores: None,
         };
         let picks = select_next_hops(PolicyKind::PprGreedy, &ctx, &mut rng(1));
         assert_eq!(picks, vec![NodeId::new(1), NodeId::new(2)]);
@@ -234,6 +261,7 @@ mod tests {
             node_embeddings: &e,
             graph: &g,
             fanout: 2,
+            scores: None,
         };
         let mut r = rng(2);
         for _ in 0..20 {
@@ -254,6 +282,7 @@ mod tests {
             node_embeddings: &e,
             graph: &g,
             fanout: 1,
+            scores: None,
         };
         let mut counts = [0usize; 5];
         let mut r = rng(3);
@@ -283,6 +312,7 @@ mod tests {
             node_embeddings: &e,
             graph: &g,
             fanout: 1,
+            scores: None,
         };
         let picks = select_next_hops(PolicyKind::DegreeBiased, &ctx, &mut rng(4));
         assert_eq!(picks, vec![NodeId::new(2)]);
@@ -298,6 +328,7 @@ mod tests {
             node_embeddings: &e,
             graph: &g,
             fanout: 1, // ignored
+            scores: None,
         };
         let picks = select_next_hops(PolicyKind::Flooding, &ctx, &mut rng(5));
         assert_eq!(picks.len(), 4);
@@ -313,6 +344,7 @@ mod tests {
             node_embeddings: &e,
             graph: &g,
             fanout: 1,
+            scores: None,
         };
         // epsilon = 0 -> always greedy.
         for seed in 0..10 {
@@ -331,6 +363,78 @@ mod tests {
     }
 
     #[test]
+    fn precomputed_column_matches_inline_scoring_bitwise() {
+        let (g, mut e, q, cands) = fixture();
+        // Perturb rows so scores are distinct and irrational-ish.
+        for u in 0..5 {
+            for (i, x) in e.row_mut(u).iter_mut().enumerate() {
+                *x += (u as f32 + 1.0) * 0.137 + i as f32 * 0.011;
+            }
+        }
+        let column = score_column(&q, &e);
+        let inline_ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 2,
+            scores: None,
+        };
+        let cached_ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 2,
+            scores: Some(&column),
+        };
+        for &c in &cands {
+            assert_eq!(
+                candidate_score(&inline_ctx, c).to_bits(),
+                candidate_score(&cached_ctx, c).to_bits(),
+                "column entry for {c:?} must reproduce the inline kernel"
+            );
+        }
+        assert_eq!(
+            select_next_hops(PolicyKind::PprGreedy, &inline_ctx, &mut rng(7)),
+            select_next_hops(PolicyKind::PprGreedy, &cached_ctx, &mut rng(7)),
+        );
+    }
+
+    #[test]
+    fn short_column_falls_back_to_inline_scoring() {
+        // A column that does not cover a candidate's index must not panic:
+        // scoring falls back to the inline dot product.
+        let (g, e, q, cands) = fixture();
+        let short = vec![0.0f32; 2]; // covers nodes 0..2 only
+        let ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 1,
+            scores: Some(&short),
+        };
+        let inline_ctx = ForwardContext {
+            node: NodeId::new(0),
+            candidates: &cands,
+            query: &q,
+            node_embeddings: &e,
+            graph: &g,
+            fanout: 1,
+            scores: None,
+        };
+        // Node 3 (index 3) is past the short column's end.
+        assert_eq!(
+            candidate_score(&ctx, NodeId::new(3)).to_bits(),
+            candidate_score(&inline_ctx, NodeId::new(3)).to_bits(),
+        );
+    }
+
+    #[test]
     fn empty_candidates_select_nothing() {
         let (g, e, q, _) = fixture();
         let ctx = ForwardContext {
@@ -340,6 +444,7 @@ mod tests {
             node_embeddings: &e,
             graph: &g,
             fanout: 3,
+            scores: None,
         };
         assert!(select_next_hops(PolicyKind::PprGreedy, &ctx, &mut rng(6)).is_empty());
         assert!(select_next_hops(PolicyKind::Flooding, &ctx, &mut rng(6)).is_empty());

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod engine;
 mod error;
 pub mod experiment;
 pub mod forwarding;
@@ -75,6 +76,10 @@ mod scheme;
 pub mod walk;
 
 pub use config::{DiffusionEngine, SchemeConfig, TransportProfile, VisitedMemory};
+pub use engine::{
+    CacheCapacity, CacheVerdict, ConfigError, EngineConfig, EngineError, QueryEngine, QueryRequest,
+    QueryResponse,
+};
 pub use error::SearchError;
 pub use forwarding::PolicyKind;
 pub use personalization::Aggregation;

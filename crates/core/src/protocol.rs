@@ -251,6 +251,7 @@ impl NodeHandler<SearchMessage> for SearchNode {
                             node_embeddings: &self.embeddings,
                             graph: &self.graph,
                             fanout: effective_fanout,
+                            scores: None,
                         };
                         targets = forwarding::select_next_hops(self.policy, &ctx, api.rng());
                     }

@@ -256,6 +256,16 @@ impl<'g> SearchNetwork<'g> {
     /// Executes a query from `start`, following the paper's forwarding
     /// protocol. See [`walk::run`].
     ///
+    /// # Migration
+    ///
+    /// This is the low-level single-query entry point, kept as a thin shim
+    /// over [`walk::run`]. New callers should prefer
+    /// [`QueryEngine`](crate::engine::QueryEngine) — submit through
+    /// [`QueryEngine::submit`](crate::engine::QueryEngine::submit) /
+    /// [`QueryEngine::execute`](crate::engine::QueryEngine::execute) to get
+    /// admission control, batched dispatch and hot-column caching with
+    /// bitwise-identical results.
+    ///
     /// # Errors
     ///
     /// As [`walk::run`].
@@ -274,6 +284,13 @@ impl<'g> SearchNetwork<'g> {
     /// `scheme.walk.unique_nodes` / `.results` (histograms, one sample per
     /// query). The outcome is identical to the unobserved query.
     ///
+    /// # Migration
+    ///
+    /// As with [`SearchNetwork::query`], prefer
+    /// [`QueryEngine::execute_observed`](crate::engine::QueryEngine::execute_observed),
+    /// which adds cache spans and per-query trace correlation on top of the
+    /// same walk instrumentation.
+    ///
     /// # Errors
     ///
     /// As [`SearchNetwork::query`].
@@ -284,9 +301,23 @@ impl<'g> SearchNetwork<'g> {
         rng: &mut R,
         obs: &mut Observer<'_>,
     ) -> Result<WalkOutcome, SearchError> {
+        self.query_scored_observed(query, start, rng, None, obs)
+    }
+
+    /// [`SearchNetwork::query_observed`] with an optional precomputed score
+    /// column (see [`walk::run_scored`]); the engine's cached path lands
+    /// here so the walk instrumentation has exactly one implementation.
+    pub(crate) fn query_scored_observed<R: Rng + ?Sized>(
+        &self,
+        query: &Embedding,
+        start: NodeId,
+        rng: &mut R,
+        scores: Option<&[f32]>,
+        obs: &mut Observer<'_>,
+    ) -> Result<WalkOutcome, SearchError> {
         let walk_span = obs.enter("scheme.walk");
         obs.trace_begin("scheme.walk");
-        let out = walk::run(self, query, start, rng);
+        let out = walk::run_scored(self, query, start, rng, scores);
         obs.trace_end("scheme.walk");
         obs.exit(walk_span);
         if let Ok(out) = &out {

@@ -93,6 +93,28 @@ pub fn run<R: Rng + ?Sized>(
     start: NodeId,
     rng: &mut R,
 ) -> Result<WalkOutcome, SearchError> {
+    run_scored(network, query, start, rng, None)
+}
+
+/// [`run`] with an optional precomputed score column attached to every
+/// forwarding decision.
+///
+/// `scores`, when present, must be
+/// [`forwarding::score_column`]`(query, network.embeddings())` — the
+/// serving engine's hot-column cache stores exactly that, so a walk served
+/// from the cache is bitwise identical to [`run`] computing dot products
+/// inline. Passing `None` is [`run`].
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_scored<R: Rng + ?Sized>(
+    network: &SearchNetwork<'_>,
+    query: &Embedding,
+    start: NodeId,
+    rng: &mut R,
+    scores: Option<&[f32]>,
+) -> Result<WalkOutcome, SearchError> {
     network.graph().check_node(start)?;
     if query.dim() != network.dim() {
         return Err(SearchError::Embed(
@@ -177,6 +199,7 @@ pub fn run<R: Rng + ?Sized>(
             node_embeddings: network.embeddings(),
             graph: network.graph(),
             fanout: effective_fanout,
+            scores,
         };
         let picks = forwarding::select_next_hops(config.policy(), &ctx, rng);
         for v in picks {

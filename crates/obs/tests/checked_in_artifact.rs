@@ -1,10 +1,11 @@
-//! The repo commits `BENCH_engines.json` and `BENCH_distributed.json`
-//! trajectory artifacts at its root; these tests keep the checked-in
-//! files honest against the `gdsearch.bench.v1` schema so downstream
-//! tooling (and the `bench_diff` regression gate) can always parse
-//! them. CI regenerates the artifacts and points `GDSEARCH_BENCH_JSON`
-//! / `GDSEARCH_BENCH_DISTRIBUTED_JSON` at the fresh copies to validate
-//! those instead.
+//! The repo commits `BENCH_engines.json`, `BENCH_distributed.json`, and
+//! `BENCH_serving.json` trajectory artifacts at its root; these tests
+//! keep the checked-in files honest against the `gdsearch.bench.v1`
+//! schema so downstream tooling (and the `bench_diff` regression gate)
+//! can always parse them. CI regenerates the artifacts and points
+//! `GDSEARCH_BENCH_JSON` / `GDSEARCH_BENCH_DISTRIBUTED_JSON` /
+//! `GDSEARCH_BENCH_SERVING_JSON` at the fresh copies to validate those
+//! instead.
 
 use gdsearch_obs::bench::{validate, SCHEMA};
 
@@ -42,5 +43,23 @@ fn committed_bench_distributed_json_is_schema_valid() {
     assert!(
         text.contains("\"bin\": \"ablation_distributed\""),
         "{path} was not produced by ablation_distributed"
+    );
+}
+
+#[test]
+fn committed_bench_serving_json_is_schema_valid() {
+    // Same test-harness knob as above, for the serving-engine trajectory.
+    #[allow(clippy::disallowed_methods)]
+    let path = std::env::var("GDSEARCH_BENCH_SERVING_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_serving.json", env!("CARGO_MANIFEST_DIR")));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    validate(&text).unwrap_or_else(|e| panic!("{path} violates {SCHEMA}: {e}"));
+    assert!(
+        text.contains("\"bin\": \"ablation_serving\""),
+        "{path} was not produced by ablation_serving"
+    );
+    assert!(
+        text.contains("\"cache_hit_rate\""),
+        "{path} carries no cache hit-rate measurements"
     );
 }

@@ -10,7 +10,7 @@
 
 use gdsearch::experiment::report;
 use gdsearch::protocol::{ProtocolNetwork, SimBackend};
-use gdsearch::{Placement, PolicyKind, SchemeConfig, SearchNetwork};
+use gdsearch::{EngineConfig, Placement, PolicyKind, QueryEngine, SchemeConfig};
 use gdsearch_embed::querygen::{self, QueryGenConfig};
 use gdsearch_embed::synthetic::SyntheticCorpus;
 use gdsearch_graph::{generators, NodeId};
@@ -47,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (PolicyKind::Flooding, 3u32, "flooding"),
     ] {
         let cfg = SchemeConfig::builder().policy(policy).ttl(ttl).build()?;
-        let scheme = SearchNetwork::build(&graph, &corpus, &placement, &cfg, &mut rng)?;
+        let engine_cfg = EngineConfig::builder().scheme(cfg).build()?;
+        let engine = QueryEngine::build(&graph, &corpus, &placement, engine_cfg, &mut rng)?;
+        let scheme = engine.network();
         for (backend, backend_name) in [
             (SimBackend::Instant, "instant".to_string()),
             (
@@ -61,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "1 KB/s".to_string(),
             ),
         ] {
-            let mut net = ProtocolNetwork::build(&scheme, backend)?;
+            let mut net = ProtocolNetwork::build(scheme, backend)?;
             for (i, &origin) in origins.iter().enumerate() {
                 net.issue_query(origin, i as u64, corpus.embedding(pair.query).clone(), ttl)?;
             }

@@ -10,7 +10,7 @@
 //! ```
 
 use gdsearch::protocol::{build_protocol_network, issue_query};
-use gdsearch::{Placement, SchemeConfig, SearchNetwork};
+use gdsearch::{EngineConfig, Placement, QueryEngine, SchemeConfig};
 use gdsearch_embed::querygen::{self, QueryGenConfig};
 use gdsearch_embed::synthetic::SyntheticCorpus;
 use gdsearch_graph::generators;
@@ -50,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     words.extend(queries.irrelevant().iter().copied().take(59));
     let placement = Placement::uniform(&graph, &words, &mut rng)?;
     let scheme_config = SchemeConfig::builder().ttl(30).top_k(3).build()?;
-    let scheme = SearchNetwork::build(&graph, &corpus, &placement, &scheme_config, &mut rng)?;
+    let engine_config = EngineConfig::builder().scheme(scheme_config).build()?;
+    let engine = QueryEngine::build(&graph, &corpus, &placement, engine_config, &mut rng)?;
+    let scheme = engine.network();
 
     // 10% of peers fail during the first 5 virtual seconds and recover
     // after 2 seconds; links have 10-50 ms latency and 1% loss.
@@ -62,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_churn(churn)
         .with_seed(99)
         .with_trace_capacity(4096);
-    let mut net = build_protocol_network(&scheme, sim_config)?;
+    let mut net = build_protocol_network(scheme, sim_config)?;
 
     // Issue 20 queries from random peers over the first 2 seconds.
     let origins: Vec<NodeId> = (0..20)

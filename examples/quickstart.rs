@@ -5,7 +5,7 @@
 //! cargo run -p gdsearch-examples --bin quickstart
 //! ```
 
-use gdsearch::{Placement, SchemeConfig, SearchNetwork};
+use gdsearch::{EngineConfig, Placement, QueryEngine, QueryRequest, SchemeConfig};
 use gdsearch_embed::querygen::{self, QueryGenConfig};
 use gdsearch_embed::synthetic::SyntheticCorpus;
 use gdsearch_graph::algo::bfs;
@@ -54,23 +54,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gold_host = placement.host(0);
     println!("gold document hosted at {gold_host}");
 
-    // 4. Build the network: personalization vectors + PPR diffusion.
-    let config = SchemeConfig::builder().alpha(0.5).ttl(50).build()?;
-    let network = SearchNetwork::build(&graph, &corpus, &placement, &config, &mut rng)?;
+    // 4. Build the serving engine: personalization vectors + PPR
+    //    diffusion, wrapped in the admission/batching/caching layer.
+    let scheme = SchemeConfig::builder().alpha(0.5).ttl(50).build()?;
+    let engine_config = EngineConfig::builder().scheme(scheme).build()?;
+    let engine = QueryEngine::build(&graph, &corpus, &placement, engine_config, &mut rng)?;
     println!(
         "diffused {}-dimensional embeddings over {} nodes (alpha = {})",
-        network.dim(),
+        engine.network().dim(),
         graph.num_nodes(),
-        config.alpha()
+        engine.network().config().alpha()
     );
 
-    // 5. Query from a node a few hops away from the gold host.
+    // 5. Query from a node a few hops away from the gold host. The
+    //    engine's first execution of this query class computes and caches
+    //    its score column; repeats would be cache hits.
     let rings = bfs::distance_rings(&graph, gold_host, 3);
     let start = rings[3].first().copied().unwrap_or(gold_host);
-    let outcome = network.query(corpus.embedding(pair.query), start, &mut rng)?;
+    let request = QueryRequest::new(corpus.embedding(pair.query).clone(), start, 7);
+    let response = engine.execute(request)?;
+    let outcome = &response.outcome;
     println!(
-        "walk from {start} (distance 3): visited {} nodes with {} forwards",
-        outcome.unique_nodes, outcome.hops
+        "walk from {start} (distance 3): visited {} nodes with {} forwards (cache: {:?})",
+        outcome.unique_nodes, outcome.hops, response.verdict
     );
     match outcome.hop_of(0) {
         Some(hop) => println!("SUCCESS: gold document found after {hop} hops"),
